@@ -1,0 +1,55 @@
+//! Figure 4 — validation of the wave-level processing-time model against the engine.
+//!
+//! For the two profiled datasets ("126" = 473 MB, "147" = 1117 MB), sweep the map
+//! drop ratio and compare the mean job processing time predicted by the §4.2
+//! wave-level PH model (parameterized per §4.3: profiled task times, two-point
+//! overhead interpolation) with the engine simulator's observed mean.
+//!
+//! Paper checkpoint: mean model errors of 11.1% and 7.8% for the two datasets.
+
+use dias_bench::{banner, compare, wave_model_for};
+use dias_engine::ClusterSpec;
+use dias_workloads::{dataset_126, dataset_147, profile_execution, JobProfile};
+
+fn validate(profile: &JobProfile, cluster: &ClusterSpec) -> f64 {
+    println!("dataset {} ({} MB):", profile.name, profile.input_mb);
+    println!(
+        "{:>8} {:>12} {:>12} {:>9}",
+        "drop", "model[s]", "observed[s]", "error"
+    );
+    let mut total_err = 0.0;
+    let thetas = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+    for &theta in &thetas {
+        let model = wave_model_for(profile, cluster, theta, 17)
+            .mean_processing_time()
+            .expect("valid wave model");
+        let observed = profile_execution(profile, cluster, &[theta, 0.0], 80, 23).mean();
+        let err = (model - observed).abs() / observed * 100.0;
+        total_err += err;
+        println!("{theta:>8.1} {model:>12.1} {observed:>12.1} {err:>8.1}%");
+    }
+    total_err / thetas.len() as f64
+}
+
+fn main() {
+    banner(
+        "Figure 4",
+        "wave-level model vs observed mean processing times",
+    );
+    let cluster = ClusterSpec::paper_reference();
+    let err_147 = validate(&dataset_147(), &cluster);
+    println!();
+    let err_126 = validate(&dataset_126(), &cluster);
+    println!();
+    println!("paper-vs-measured checkpoints:");
+    compare(
+        "dataset 147: mean model error",
+        "11.1%",
+        &format!("{err_147:.1}%"),
+    );
+    compare(
+        "dataset 126: mean model error",
+        "7.8%",
+        &format!("{err_126:.1}%"),
+    );
+}

@@ -1,0 +1,139 @@
+//! Criterion micro-benchmarks of the core data structures and solvers.
+//!
+//! These track the performance of the pieces every experiment leans on: the event
+//! queue, PH-distribution algebra and CDF evaluation, the priority-queue solvers,
+//! the Monte-Carlo model evaluator and the engine simulator itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dias_des::{EventQueue, SimTime};
+use dias_engine::{ClusterSim, ClusterSpec, EngineEvent, JobInstance};
+use dias_models::mc::{Discipline, McQueue};
+use dias_models::priority::{mph1_waiting_ph, non_preemptive_means, ClassInput};
+use dias_models::TaskLevelModel;
+use dias_stochastic::{DiscreteDist, MarkedPoisson, Ph};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(SimTime::from_secs((i % 97) as f64), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        });
+    });
+}
+
+fn bench_ph(c: &mut Criterion) {
+    let erl = Ph::erlang(8, 2.0).unwrap();
+    let hyper = Ph::hyperexponential(&[0.4, 0.6], &[1.0, 5.0]).unwrap();
+    c.bench_function("ph/convolve_8x2", |b| {
+        b.iter(|| black_box(erl.convolve(&hyper)));
+    });
+    let job = erl.convolve(&hyper);
+    c.bench_function("ph/cdf_order10", |b| {
+        b.iter(|| black_box(job.cdf(black_box(3.0))));
+    });
+    c.bench_function("ph/moments_order10", |b| {
+        b.iter(|| black_box(job.moment(2)));
+    });
+}
+
+fn bench_task_level_model(c: &mut Criterion) {
+    let model = TaskLevelModel {
+        slots: 20,
+        map_tasks: DiscreteDist::constant(50),
+        reduce_tasks: DiscreteDist::constant(10),
+        setup_rate: 1.0 / 12.0,
+        map_task_rate: 1.0 / 35.0,
+        shuffle_rate: 1.0 / 8.0,
+        reduce_task_rate: 1.0 / 12.0,
+        theta_map: 0.2,
+        theta_reduce: 0.0,
+    };
+    c.bench_function("models/task_level_build_and_mean", |b| {
+        b.iter(|| black_box(model.mean_processing_time().unwrap()));
+    });
+}
+
+fn bench_priority_solvers(c: &mut Criterion) {
+    let classes = [
+        ClassInput {
+            lambda: 0.004,
+            mean_service: 147.0,
+            second_moment: 147.0f64.powi(2) * 1.1,
+        },
+        ClassInput {
+            lambda: 0.0005,
+            mean_service: 126.0,
+            second_moment: 126.0f64.powi(2) * 1.1,
+        },
+    ];
+    c.bench_function("models/cobham_means", |b| {
+        b.iter(|| black_box(non_preemptive_means(&classes).unwrap()));
+    });
+    let service = Ph::erlang(3, 3.0 / 147.0).unwrap();
+    c.bench_function("models/mph1_waiting_ph", |b| {
+        b.iter(|| black_box(mph1_waiting_ph(0.005, &service).unwrap()));
+    });
+}
+
+fn bench_mc_queue(c: &mut Criterion) {
+    let queue = McQueue {
+        arrivals: MarkedPoisson::new(vec![0.0045, 0.0005]).unwrap(),
+        service: vec![
+            Ph::erlang(3, 3.0 / 147.0).unwrap(),
+            Ph::erlang(3, 3.0 / 126.0).unwrap(),
+        ],
+        sprint: vec![None, None],
+        discipline: Discipline::NonPreemptive,
+        jobs: 2000,
+        warmup: 200,
+        seed: 1,
+    };
+    let mut group = c.benchmark_group("models/mc_queue");
+    group.sample_size(10);
+    group.bench_function("2k_jobs", |b| {
+        b.iter(|| black_box(queue.run().unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    use dias_workloads::dataset_147;
+    let profile = dataset_147();
+    let spec = profile.spec(0, 0);
+    let mut rng: rand::rngs::StdRng = dias_des::SeedSequence::new(5).stream("bench");
+    let instance = JobInstance::sample(&spec, &mut rng);
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20);
+    group.bench_function("one_wordcount_job", |b| {
+        b.iter(|| {
+            let mut sim = ClusterSim::new(ClusterSpec::paper_reference());
+            sim.start_job(&instance, &[0.0, 0.0]).unwrap();
+            loop {
+                if let EngineEvent::JobFinished { metrics, .. } = sim.advance().unwrap() {
+                    break black_box(metrics.execution_secs);
+                }
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_ph,
+    bench_task_level_model,
+    bench_priority_solvers,
+    bench_mc_queue,
+    bench_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,222 @@
+//! Shared harness utilities for the per-figure benchmark binaries.
+//!
+//! Every bench target regenerates one table or figure of the paper: it runs the
+//! relevant experiment(s), prints the same rows/series the paper reports, and — where
+//! the paper states concrete numbers — prints the paper's value next to the measured
+//! one. Absolute values are not expected to match (our substrate is a simulator, not
+//! the authors' testbed); the *shape* (who wins, by roughly what factor) is.
+
+use dias_core::{ExperimentReport, JobSource};
+
+/// Number of measured completions per experiment; override with the
+/// `DIAS_BENCH_JOBS` environment variable.
+#[must_use]
+pub fn bench_jobs() -> usize {
+    std::env::var("DIAS_BENCH_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6000)
+}
+
+/// Prints the standard figure banner.
+pub fn banner(figure: &str, title: &str) {
+    println!("==============================================================");
+    println!("{figure}: {title}");
+    println!("==============================================================");
+}
+
+/// Formats a relative difference with sign, e.g. `-63.2%`.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{x:+.1}%")
+}
+
+/// Relative difference of `ours` vs `baseline`, in percent.
+#[must_use]
+pub fn rel(ours: f64, baseline: f64) -> f64 {
+    ExperimentReport::relative_difference_pct(ours, baseline)
+}
+
+/// Prints the paper's Fig. 7/8/9/10-style table: the preemptive baseline in
+/// absolute seconds, every other policy as a relative difference, for mean (solid
+/// bars) and p95 (shaded bars) latency of every class.
+///
+/// `class_names` is ordered by class index (low priority first).
+pub fn print_relative_table(
+    baseline: &ExperimentReport,
+    others: &[ExperimentReport],
+    class_names: &[&str],
+) {
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10}",
+        "policy", "class", "mean", "p95", "note"
+    );
+    for (k, name) in class_names.iter().enumerate().rev() {
+        println!(
+            "{:<14} {:>10} {:>9.1}s {:>9.1}s {:>10}",
+            baseline.policy,
+            name,
+            baseline.mean_response(k),
+            baseline.p95_response(k),
+            "absolute"
+        );
+    }
+    println!(
+        "{:<14} waste {:>5.1}%  evictions {}",
+        "",
+        baseline.waste_fraction() * 100.0,
+        baseline.evictions
+    );
+    for report in others {
+        for (k, name) in class_names.iter().enumerate().rev() {
+            println!(
+                "{:<14} {:>10} {:>10} {:>10} {:>10}",
+                report.policy,
+                name,
+                pct(rel(report.mean_response(k), baseline.mean_response(k))),
+                pct(rel(report.p95_response(k), baseline.p95_response(k))),
+                "vs P"
+            );
+        }
+        println!(
+            "{:<14} waste {:>5.1}%  evictions {}",
+            "",
+            report.waste_fraction() * 100.0,
+            report.evictions
+        );
+    }
+}
+
+/// Runs one policy over a fresh stream built by `make_stream` (streams are consumed
+/// by experiments, so each policy gets an identically-seeded copy).
+pub fn run_policy<S, F>(make_stream: F, policy: dias_core::Policy, jobs: usize) -> ExperimentReport
+where
+    S: JobSource,
+    F: FnOnce() -> S,
+{
+    dias_core::Experiment::new(make_stream(), policy)
+        .jobs(jobs)
+        .run()
+        .expect("experiment configuration is valid")
+}
+
+/// Prints a `paper vs measured` comparison line.
+pub fn compare(label: &str, paper: &str, measured: &str) {
+    println!("  {label:<44} paper: {paper:<18} measured: {measured}");
+}
+
+/// Builds the paper's §4.2 wave-level model for a word-count profile at drop ratio
+/// `theta` on the map stage, parameterized the way §4.3 prescribes:
+///
+/// * per-wave PH blocks fitted (mean + SCV) to profiled stage makespans: task
+///   execution times are sampled from the profiled distribution and list-scheduled
+///   over the `C` slots (exactly what the engine's wave scheduler does), and the
+///   fitted makespan is split evenly across the `⌈n̄/C⌉` wave blocks so the block
+///   structure matches the paper's `(α_m(d), A_m(d))` sequence;
+/// * overhead interpolated linearly between profiled θ = 0 and θ = 0.9 runs;
+/// * a low-variability PH shuffle block at the profiled mean.
+pub fn wave_model_for(
+    profile: &dias_workloads::JobProfile,
+    cluster: &dias_engine::ClusterSpec,
+    theta: f64,
+    seed: u64,
+) -> dias_models::WaveLevelModel {
+    use dias_models::overhead::OverheadProfile;
+    use dias_models::{effective_tasks, wave_count_probs};
+    use dias_stochastic::{fit::ph_from_mean_scv, DiscreteDist, Ph};
+
+    let slots = cluster.slots();
+    let map_stage = &profile.stages[0];
+    let reduce_stage = &profile.stages[1];
+
+    // Overhead: the paper profiles θ=0 and θ=0.9 and interpolates (§4.3). The
+    // engine's setup shrinks with the kept-data fraction, which profiling sees.
+    let f = profile.setup_data_fraction;
+    let setup0 = profile.setup.mean();
+    let setup90 = setup0 * (1.0 - f + f * 0.1);
+    let overhead_curve =
+        OverheadProfile::from_two_points(setup0, setup90).expect("positive overheads");
+    // Low-SCV PH block at the interpolated mean (setups are near-deterministic).
+    let overhead = ph_from_mean_scv(overhead_curve.mean_at(theta), 0.05);
+
+    let shuffle = ph_from_mean_scv(profile.shuffle.mean(), 0.05);
+
+    // Stage-makespan profiling: list-schedule `n` sampled task times on `slots`
+    // slots (greedy, work-conserving — the engine's wave scheduler) and fit the
+    // makespan's first two moments.
+    let mut rng: rand::rngs::StdRng = dias_des::SeedSequence::new(seed).stream("wave-fit");
+    let mut stage_fit = |n_tasks: usize, task: &dias_stochastic::Dist| -> (f64, f64) {
+        let reps = 3000;
+        let mut stats = dias_des::stats::SampleSet::new();
+        let mut slot_end = vec![0.0f64; slots];
+        for _ in 0..reps {
+            slot_end.iter_mut().for_each(|x| *x = 0.0);
+            for _ in 0..n_tasks {
+                // Earliest-available slot takes the next task.
+                let (idx, _) = slot_end
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+                    .expect("at least one slot");
+                slot_end[idx] += task.sample(&mut rng);
+            }
+            let makespan = slot_end.iter().copied().fold(0.0, f64::max);
+            stats.push(makespan);
+        }
+        let mean = stats.mean();
+        let scv = (stats.variance() / (mean * mean)).max(1e-4);
+        (mean, scv)
+    };
+
+    // Split the fitted stage makespan evenly over its wave blocks: D identical
+    // blocks with mean/D and per-block SCV = stage SCV × D convolve back to the
+    // fitted stage moments.
+    let mut wave_blocks = |n_tasks: usize, task: &dias_stochastic::Dist| -> Vec<Ph> {
+        if n_tasks == 0 {
+            return Vec::new();
+        }
+        let d = n_tasks.div_ceil(slots);
+        let (mean, scv) = stage_fit(n_tasks, task);
+        let block = ph_from_mean_scv(mean / d as f64, (scv * d as f64).min(50.0));
+        vec![block; d]
+    };
+
+    let n_map = effective_tasks(map_stage.tasks, theta);
+    let map_tasks_dist = DiscreteDist::constant(map_stage.tasks.max(1));
+    let qm = wave_count_probs(&map_tasks_dist, theta, slots);
+    let map_waves = wave_blocks(n_map, &map_stage.task_work);
+
+    let n_red = reduce_stage.tasks;
+    let red_tasks_dist = DiscreteDist::constant(n_red.max(1));
+    let qr = wave_count_probs(&red_tasks_dist, 0.0, slots);
+    let reduce_waves = wave_blocks(n_red, &reduce_stage.task_work);
+
+    dias_models::WaveLevelModel {
+        overhead,
+        shuffle,
+        map_waves,
+        map_wave_probs: qm,
+        reduce_waves,
+        reduce_wave_probs: qr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_and_pct_format() {
+        assert_eq!(pct(rel(40.0, 100.0)), "-60.0%");
+        assert_eq!(pct(rel(118.0, 100.0)), "+18.0%");
+    }
+
+    #[test]
+    fn bench_jobs_default() {
+        // Unless the variable is set in the test environment, the default holds.
+        if std::env::var("DIAS_BENCH_JOBS").is_err() {
+            assert_eq!(bench_jobs(), 6000);
+        }
+    }
+}
+

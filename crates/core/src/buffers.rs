@@ -1,0 +1,202 @@
+//! Per-priority job buffers (the paper's Figure 3: one buffer per priority,
+//! FCFS within a buffer).
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use dias_engine::JobInstance;
+
+/// A job waiting in a priority buffer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueuedJob {
+    /// The sampled job (identical across eviction re-runs).
+    pub instance: JobInstance,
+    /// How many times the job has been evicted so far.
+    pub evictions: u32,
+}
+
+impl QueuedJob {
+    /// Wraps a fresh arrival.
+    #[must_use]
+    pub fn new(instance: JobInstance) -> Self {
+        QueuedJob {
+            instance,
+            evictions: 0,
+        }
+    }
+}
+
+/// One FCFS buffer per priority class; higher class index = higher priority.
+///
+/// # Examples
+///
+/// ```
+/// use dias_core::PriorityBuffers;
+/// # use dias_core::QueuedJob;
+/// # use dias_engine::{JobInstance, JobSpec, StageKind, StageSpec};
+/// # use dias_stochastic::Dist;
+/// # use rand::rngs::StdRng;
+/// # use rand::SeedableRng;
+/// # let mut rng = StdRng::seed_from_u64(0);
+/// # let mut job = |class: usize| {
+/// #     let spec = JobSpec::builder(0, class)
+/// #         .stage(StageSpec::new(StageKind::Map, 1, Dist::constant(1.0)))
+/// #         .build();
+/// #     QueuedJob::new(JobInstance::sample(&spec, &mut rng))
+/// # };
+/// let mut buffers = PriorityBuffers::new(2);
+/// buffers.push_arrival(job(0));
+/// buffers.push_arrival(job(1));
+/// // The high-priority job pops first.
+/// assert_eq!(buffers.pop_highest().unwrap().instance.class(), 1);
+/// assert_eq!(buffers.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PriorityBuffers {
+    queues: Vec<VecDeque<QueuedJob>>,
+}
+
+impl PriorityBuffers {
+    /// Creates `classes` empty buffers.
+    #[must_use]
+    pub fn new(classes: usize) -> Self {
+        PriorityBuffers {
+            queues: (0..classes).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    /// Number of priority classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Enqueues a new arrival at the tail of its class buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job's class has no buffer.
+    pub fn push_arrival(&mut self, job: QueuedJob) {
+        let class = job.instance.class();
+        assert!(class < self.queues.len(), "class {class} has no buffer");
+        self.queues[class].push_back(job);
+    }
+
+    /// Returns an evicted job to the **head** of its class buffer ("after being
+    /// evicted, low-priority jobs return to the head of the queue").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job's class has no buffer.
+    pub fn push_evicted(&mut self, mut job: QueuedJob) {
+        let class = job.instance.class();
+        assert!(class < self.queues.len(), "class {class} has no buffer");
+        job.evictions += 1;
+        self.queues[class].push_front(job);
+    }
+
+    /// Removes and returns the head of the highest-priority non-empty buffer.
+    pub fn pop_highest(&mut self) -> Option<QueuedJob> {
+        self.queues.iter_mut().rev().find_map(VecDeque::pop_front)
+    }
+
+    /// Class index of the highest-priority non-empty buffer.
+    #[must_use]
+    pub fn highest_waiting_class(&self) -> Option<usize> {
+        (0..self.queues.len())
+            .rev()
+            .find(|&k| !self.queues[k].is_empty())
+    }
+
+    /// Jobs waiting in class `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` has no buffer.
+    #[must_use]
+    pub fn waiting_in(&self, k: usize) -> usize {
+        self.queues[k].len()
+    }
+
+    /// Total waiting jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Whether all buffers are empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dias_engine::{JobSpec, StageKind, StageSpec};
+    use dias_stochastic::Dist;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn job(id: u64, class: usize) -> QueuedJob {
+        let spec = JobSpec::builder(id, class)
+            .stage(StageSpec::new(StageKind::Map, 1, Dist::constant(1.0)))
+            .build();
+        let mut rng = StdRng::seed_from_u64(id);
+        QueuedJob::new(JobInstance::sample(&spec, &mut rng))
+    }
+
+    #[test]
+    fn fcfs_within_class() {
+        let mut b = PriorityBuffers::new(1);
+        b.push_arrival(job(1, 0));
+        b.push_arrival(job(2, 0));
+        assert_eq!(b.pop_highest().unwrap().instance.spec.id.0, 1);
+        assert_eq!(b.pop_highest().unwrap().instance.spec.id.0, 2);
+        assert!(b.pop_highest().is_none());
+    }
+
+    #[test]
+    fn priority_across_classes() {
+        let mut b = PriorityBuffers::new(3);
+        b.push_arrival(job(1, 0));
+        b.push_arrival(job(2, 2));
+        b.push_arrival(job(3, 1));
+        assert_eq!(b.highest_waiting_class(), Some(2));
+        assert_eq!(b.pop_highest().unwrap().instance.class(), 2);
+        assert_eq!(b.pop_highest().unwrap().instance.class(), 1);
+        assert_eq!(b.pop_highest().unwrap().instance.class(), 0);
+    }
+
+    #[test]
+    fn evicted_jobs_return_to_head() {
+        let mut b = PriorityBuffers::new(1);
+        b.push_arrival(job(1, 0));
+        let first = b.pop_highest().unwrap();
+        b.push_arrival(job(2, 0));
+        b.push_evicted(first);
+        let head = b.pop_highest().unwrap();
+        assert_eq!(head.instance.spec.id.0, 1);
+        assert_eq!(head.evictions, 1);
+    }
+
+    #[test]
+    fn counts_and_emptiness() {
+        let mut b = PriorityBuffers::new(2);
+        assert!(b.is_empty());
+        b.push_arrival(job(1, 0));
+        b.push_arrival(job(2, 1));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.waiting_in(0), 1);
+        assert_eq!(b.waiting_in(1), 1);
+        assert_eq!(b.classes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no buffer")]
+    fn class_out_of_range_panics() {
+        PriorityBuffers::new(1).push_arrival(job(1, 5));
+    }
+}

@@ -1,0 +1,510 @@
+//! The closed-loop experiment runner: job source → priority buffers → deflator
+//! drops → engine, with optional sprinting — the harness behind every evaluation
+//! figure.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use dias_des::SimTime;
+use dias_engine::{ClusterSim, ClusterSpec, EngineError, EngineEvent, JobInstance};
+
+use crate::{ClassStats, ExperimentReport, Policy, PriorityBuffers, QueuedJob, Sprinter};
+
+/// A stream of sampled jobs with non-decreasing arrival times.
+///
+/// Implementations live in `dias-workloads` (Poisson streams over text/graph
+/// analytics job profiles); [`VecJobSource`] adapts a pre-built vector for tests and
+/// small examples.
+pub trait JobSource {
+    /// Number of priority classes the stream produces.
+    fn classes(&self) -> usize;
+
+    /// The next arriving job, or `None` when the stream is exhausted.
+    ///
+    /// `JobInstance::arrival_secs` must be non-decreasing across calls.
+    fn next_job(&mut self) -> Option<JobInstance>;
+}
+
+/// A [`JobSource`] over a pre-built vector of instances.
+#[derive(Debug, Clone)]
+pub struct VecJobSource {
+    jobs: VecDeque<JobInstance>,
+    classes: usize,
+}
+
+impl VecJobSource {
+    /// Wraps `jobs` (sorted by `arrival_secs`) for `classes` priority classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arrivals are not sorted or reference a class out of range.
+    #[must_use]
+    pub fn new(jobs: Vec<JobInstance>, classes: usize) -> Self {
+        let mut last = 0.0;
+        for j in &jobs {
+            assert!(
+                j.arrival_secs >= last,
+                "arrivals must be sorted by arrival_secs"
+            );
+            assert!(j.class() < classes, "job class out of range");
+            last = j.arrival_secs;
+        }
+        VecJobSource {
+            jobs: jobs.into(),
+            classes,
+        }
+    }
+}
+
+impl JobSource for VecJobSource {
+    fn classes(&self) -> usize {
+        self.classes
+    }
+
+    fn next_job(&mut self) -> Option<JobInstance> {
+        self.jobs.pop_front()
+    }
+}
+
+/// Errors from configuring or running an experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentError {
+    /// The policy covers a different number of classes than the job source emits.
+    ClassMismatch {
+        /// Classes in the policy.
+        policy: usize,
+        /// Classes in the source.
+        source: usize,
+    },
+    /// The engine rejected an operation (a bug in the driving loop or the inputs).
+    Engine(EngineError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::ClassMismatch { policy, source } => write!(
+                f,
+                "policy has {policy} classes but the job source produces {source}"
+            ),
+            ExperimentError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<EngineError> for ExperimentError {
+    fn from(e: EngineError) -> Self {
+        ExperimentError::Engine(e)
+    }
+}
+
+/// A configured experiment: source + policy + cluster, run for a number of
+/// completions.
+///
+/// See the crate-level example.
+#[derive(Debug)]
+pub struct Experiment<S> {
+    source: S,
+    policy: Policy,
+    cluster: ClusterSpec,
+    jobs: usize,
+    warmup: usize,
+}
+
+impl<S: JobSource> Experiment<S> {
+    /// Creates an experiment on the paper's reference cluster, measuring 1000 jobs
+    /// after a 10% warm-up.
+    #[must_use]
+    pub fn new(source: S, policy: Policy) -> Self {
+        Experiment {
+            source,
+            policy,
+            cluster: ClusterSpec::paper_reference(),
+            jobs: 1000,
+            warmup: 100,
+        }
+    }
+
+    /// Sets the number of measured completions (warm-up defaults to 10% of it).
+    #[must_use]
+    pub fn jobs(mut self, n: usize) -> Self {
+        self.jobs = n;
+        self.warmup = n / 10;
+        self
+    }
+
+    /// Overrides the warm-up completions discarded before measuring.
+    #[must_use]
+    pub fn warmup(mut self, n: usize) -> Self {
+        self.warmup = n;
+        self
+    }
+
+    /// Overrides the cluster specification.
+    #[must_use]
+    pub fn cluster(mut self, spec: ClusterSpec) -> Self {
+        self.cluster = spec;
+        self
+    }
+
+    /// Runs the closed loop until `warmup + jobs` completions (or source
+    /// exhaustion) and reports the measurements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::ClassMismatch`] when policy and source disagree on
+    /// the number of classes, or a wrapped engine error if dispatching fails.
+    pub fn run(mut self) -> Result<ExperimentReport, ExperimentError> {
+        let classes = self.source.classes();
+        if self.policy.classes() != classes {
+            return Err(ExperimentError::ClassMismatch {
+                policy: self.policy.classes(),
+                source: classes,
+            });
+        }
+
+        let mut engine = ClusterSim::new(self.cluster.clone());
+        let mut buffers = PriorityBuffers::new(classes);
+        let mut sprinter = self
+            .policy
+            .sprint
+            .clone()
+            .map(|p| Sprinter::new(p, self.cluster.sprint_extra_power_w()));
+        let mut running: Option<QueuedJob> = None;
+        let mut next_arrival = self.source.next_job();
+        let mut sprint_timer: Option<SimTime> = None;
+        let mut budget_deadline: Option<SimTime> = None;
+
+        let target = self.warmup + self.jobs;
+        let mut completions = 0usize;
+        let mut report = ExperimentReport {
+            policy: self.policy.label.clone(),
+            per_class: vec![ClassStats::default(); classes],
+            ..Default::default()
+        };
+        // Latency statistics skip the warm-up; waste, energy and utilization span
+        // the whole run, which is comparable across policies because every policy
+        // processes the identical job sequence.
+        let mut busy_wall = 0.0f64;
+
+        while completions < target {
+            // Next event across the four sources; ties resolve in this order.
+            let engine_t = engine.next_event_time();
+            let arrival_t = next_arrival
+                .as_ref()
+                .map(|j| SimTime::from_secs(j.arrival_secs));
+            let candidates = [
+                engine_t,
+                budget_deadline.filter(|t| t.is_finite()),
+                sprint_timer,
+                arrival_t,
+            ];
+            let Some(next_t) = candidates.iter().flatten().copied().min() else {
+                break; // source exhausted, buffers empty, engine idle
+            };
+
+            if engine_t == Some(next_t) {
+                match engine.advance()? {
+                    EngineEvent::JobFinished { metrics, .. } => {
+                        let now = engine.now();
+                        if sprinter.as_ref().is_some_and(|s| s.is_sprinting()) {
+                            let s = sprinter.as_mut().expect("checked above");
+                            s.stop_sprint(now);
+                            engine.set_frequency(dias_engine::FreqLevel::Base);
+                        }
+                        sprint_timer = None;
+                        budget_deadline = None;
+
+                        let finished = running.take().expect("engine completed a job");
+                        busy_wall += metrics.execution_secs;
+                        report.total_work_secs += metrics.work_secs;
+                        report.sprint_secs += metrics.sprint_secs;
+                        completions += 1;
+                        if completions > self.warmup {
+                            let class = finished.instance.class();
+                            let stats = &mut report.per_class[class];
+                            let response = now - SimTime::ZERO - finished.instance.arrival_secs;
+                            stats.completed += 1;
+                            stats.response.push(response);
+                            stats.execution.push(metrics.execution_secs);
+                            stats
+                                .queueing
+                                .push((response - metrics.execution_secs).max(0.0));
+                            stats.evictions += u64::from(finished.evictions);
+                        }
+                        dispatch(
+                            &mut engine,
+                            &mut buffers,
+                            &self.policy,
+                            &mut running,
+                            &mut sprint_timer,
+                        )?;
+                    }
+                    _ => { /* task/stage/shuffle progress: nothing to do */ }
+                }
+            } else if budget_deadline == Some(next_t) {
+                engine.idle_until(next_t);
+                engine.set_frequency(dias_engine::FreqLevel::Base);
+                if let Some(s) = sprinter.as_mut() {
+                    s.stop_sprint(next_t);
+                }
+                budget_deadline = None;
+            } else if sprint_timer == Some(next_t) {
+                sprint_timer = None;
+                if running.is_some() {
+                    if let Some(s) = sprinter.as_mut() {
+                        if let Some(deadline) = s.start_sprint(next_t) {
+                            engine.idle_until(next_t);
+                            engine.set_frequency(dias_engine::FreqLevel::Sprint);
+                            budget_deadline = deadline.is_finite().then_some(deadline);
+                        }
+                    }
+                }
+            } else {
+                // Arrival.
+                let instance = next_arrival.take().expect("candidate implies presence");
+                next_arrival = self.source.next_job();
+                let arriving_class = instance.class();
+                buffers.push_arrival(QueuedJob::new(instance));
+
+                if engine.is_idle() {
+                    engine.idle_until(next_t);
+                    dispatch(
+                        &mut engine,
+                        &mut buffers,
+                        &self.policy,
+                        &mut running,
+                        &mut sprint_timer,
+                    )?;
+                } else if self.policy.is_preemptive() {
+                    let running_class = running
+                        .as_ref()
+                        .map(|q| q.instance.class())
+                        .expect("engine busy implies a running job");
+                    if arriving_class > running_class {
+                        engine.idle_until(next_t);
+                        let evicted = engine.evict()?;
+                        if sprinter.as_ref().is_some_and(|s| s.is_sprinting()) {
+                            let s = sprinter.as_mut().expect("checked above");
+                            s.stop_sprint(next_t);
+                            engine.set_frequency(dias_engine::FreqLevel::Base);
+                        }
+                        sprint_timer = None;
+                        budget_deadline = None;
+                        busy_wall += evicted.wall_secs;
+                        report.wasted_work_secs += evicted.work_secs;
+                        report.total_work_secs += evicted.work_secs;
+                        report.sprint_secs += evicted.sprint_secs;
+                        report.evictions += 1;
+                        let victim = running.take().expect("engine was busy");
+                        buffers.push_evicted(victim);
+                        dispatch(
+                            &mut engine,
+                            &mut buffers,
+                            &self.policy,
+                            &mut running,
+                            &mut sprint_timer,
+                        )?;
+                    }
+                }
+            }
+        }
+
+        let end = engine.now();
+        report.horizon_secs = end - SimTime::ZERO;
+        report.energy_joules = engine.energy_joules();
+        report.idle_energy_joules = self
+            .cluster
+            .cluster_power_w(0, dias_engine::FreqLevel::Base)
+            * report.horizon_secs;
+        report.utilization = if report.horizon_secs > 0.0 {
+            (busy_wall / report.horizon_secs).min(1.0)
+        } else {
+            0.0
+        };
+        Ok(report)
+    }
+}
+
+/// Sends the head of the highest non-empty buffer into the idle engine and arms the
+/// sprint timer for its class.
+fn dispatch(
+    engine: &mut ClusterSim,
+    buffers: &mut PriorityBuffers,
+    policy: &Policy,
+    running: &mut Option<QueuedJob>,
+    sprint_timer: &mut Option<SimTime>,
+) -> Result<(), ExperimentError> {
+    debug_assert!(running.is_none());
+    if let Some(q) = buffers.pop_highest() {
+        let drops = policy.drops_for(&q.instance.spec);
+        engine.start_job(&q.instance, &drops)?;
+        if let Some(sprint) = &policy.sprint {
+            if let Some(timeout) = sprint.timeout_for(q.instance.class()) {
+                *sprint_timer = Some(engine.now() + timeout);
+            }
+        }
+        *running = Some(q);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SprintBudget, SprintPolicy};
+    use dias_engine::{JobSpec, StageKind, StageSpec};
+    use dias_stochastic::Dist;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Deterministic two-class workload: every 10th job is high priority.
+    fn workload(n: u64, gap: f64, map_secs: f64) -> VecJobSource {
+        let mut rng = StdRng::seed_from_u64(11);
+        let jobs = (0..n)
+            .map(|i| {
+                let class = usize::from(i % 10 == 0);
+                let spec = JobSpec::builder(i, class)
+                    .setup(Dist::constant(1.0))
+                    .shuffle(Dist::constant(0.5))
+                    .stage(StageSpec::new(StageKind::Map, 40, Dist::constant(map_secs)))
+                    .stage(StageSpec::new(StageKind::Reduce, 8, Dist::constant(1.0)))
+                    .build();
+                let mut inst = JobInstance::sample(&spec, &mut rng);
+                inst.arrival_secs = i as f64 * gap;
+                inst
+            })
+            .collect();
+        VecJobSource::new(jobs, 2)
+    }
+
+    #[test]
+    fn class_mismatch_rejected() {
+        let err = Experiment::new(workload(10, 5.0, 1.0), Policy::preemptive(3))
+            .jobs(5)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ExperimentError::ClassMismatch { .. }));
+    }
+
+    #[test]
+    fn non_preemptive_never_evicts() {
+        let report = Experiment::new(workload(200, 6.0, 2.0), Policy::non_preemptive(2))
+            .jobs(150)
+            .run()
+            .unwrap();
+        assert_eq!(report.evictions, 0);
+        assert_eq!(report.waste_fraction(), 0.0);
+        assert!(report.mean_response(1) > 0.0);
+    }
+
+    #[test]
+    fn preemptive_wastes_work_under_load() {
+        // Long low-priority jobs, frequent high arrivals: eviction must occur.
+        let report = Experiment::new(workload(300, 4.0, 3.0), Policy::preemptive(2))
+            .jobs(200)
+            .run()
+            .unwrap();
+        assert!(report.evictions > 0, "expected evictions under P");
+        assert!(report.waste_fraction() > 0.0);
+        // High priority must be faster than low priority.
+        assert!(report.mean_response(1) < report.mean_response(0));
+    }
+
+    #[test]
+    fn drops_shrink_low_priority_execution() {
+        let plain = Experiment::new(workload(200, 6.0, 2.0), Policy::non_preemptive(2))
+            .jobs(150)
+            .run()
+            .unwrap();
+        let da = Experiment::new(
+            workload(200, 6.0, 2.0),
+            Policy::da_percent_high_to_low(&[0.0, 50.0]),
+        )
+        .jobs(150)
+        .run()
+        .unwrap();
+        // Dropping 50% of 40 map tasks removes one of the two waves, so the
+        // low-class execution time must visibly shrink.
+        assert!(
+            da.class_stats(0).execution.mean() < plain.class_stats(0).execution.mean(),
+            "DA must shorten low-priority execution"
+        );
+        // High class execution untouched.
+        let rel = (da.class_stats(1).execution.mean() - plain.class_stats(1).execution.mean())
+            .abs()
+            / plain.class_stats(1).execution.mean();
+        assert!(rel < 1e-9, "high-class execution must be identical");
+    }
+
+    #[test]
+    fn unlimited_sprint_accelerates_top_class() {
+        let plain = Experiment::new(workload(200, 6.0, 2.0), Policy::non_preemptive(2))
+            .jobs(150)
+            .run()
+            .unwrap();
+        let policy = Policy::non_preemptive(2).with_sprint(SprintPolicy::unlimited_for_top(2));
+        let nps = Experiment::new(workload(200, 6.0, 2.0), policy)
+            .jobs(150)
+            .run()
+            .unwrap();
+        let ratio = nps.class_stats(1).execution.mean() / plain.class_stats(1).execution.mean();
+        assert!(
+            (ratio - 0.4).abs() < 0.02,
+            "sprint-from-dispatch at 2.5x should scale high-class exec by 0.4, got {ratio}"
+        );
+        assert!(nps.sprint_secs > 0.0);
+    }
+
+    #[test]
+    fn limited_budget_caps_sprinting() {
+        let tiny_budget = SprintPolicy::top_class(2, 0.0, SprintBudget::limited(500.0, 0.0));
+        let policy = Policy::non_preemptive(2).with_sprint(tiny_budget);
+        let report = Experiment::new(workload(200, 6.0, 2.0), policy)
+            .jobs(150)
+            .run()
+            .unwrap();
+        // 500 J at 900 W extra = 0.55 s of sprint per refill, never replenished:
+        // total sprint time is tiny but non-zero.
+        assert!(report.sprint_secs > 0.0);
+        assert!(report.sprint_secs < 2.0, "sprint {}", report.sprint_secs);
+    }
+
+    #[test]
+    fn energy_is_positive_and_bounded() {
+        let report = Experiment::new(workload(100, 6.0, 2.0), Policy::non_preemptive(2))
+            .jobs(80)
+            .run()
+            .unwrap();
+        let min = 900.0 * report.horizon_secs; // idle floor
+        let max = 2700.0 * report.horizon_secs; // everything sprinting
+        assert!(report.energy_joules > min && report.energy_joules < max);
+    }
+
+    #[test]
+    fn source_exhaustion_ends_run() {
+        let report = Experiment::new(workload(20, 5.0, 1.0), Policy::non_preemptive(2))
+            .jobs(1000)
+            .warmup(0)
+            .run()
+            .unwrap();
+        let total: u64 = report.per_class.iter().map(|c| c.completed).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn vec_source_validates_order() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = JobSpec::builder(0, 0)
+            .stage(StageSpec::new(StageKind::Map, 1, Dist::constant(1.0)))
+            .build();
+        let mut a = JobInstance::sample(&spec, &mut rng);
+        a.arrival_secs = 10.0;
+        let mut b = JobInstance::sample(&spec, &mut rng);
+        b.arrival_secs = 5.0;
+        let result = std::panic::catch_unwind(|| VecJobSource::new(vec![a, b], 1));
+        assert!(result.is_err());
+    }
+}

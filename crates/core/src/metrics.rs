@@ -1,0 +1,204 @@
+//! Experiment measurements: per-class latency statistics, resource waste and
+//! energy — the quantities behind every figure of the paper's evaluation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dias_des::stats::SampleSet;
+
+/// Per-class outcome statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassStats {
+    /// Completed jobs of the class (after warm-up).
+    pub completed: u64,
+    /// End-to-end response times (arrival → completion).
+    pub response: SampleSet,
+    /// Queueing times (response − final-attempt execution, includes time lost to
+    /// evicted attempts).
+    pub queueing: SampleSet,
+    /// Final-attempt execution times.
+    pub execution: SampleSet,
+    /// Evictions suffered by completed jobs of this class.
+    pub evictions: u64,
+}
+
+impl ClassStats {
+    /// Mean slowdown: response divided by final execution, averaged over jobs.
+    /// This is the metric the motivation cites ("the slowdown of priority-0 jobs …
+    /// is 3 times higher than that of priority-6 jobs").
+    #[must_use]
+    pub fn mean_slowdown(&self) -> f64 {
+        let n = self.response.len();
+        if n == 0 {
+            return 0.0;
+        }
+        self.response
+            .samples()
+            .iter()
+            .zip(self.execution.samples())
+            .map(|(r, e)| if *e > 0.0 { r / e } else { 1.0 })
+            .sum::<f64>()
+            / n as f64
+    }
+}
+
+/// The full outcome of one experiment run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Label of the policy that produced this report (e.g. `DA(0,20)`).
+    pub policy: String,
+    /// Per-class statistics, indexed by class (higher = higher priority).
+    pub per_class: Vec<ClassStats>,
+    /// Machine-seconds of work wasted on evicted attempts.
+    pub wasted_work_secs: f64,
+    /// Machine-seconds of work delivered in total (completed + wasted).
+    pub total_work_secs: f64,
+    /// Total evictions.
+    pub evictions: u64,
+    /// Total energy consumed by the cluster, in joules.
+    pub energy_joules: f64,
+    /// Energy the idle cluster would have consumed over the same horizon, in
+    /// joules — subtract from `energy_joules` for the *dynamic* energy that actually
+    /// varies across policies.
+    pub idle_energy_joules: f64,
+    /// Wall-clock horizon of the measured portion, in seconds.
+    pub horizon_secs: f64,
+    /// Fraction of the horizon during which the engine was executing a job.
+    pub utilization: f64,
+    /// Wall-clock seconds spent at sprint frequency.
+    pub sprint_secs: f64,
+}
+
+impl ExperimentReport {
+    /// Statistics of class `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn class_stats(&self, k: usize) -> &ClassStats {
+        &self.per_class[k]
+    }
+
+    /// Resource waste: share of delivered machine time spent on evicted attempts
+    /// (the paper's "percentage of machine time used to re-process evicted jobs").
+    #[must_use]
+    pub fn waste_fraction(&self) -> f64 {
+        if self.total_work_secs <= 0.0 {
+            0.0
+        } else {
+            self.wasted_work_secs / self.total_work_secs
+        }
+    }
+
+    /// Energy above the idle floor — the part a scheduling policy can influence.
+    #[must_use]
+    pub fn dynamic_energy_joules(&self) -> f64 {
+        (self.energy_joules - self.idle_energy_joules).max(0.0)
+    }
+
+    /// Mean response time of class `k`.
+    #[must_use]
+    pub fn mean_response(&self, k: usize) -> f64 {
+        self.per_class[k].response.mean()
+    }
+
+    /// 95th-percentile response time of class `k` — the paper's tail latency.
+    #[must_use]
+    pub fn p95_response(&self, k: usize) -> f64 {
+        self.per_class[k].response.p95()
+    }
+
+    /// Relative difference (in percent) of a metric against a baseline value, the
+    /// y-axis of Figures 7–11: negative = improvement.
+    #[must_use]
+    pub fn relative_difference_pct(ours: f64, baseline: f64) -> f64 {
+        if baseline == 0.0 {
+            0.0
+        } else {
+            (ours - baseline) / baseline * 100.0
+        }
+    }
+}
+
+impl fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "policy {}:", self.policy)?;
+        writeln!(
+            f,
+            "  {:>5} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "class", "jobs", "mean[s]", "p95[s]", "queue[s]", "exec[s]"
+        )?;
+        for (k, c) in self.per_class.iter().enumerate().rev() {
+            writeln!(
+                f,
+                "  {:>5} {:>10} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+                k,
+                c.completed,
+                c.response.mean(),
+                c.response.p95(),
+                c.queueing.mean(),
+                c.execution.mean()
+            )?;
+        }
+        writeln!(
+            f,
+            "  waste {:.1}%  energy {:.1} kJ  util {:.1}%  evictions {}  sprint {:.0}s",
+            self.waste_fraction() * 100.0,
+            self.energy_joules / 1000.0,
+            self.utilization * 100.0,
+            self.evictions,
+            self.sprint_secs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with_waste(wasted: f64, total: f64) -> ExperimentReport {
+        ExperimentReport {
+            policy: "P".into(),
+            per_class: vec![ClassStats::default(); 2],
+            wasted_work_secs: wasted,
+            total_work_secs: total,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn waste_fraction_guards_zero() {
+        assert_eq!(report_with_waste(0.0, 0.0).waste_fraction(), 0.0);
+        assert!((report_with_waste(4.0, 100.0).waste_fraction() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_difference_sign() {
+        // 40 vs baseline 100 = -60%.
+        assert!((ExperimentReport::relative_difference_pct(40.0, 100.0) + 60.0).abs() < 1e-12);
+        assert!((ExperimentReport::relative_difference_pct(180.0, 100.0) - 80.0).abs() < 1e-12);
+        assert_eq!(ExperimentReport::relative_difference_pct(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn slowdown_averages_ratios() {
+        let mut c = ClassStats::default();
+        for (r, e) in [(10.0, 5.0), (30.0, 10.0)] {
+            c.response.push(r);
+            c.execution.push(e);
+            c.queueing.push(r - e);
+        }
+        c.completed = 2;
+        assert!((c.mean_slowdown() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let r = report_with_waste(1.0, 10.0);
+        let text = r.to_string();
+        assert!(text.contains("policy P"));
+        assert!(text.contains("waste 10.0%"));
+    }
+}

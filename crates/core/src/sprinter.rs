@@ -1,0 +1,299 @@
+//! The sprinter: DVFS acceleration under a replenishing energy budget (paper §3.3).
+//!
+//! "If sprinting is enabled, the sprinter handles a sprinting timer for each
+//! dispatched job and tracks the remaining sprinting budget. When the timer fires,
+//! it uses DVFS to temporarily accelerate the job execution […] A job is
+//! accelerated until either its end or the depletion of the sprinting budget. The
+//! sprinting budget is replenished over time using a replenishing rate, e.g., 6
+//! sprinting minutes per hour. The timeout is ignored if the job ends sooner."
+
+use serde::{Deserialize, Serialize};
+
+use dias_des::SimTime;
+
+/// The sprint energy budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SprintBudget {
+    /// No budget constraint: sprint for entire job durations (the paper's
+    /// "unlimited sprinting" scenario).
+    Unlimited,
+    /// A joule budget drained at the sprint extra-power rate while sprinting and
+    /// replenished continuously, capped at `cap_j`.
+    Limited {
+        /// Initial budget in joules (the paper's limited scenario uses 22 kJ).
+        initial_j: f64,
+        /// Replenishment rate in watts (J/s). The paper's example of 6 sprint
+        /// minutes per hour equals `extra_power × 0.1`.
+        replenish_w: f64,
+        /// Upper bound the budget can replenish back to.
+        cap_j: f64,
+    },
+}
+
+impl SprintBudget {
+    /// A limited budget with cap equal to the initial fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_j <= 0` or `replenish_w < 0`.
+    #[must_use]
+    pub fn limited(initial_j: f64, replenish_w: f64) -> Self {
+        assert!(initial_j > 0.0, "budget must be positive");
+        assert!(replenish_w >= 0.0, "replenish rate cannot be negative");
+        SprintBudget::Limited {
+            initial_j,
+            replenish_w,
+            cap_j: initial_j,
+        }
+    }
+
+    /// The paper's limited scenario: 22 kJ, replenished at 6 sprint-minutes/hour
+    /// for a cluster drawing `extra_power_w` extra while sprinting.
+    #[must_use]
+    pub fn paper_limited(extra_power_w: f64) -> Self {
+        SprintBudget::limited(22_000.0, extra_power_w * 6.0 * 60.0 / 3600.0)
+    }
+}
+
+/// Per-class sprint timeouts plus the shared budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SprintPolicy {
+    /// `timeouts[k]` is `Some(T_k)` if class `k` sprints `T_k` seconds after
+    /// dispatch (0 = from dispatch), `None` if the class never sprints.
+    pub timeouts: Vec<Option<f64>>,
+    /// The shared energy budget.
+    pub budget: SprintBudget,
+}
+
+impl SprintPolicy {
+    /// Sprint the single top-priority class from dispatch with no budget limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`.
+    #[must_use]
+    pub fn unlimited_for_top(classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        let mut timeouts = vec![None; classes];
+        timeouts[classes - 1] = Some(0.0);
+        SprintPolicy {
+            timeouts,
+            budget: SprintBudget::Unlimited,
+        }
+    }
+
+    /// Sprint the top class after `timeout` seconds under `budget` — the paper's
+    /// configurations (65 s timeout under the limited budget; 0 s when unlimited).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0` or `timeout < 0`.
+    #[must_use]
+    pub fn top_class(classes: usize, timeout: f64, budget: SprintBudget) -> Self {
+        assert!(classes > 0, "need at least one class");
+        assert!(timeout >= 0.0, "timeout cannot be negative");
+        let mut timeouts = vec![None; classes];
+        timeouts[classes - 1] = Some(timeout);
+        SprintPolicy { timeouts, budget }
+    }
+
+    /// Timeout for a class, if it sprints.
+    #[must_use]
+    pub fn timeout_for(&self, class: usize) -> Option<f64> {
+        self.timeouts.get(class).copied().flatten()
+    }
+}
+
+/// Runtime state of the sprinter: tracks the budget through time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sprinter {
+    policy: SprintPolicy,
+    /// Extra cluster power drawn while sprinting (W) — the drain rate.
+    extra_power_w: f64,
+    budget_j: f64,
+    sprinting: bool,
+    last_update: SimTime,
+}
+
+impl Sprinter {
+    /// Creates a sprinter at time zero with a full budget.
+    ///
+    /// `extra_power_w` is the cluster-wide extra draw while sprinting (see
+    /// [`dias_engine::ClusterSpec::sprint_extra_power_w`]).
+    #[must_use]
+    pub fn new(policy: SprintPolicy, extra_power_w: f64) -> Self {
+        let budget_j = match policy.budget {
+            SprintBudget::Unlimited => f64::INFINITY,
+            SprintBudget::Limited { initial_j, .. } => initial_j,
+        };
+        Sprinter {
+            policy,
+            extra_power_w,
+            budget_j,
+            sprinting: false,
+            last_update: SimTime::ZERO,
+        }
+    }
+
+    /// The configured policy.
+    #[must_use]
+    pub fn policy(&self) -> &SprintPolicy {
+        &self.policy
+    }
+
+    /// Whether the cluster is currently sprinting.
+    #[must_use]
+    pub fn is_sprinting(&self) -> bool {
+        self.sprinting
+    }
+
+    /// Remaining budget in joules (∞ when unlimited).
+    #[must_use]
+    pub fn budget_j(&self) -> f64 {
+        self.budget_j
+    }
+
+    /// Advances the budget to `now`: drains while sprinting, replenishes otherwise
+    /// (replenishment also accrues while sprinting; the net drain is
+    /// `extra_power − replenish`).
+    pub fn advance_to(&mut self, now: SimTime) {
+        let dt = now - self.last_update;
+        if dt <= 0.0 {
+            self.last_update = now;
+            return;
+        }
+        if let SprintBudget::Limited {
+            replenish_w, cap_j, ..
+        } = self.policy.budget
+        {
+            let drain = if self.sprinting {
+                self.extra_power_w
+            } else {
+                0.0
+            };
+            self.budget_j = (self.budget_j + (replenish_w - drain) * dt).clamp(0.0, cap_j);
+        }
+        self.last_update = now;
+    }
+
+    /// Attempts to start sprinting at `now`.
+    ///
+    /// Returns the time at which the budget will run dry (and the caller must drop
+    /// back to base frequency), or `None` if there is no budget to sprint at all.
+    /// [`SimTime::FAR_FUTURE`] means no depletion is in sight.
+    pub fn start_sprint(&mut self, now: SimTime) -> Option<SimTime> {
+        self.advance_to(now);
+        if self.budget_j <= 0.0 {
+            return None;
+        }
+        self.sprinting = true;
+        Some(self.depletion_time(now))
+    }
+
+    /// Stops sprinting at `now` (job finished or was evicted).
+    pub fn stop_sprint(&mut self, now: SimTime) {
+        self.advance_to(now);
+        self.sprinting = false;
+    }
+
+    /// When the budget hits zero if sprinting continues uninterrupted.
+    #[must_use]
+    fn depletion_time(&self, now: SimTime) -> SimTime {
+        match self.policy.budget {
+            SprintBudget::Unlimited => SimTime::FAR_FUTURE,
+            SprintBudget::Limited { replenish_w, .. } => {
+                let net_drain = self.extra_power_w - replenish_w;
+                if net_drain <= 0.0 {
+                    SimTime::FAR_FUTURE
+                } else {
+                    now + self.budget_j / net_drain
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limited_sprinter() -> Sprinter {
+        // 900 W extra draw, 90 W replenish, 22 kJ budget.
+        Sprinter::new(
+            SprintPolicy::top_class(2, 65.0, SprintBudget::paper_limited(900.0)),
+            900.0,
+        )
+    }
+
+    #[test]
+    fn paper_limited_budget_values() {
+        let b = SprintBudget::paper_limited(900.0);
+        match b {
+            SprintBudget::Limited {
+                initial_j,
+                replenish_w,
+                cap_j,
+            } => {
+                assert!((initial_j - 22_000.0).abs() < 1e-9);
+                assert!((replenish_w - 90.0).abs() < 1e-9);
+                assert!((cap_j - 22_000.0).abs() < 1e-9);
+            }
+            SprintBudget::Unlimited => panic!("expected limited"),
+        }
+    }
+
+    #[test]
+    fn depletion_time_reflects_net_drain() {
+        let mut s = limited_sprinter();
+        let deadline = s.start_sprint(SimTime::ZERO).unwrap();
+        // 22 kJ at net (900-90) W = 27.16 s.
+        assert!((deadline.as_secs() - 22_000.0 / 810.0).abs() < 1e-9);
+        assert!(s.is_sprinting());
+    }
+
+    #[test]
+    fn budget_drains_and_replenishes() {
+        let mut s = limited_sprinter();
+        s.start_sprint(SimTime::ZERO).unwrap();
+        s.advance_to(SimTime::from_secs(10.0));
+        assert!((s.budget_j() - (22_000.0 - 810.0 * 10.0)).abs() < 1e-9);
+        s.stop_sprint(SimTime::from_secs(10.0));
+        // Replenishes at 90 W while idle, capped at 22 kJ.
+        s.advance_to(SimTime::from_secs(20.0));
+        assert!((s.budget_j() - (22_000.0 - 8_100.0 + 900.0)).abs() < 1e-9);
+        s.advance_to(SimTime::from_secs(1e6));
+        assert!((s.budget_j() - 22_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_budget_refuses_to_sprint() {
+        let mut s = Sprinter::new(
+            SprintPolicy::top_class(1, 0.0, SprintBudget::limited(100.0, 0.0)),
+            1000.0,
+        );
+        let deadline = s.start_sprint(SimTime::ZERO).unwrap();
+        assert!((deadline.as_secs() - 0.1).abs() < 1e-9);
+        s.advance_to(deadline);
+        s.stop_sprint(deadline);
+        assert!(s.budget_j() <= 1e-9);
+        assert!(s.start_sprint(deadline).is_none());
+    }
+
+    #[test]
+    fn unlimited_budget_never_depletes() {
+        let mut s = Sprinter::new(SprintPolicy::unlimited_for_top(2), 900.0);
+        let deadline = s.start_sprint(SimTime::ZERO).unwrap();
+        assert_eq!(deadline, SimTime::FAR_FUTURE);
+        s.advance_to(SimTime::from_secs(1e9));
+        assert!(s.budget_j().is_infinite());
+    }
+
+    #[test]
+    fn timeouts_only_for_top_class() {
+        let p = SprintPolicy::top_class(3, 65.0, SprintBudget::Unlimited);
+        assert_eq!(p.timeout_for(2), Some(65.0));
+        assert_eq!(p.timeout_for(1), None);
+        assert_eq!(p.timeout_for(0), None);
+        assert_eq!(p.timeout_for(9), None);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of policies, buffers and the sprinter.
+
+use proptest::prelude::*;
+
+use dias_core::{Policy, PriorityBuffers, QueuedJob, SprintBudget, SprintPolicy, Sprinter};
+use dias_des::SimTime;
+use dias_engine::{JobInstance, JobSpec, StageKind, StageSpec};
+use dias_stochastic::Dist;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn job(id: u64, class: usize) -> QueuedJob {
+    let spec = JobSpec::builder(id, class)
+        .stage(StageSpec::new(StageKind::Map, 2, Dist::constant(1.0)))
+        .build();
+    let mut rng = StdRng::seed_from_u64(id);
+    QueuedJob::new(JobInstance::sample(&spec, &mut rng))
+}
+
+proptest! {
+    #[test]
+    fn da_thetas_round_trip_through_label(percents in prop::collection::vec(0.0f64..100.0, 1..4)) {
+        let policy = Policy::da_percent_high_to_low(&percents);
+        // Class k's droppable ratio equals the (K-1-k)-th percentage.
+        let k = percents.len();
+        for (i, &pct) in percents.iter().enumerate() {
+            let class = k - 1 - i;
+            prop_assert!((policy.classes[class].theta_droppable - pct / 100.0).abs() < 1e-12);
+        }
+        prop_assert!(!policy.is_preemptive());
+    }
+
+    #[test]
+    fn buffers_pop_respects_priority_then_fifo(
+        arrivals in prop::collection::vec((0usize..4, 0u64..1000), 1..60)
+    ) {
+        let mut buffers = PriorityBuffers::new(4);
+        for (i, &(class, _)) in arrivals.iter().enumerate() {
+            buffers.push_arrival(job(i as u64, class));
+        }
+        let mut popped: Vec<(usize, u64)> = Vec::new();
+        while let Some(q) = buffers.pop_highest() {
+            popped.push((q.instance.class(), q.instance.spec.id.0));
+        }
+        prop_assert_eq!(popped.len(), arrivals.len());
+        // Classes appear in non-increasing order...
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 >= w[1].0);
+        }
+        // ...and ids within a class are FIFO.
+        for class in 0..4 {
+            let ids: Vec<u64> = popped.iter().filter(|(c, _)| *c == class).map(|(_, id)| *id).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(ids, sorted);
+        }
+    }
+
+    #[test]
+    fn sprint_budget_never_negative_or_above_cap(
+        initial in 100.0f64..50_000.0,
+        replenish in 0.0f64..500.0,
+        episodes in prop::collection::vec((1.0f64..300.0, 1.0f64..300.0), 1..20),
+    ) {
+        let policy = SprintPolicy::top_class(1, 0.0, SprintBudget::limited(initial, replenish));
+        let mut sprinter = Sprinter::new(policy, 900.0);
+        let mut now = SimTime::ZERO;
+        for (sprint_secs, idle_secs) in episodes {
+            if sprinter.start_sprint(now).is_some() {
+                now += sprint_secs;
+                sprinter.stop_sprint(now);
+            }
+            now += idle_secs;
+            sprinter.advance_to(now);
+            prop_assert!(sprinter.budget_j() >= -1e-9);
+            prop_assert!(sprinter.budget_j() <= initial + 1e-9);
+        }
+    }
+
+    #[test]
+    fn drops_for_covers_every_stage(theta in 0.0f64..1.0, stages in 1usize..8) {
+        let policy = Policy::differential_approximation(&[theta]);
+        let mut builder = JobSpec::builder(0, 0);
+        for i in 0..stages {
+            let kind = if i % 2 == 0 { StageKind::ShuffleMap } else { StageKind::Reduce };
+            builder = builder.stage(StageSpec::new(kind, 3, Dist::constant(1.0)));
+        }
+        let spec = builder.build();
+        let drops = policy.drops_for(&spec);
+        prop_assert_eq!(drops.len(), stages);
+        for (i, d) in drops.iter().enumerate() {
+            if i % 2 == 0 {
+                prop_assert!((d - theta).abs() < 1e-12);
+            } else {
+                prop_assert_eq!(*d, 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! A cancellable event queue with deterministic FIFO tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// Identifies an event scheduled in an [`EventQueue`] so it can be cancelled later.
+///
+/// Handles are cheap to copy and remain valid (as "already fired / already cancelled")
+/// after the event leaves the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of timed events.
+///
+/// Events with equal timestamps pop in insertion order, which keeps simulations
+/// deterministic. Cancellation is O(1): cancelled entries are skipped lazily when
+/// popped.
+///
+/// # Examples
+///
+/// ```
+/// use dias_des::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let h = q.push(SimTime::from_secs(2.0), "late");
+/// q.push(SimTime::from_secs(1.0), "early");
+/// q.cancel(h);
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1.0), "early")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Seqs currently in the heap that have not been cancelled or fired.
+    pending: std::collections::HashSet<u64>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pending: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Schedules `payload` to fire at `time` and returns a handle for cancellation.
+    pub fn push(&mut self, time: SimTime, payload: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+        self.pending.insert(seq);
+        EventHandle(seq)
+    }
+
+    /// Cancels a scheduled event.
+    ///
+    /// Returns `true` if the event was still pending; `false` if it had already fired
+    /// or been cancelled.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.pending.remove(&handle.0)
+    }
+
+    /// Removes and returns the earliest live event, skipping cancelled entries.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.pending.remove(&entry.seq) {
+                return Some((entry.time, entry.payload));
+            }
+        }
+        None
+    }
+
+    /// Returns the timestamp of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.pending.contains(&entry.seq) {
+                return Some(entry.time);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) events in the queue.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Returns `true` if no live events remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Removes every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3.0), 'c');
+        q.push(SimTime::from_secs(1.0), 'a');
+        q.push(SimTime::from_secs(2.0), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5.0);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let h = q.push(SimTime::from_secs(1.0), "x");
+        q.push(SimTime::from_secs(2.0), "y");
+        assert!(q.cancel(h));
+        assert!(!q.cancel(h), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("y"));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let h = q.push(SimTime::from_secs(1.0), "x");
+        assert!(q.pop().is_some());
+        assert!(!q.cancel(h));
+        // A later event must not be affected by the stale handle.
+        q.push(SimTime::from_secs(2.0), "y");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("y"));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.push(SimTime::from_secs(1.0), "x");
+        q.push(SimTime::from_secs(4.0), "y");
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(4.0)));
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let h1 = q.push(SimTime::ZERO, 1);
+        q.push(SimTime::ZERO, 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(h1);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 1);
+        q.push(SimTime::from_secs(1.0), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn bogus_handle_rejected() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(!q.cancel(EventHandle(99)));
+    }
+}

@@ -1,0 +1,120 @@
+//! Deterministic derivation of independent RNG streams.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Derives independent, reproducible RNG streams from a single experiment seed.
+///
+/// Every stochastic component of a simulation (arrivals per class, task-time sampling,
+/// drop selection, ...) should draw from its own stream, keyed by a stable label.
+/// This keeps results reproducible under refactoring: adding a new consumer does not
+/// perturb the draws seen by existing ones.
+///
+/// Streams are derived with a SplitMix64 hash of the master seed and the label, the
+/// standard construction for seed derivation.
+///
+/// # Examples
+///
+/// ```
+/// use dias_des::SeedSequence;
+/// use rand::Rng;
+///
+/// let seeds = SeedSequence::new(42);
+/// let mut a = seeds.stream("arrivals/class-0");
+/// let mut b = seeds.stream("service-times");
+/// let x: f64 = a.gen();
+/// let y: f64 = b.gen();
+/// // Streams are independent but reproducible:
+/// let mut a2 = SeedSequence::new(42).stream("arrivals/class-0");
+/// assert_eq!(x, a2.gen::<f64>());
+/// assert_ne!(x, y);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedSequence {
+    master: u64,
+}
+
+impl SeedSequence {
+    /// Creates a sequence rooted at `master`.
+    #[must_use]
+    pub fn new(master: u64) -> Self {
+        SeedSequence { master }
+    }
+
+    /// Returns the master seed this sequence was created with.
+    #[must_use]
+    pub fn master(&self) -> u64 {
+        self.master
+    }
+
+    /// Derives the sub-seed for `label` without constructing an RNG.
+    #[must_use]
+    pub fn derive(&self, label: &str) -> u64 {
+        let mut h = self.master ^ 0x9e37_79b9_7f4a_7c15;
+        for &b in label.as_bytes() {
+            h ^= u64::from(b);
+            h = splitmix64(h);
+        }
+        splitmix64(h)
+    }
+
+    /// Constructs a fresh [`StdRng`] for `label`.
+    #[must_use]
+    pub fn stream(&self, label: &str) -> StdRng {
+        StdRng::seed_from_u64(self.derive(label))
+    }
+
+    /// Derives a child sequence, useful for per-replica seeding in sweeps.
+    #[must_use]
+    pub fn child(&self, index: u64) -> SeedSequence {
+        SeedSequence {
+            master: splitmix64(self.master.wrapping_add(splitmix64(index))),
+        }
+    }
+}
+
+/// One round of the SplitMix64 mixing function.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_label_same_stream() {
+        let s = SeedSequence::new(7);
+        let mut a = s.stream("x");
+        let mut b = s.stream("x");
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let s = SeedSequence::new(7);
+        assert_ne!(s.derive("x"), s.derive("y"));
+        assert_ne!(s.derive("x"), s.derive("x "));
+    }
+
+    #[test]
+    fn different_masters_differ() {
+        assert_ne!(
+            SeedSequence::new(1).derive("x"),
+            SeedSequence::new(2).derive("x")
+        );
+    }
+
+    #[test]
+    fn children_are_distinct() {
+        let s = SeedSequence::new(3);
+        assert_ne!(s.child(0).master(), s.child(1).master());
+        assert_ne!(s.child(0).derive("x"), s.derive("x"));
+    }
+}

@@ -1,0 +1,504 @@
+//! Statistics collectors for simulation output.
+//!
+//! Every experiment in the workspace reports means, percentiles and time-weighted
+//! utilizations; these collectors are the single implementation they share.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimTime;
+
+/// Streaming mean/variance via Welford's algorithm.
+///
+/// Numerically stable and O(1) memory; use when only the first two moments are needed.
+///
+/// # Examples
+///
+/// ```
+/// use dias_des::stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.push(x);
+/// }
+/// assert!((w.mean() - 5.0).abs() < 1e-12);
+/// assert!((w.variance() - 4.571428571428571).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance; 0 with fewer than two observations.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Half-width of a ~95% confidence interval on the mean (normal approximation).
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            return f64::INFINITY;
+        }
+        1.96 * self.std_dev() / (self.count as f64).sqrt()
+    }
+
+    /// Merges another accumulator into this one (parallel Welford combination).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+    }
+}
+
+/// A sample set retaining every observation, for exact quantiles.
+///
+/// Experiments in this workspace observe at most a few hundred thousand jobs, so
+/// retaining samples is cheap and gives exact percentiles (the paper reports the
+/// 95th percentile "tail latency" throughout its evaluation).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SampleSet {
+    samples: Vec<f64>,
+    sum: f64,
+    sum_sq: f64,
+}
+
+impl SampleSet {
+    /// Creates an empty sample set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "sample cannot be NaN");
+        self.samples.push(x);
+        self.sum += x;
+        self.sum_sq += x * x;
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when no observations were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sample mean; 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum / self.samples.len() as f64
+        }
+    }
+
+    /// Mean of squares; 0 when empty. Useful for feeding M/G/1 formulas.
+    #[must_use]
+    pub fn mean_sq(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum_sq / self.samples.len() as f64
+        }
+    }
+
+    /// Sample variance (population form); 0 when empty.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        let m = self.mean();
+        (self.mean_sq() - m * m).max(0.0)
+    }
+
+    /// Exact `q`-quantile with linear interpolation between order statistics.
+    ///
+    /// `q` must be in `[0, 1]`. Returns 0 when the set is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+
+    /// The 95th percentile, the paper's tail-latency metric.
+    #[must_use]
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// Largest observation; 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Read-only view of the raw samples.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Appends all samples from `other`.
+    pub fn merge(&mut self, other: &SampleSet) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+    }
+}
+
+impl FromIterator<f64> for SampleSet {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = SampleSet::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for SampleSet {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// Integrates a piecewise-constant signal over simulated time.
+///
+/// Used for utilization, queue-length averages and power-to-energy integration.
+///
+/// # Examples
+///
+/// ```
+/// use dias_des::stats::TimeWeighted;
+/// use dias_des::SimTime;
+///
+/// let mut u = TimeWeighted::new(SimTime::ZERO, 0.0);
+/// u.set(SimTime::from_secs(2.0), 1.0); // signal was 0 for 2s
+/// u.set(SimTime::from_secs(6.0), 0.0); // signal was 1 for 4s
+/// assert_eq!(u.integral(SimTime::from_secs(6.0)), 4.0);
+/// assert!((u.time_average(SimTime::from_secs(6.0)) - 4.0 / 6.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    value: f64,
+    integral: f64,
+    start: SimTime,
+}
+
+impl TimeWeighted {
+    /// Starts integrating at `start` with initial signal `value`.
+    #[must_use]
+    pub fn new(start: SimTime, value: f64) -> Self {
+        TimeWeighted {
+            last_time: start,
+            value,
+            integral: 0.0,
+            start,
+        }
+    }
+
+    /// Updates the signal to `value` at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous update (time must be monotone).
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        assert!(now >= self.last_time, "time must not run backwards");
+        self.integral += self.value * (now - self.last_time);
+        self.last_time = now;
+        self.value = value;
+    }
+
+    /// Adds `delta` to the current signal at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// Current signal value.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Integral of the signal from start until `now`.
+    #[must_use]
+    pub fn integral(&self, now: SimTime) -> f64 {
+        self.integral + self.value * (now - self.last_time)
+    }
+
+    /// Time-average of the signal from start until `now`; 0 over an empty horizon.
+    #[must_use]
+    pub fn time_average(&self, now: SimTime) -> f64 {
+        let horizon = now - self.start;
+        if horizon <= 0.0 {
+            0.0
+        } else {
+            self.integral(now) / horizon
+        }
+    }
+}
+
+/// A fixed-bin histogram over `[lo, hi)` with overflow/underflow buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `bins == 0`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total number of observations, including under/overflow.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Bin counts (excluding under/overflow).
+    #[must_use]
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Fraction of observations at or above `x` (empirical complementary CDF).
+    #[must_use]
+    pub fn ccdf(&self, x: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let mut above = self.overflow;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let bin_lo = self.lo + i as f64 * width;
+            if bin_lo >= x {
+                above += c;
+            }
+        }
+        if x <= self.lo {
+            above += self.underflow;
+        }
+        above as f64 / self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 10.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.count(), all.count());
+    }
+
+    #[test]
+    fn sampleset_quantiles() {
+        let s: SampleSet = (1..=100).map(f64::from).collect();
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 100.0);
+        assert!((s.quantile(0.5) - 50.5).abs() < 1e-12);
+        assert!((s.p95() - 95.05).abs() < 1e-9);
+        assert_eq!(s.mean(), 50.5);
+        assert_eq!(s.max(), 100.0);
+    }
+
+    #[test]
+    fn sampleset_empty_is_zero() {
+        let s = SampleSet::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn sampleset_merge() {
+        let mut a: SampleSet = [1.0, 2.0].into_iter().collect();
+        let b: SampleSet = [3.0, 4.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.mean(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn sampleset_rejects_nan() {
+        SampleSet::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn time_weighted_integral() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 2.0);
+        tw.set(SimTime::from_secs(3.0), 5.0);
+        tw.add(SimTime::from_secs(4.0), -5.0);
+        // 2*3 + 5*1 + 0*...
+        assert_eq!(tw.integral(SimTime::from_secs(10.0)), 11.0);
+        assert!((tw.time_average(SimTime::from_secs(10.0)) - 1.1).abs() < 1e-12);
+        assert_eq!(tw.value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn time_weighted_rejects_backwards_time() {
+        let mut tw = TimeWeighted::new(SimTime::from_secs(5.0), 0.0);
+        tw.set(SimTime::from_secs(4.0), 1.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_ccdf() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.push(i as f64 + 0.5);
+        }
+        h.push(-1.0);
+        h.push(42.0);
+        assert_eq!(h.count(), 12);
+        assert_eq!(h.bins().iter().sum::<u64>(), 10);
+        // 5 in-range samples >= 5.0, plus overflow = 6 of 12.
+        assert!((h.ccdf(5.0) - 0.5).abs() < 1e-12);
+    }
+}

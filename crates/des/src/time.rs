@@ -1,0 +1,166 @@
+//! Simulation timestamps.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, measured in seconds from the start of the run.
+///
+/// `SimTime` is a thin wrapper around `f64` that restores total ordering by rejecting
+/// NaN at construction, so it can be used as a key in the event queue.
+///
+/// # Examples
+///
+/// ```
+/// use dias_des::SimTime;
+///
+/// let a = SimTime::from_secs(1.5);
+/// let b = a + 2.5;
+/// assert_eq!(b.as_secs(), 4.0);
+/// assert!(a < b);
+/// assert_eq!((b - a), 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// A timestamp later than any event a simulation will ever schedule.
+    pub const FAR_FUTURE: SimTime = SimTime(f64::INFINITY);
+
+    /// Creates a timestamp from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is NaN or negative; simulated time always moves forward from
+    /// zero.
+    #[must_use]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(!secs.is_nan(), "SimTime cannot be NaN");
+        assert!(secs >= 0.0, "SimTime cannot be negative: {secs}");
+        SimTime(secs)
+    }
+
+    /// Returns the timestamp as seconds.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Returns `true` if this timestamp is finite (i.e., not [`SimTime::FAR_FUTURE`]).
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Returns the earlier of two timestamps.
+    #[must_use]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the later of two timestamps.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Construction forbids NaN, so the comparison is total.
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime::from_secs(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert!(SimTime::FAR_FUTURE > b);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = SimTime::from_secs(3.5);
+        assert_eq!((a + 1.5).as_secs(), 5.0);
+        assert_eq!(a + 1.5 - a, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_rejected() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(SimTime::from_secs(1.25).to_string(), "1.250s");
+    }
+
+    #[test]
+    fn far_future_is_not_finite() {
+        assert!(!SimTime::FAR_FUTURE.is_finite());
+        assert!(SimTime::ZERO.is_finite());
+    }
+}

@@ -1,0 +1,118 @@
+//! Energy metering: integrating the cluster power model over simulated time.
+
+use serde::{Deserialize, Serialize};
+
+use dias_des::stats::TimeWeighted;
+use dias_des::SimTime;
+
+use crate::{ClusterSpec, FreqLevel};
+
+/// Integrates cluster power draw over time as busy slots and frequency change.
+///
+/// # Examples
+///
+/// ```
+/// use dias_engine::{ClusterSpec, EnergyMeter, FreqLevel};
+/// use dias_des::SimTime;
+///
+/// let spec = ClusterSpec::paper_reference();
+/// let mut meter = EnergyMeter::new(&spec, SimTime::ZERO);
+/// meter.update(SimTime::from_secs(10.0), 20, FreqLevel::Base);
+/// // 10 s fully idle at 10 × 90 W = 9 kJ.
+/// assert!((meter.energy_joules(SimTime::from_secs(10.0)) - 9_000.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    spec: ClusterSpec,
+    power: TimeWeighted,
+    busy_slots: usize,
+    freq: FreqLevel,
+}
+
+impl EnergyMeter {
+    /// Starts metering an idle cluster at `start`.
+    #[must_use]
+    pub fn new(spec: &ClusterSpec, start: SimTime) -> Self {
+        let idle_power = spec.cluster_power_w(0, FreqLevel::Base);
+        EnergyMeter {
+            spec: spec.clone(),
+            power: TimeWeighted::new(start, idle_power),
+            busy_slots: 0,
+            freq: FreqLevel::Base,
+        }
+    }
+
+    /// Records a change of state at `now`: `busy_slots` slots busy at `freq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous update.
+    pub fn update(&mut self, now: SimTime, busy_slots: usize, freq: FreqLevel) {
+        self.busy_slots = busy_slots;
+        self.freq = freq;
+        let p = self.spec.cluster_power_w(busy_slots, freq);
+        self.power.set(now, p);
+    }
+
+    /// Current power draw in watts.
+    #[must_use]
+    pub fn power_w(&self) -> f64 {
+        self.power.value()
+    }
+
+    /// Total energy consumed from start until `now`, in joules.
+    #[must_use]
+    pub fn energy_joules(&self, now: SimTime) -> f64 {
+        self.power.integral(now)
+    }
+
+    /// Current busy-slot count.
+    #[must_use]
+    pub fn busy_slots(&self) -> usize {
+        self.busy_slots
+    }
+
+    /// Current frequency level.
+    #[must_use]
+    pub fn freq(&self) -> FreqLevel {
+        self.freq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_baseline_energy() {
+        let spec = ClusterSpec::paper_reference();
+        let meter = EnergyMeter::new(&spec, SimTime::ZERO);
+        // 100 s idle: 10 servers * 90 W * 100 s = 90 kJ.
+        assert!((meter.energy_joules(SimTime::from_secs(100.0)) - 90_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn busy_and_sprint_segments_integrate() {
+        let spec = ClusterSpec::paper_reference();
+        let mut meter = EnergyMeter::new(&spec, SimTime::ZERO);
+        // 0-10s: idle (900 W). 10-20s: fully busy base (1800 W).
+        meter.update(SimTime::from_secs(10.0), 20, FreqLevel::Base);
+        // 20-30s: fully busy sprinting (2700 W).
+        meter.update(SimTime::from_secs(20.0), 20, FreqLevel::Sprint);
+        let total = meter.energy_joules(SimTime::from_secs(30.0));
+        let expected = 900.0 * 10.0 + 1800.0 * 10.0 + 2700.0 * 10.0;
+        assert!((total - expected).abs() < 1e-6, "{total} vs {expected}");
+        assert_eq!(meter.busy_slots(), 20);
+        assert_eq!(meter.freq(), FreqLevel::Sprint);
+    }
+
+    #[test]
+    fn partial_utilization_scales_linearly() {
+        let spec = ClusterSpec::paper_reference();
+        let mut meter = EnergyMeter::new(&spec, SimTime::ZERO);
+        meter.update(SimTime::ZERO, 10, FreqLevel::Base);
+        let e = meter.energy_joules(SimTime::from_secs(1.0));
+        // Half busy: idle 900 + 10 slots * (180-90)/2 per slot = 900 + 450.
+        assert!((e - 1350.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,151 @@
+//! HDFS-style data layout: blocks, partitions and per-partition sizes.
+//!
+//! The paper stores datasets in HDFS (128 MB blocks across datanodes) and splits
+//! each Spark dataset into 50 RDD partitions. Partition sizes determine per-task
+//! work; dropped partitions are never read, which is where task dropping saves both
+//! compute and I/O ("task dropping saves the overhead of fetching data", §3.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Metadata of one RDD partition backed by HDFS blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionMeta {
+    /// Partition index within the dataset.
+    pub index: usize,
+    /// Bytes of input attributed to this partition, in MB.
+    pub size_mb: f64,
+    /// First HDFS block (by index) contributing to the partition.
+    pub first_block: usize,
+    /// Number of HDFS blocks the partition spans.
+    pub block_span: usize,
+}
+
+/// An HDFS-like layout: fixed-size blocks, datasets split into equal partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HdfsLayout {
+    /// Block size in MB (HDFS default: 128).
+    pub block_mb: f64,
+    /// Replication factor (informational; affects stored bytes, not compute).
+    pub replication: usize,
+}
+
+impl Default for HdfsLayout {
+    fn default() -> Self {
+        HdfsLayout {
+            block_mb: 128.0,
+            replication: 3,
+        }
+    }
+}
+
+impl HdfsLayout {
+    /// Number of blocks a dataset of `size_mb` occupies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_mb < 0`.
+    #[must_use]
+    pub fn blocks_for(&self, size_mb: f64) -> usize {
+        assert!(size_mb >= 0.0, "dataset size cannot be negative");
+        (size_mb / self.block_mb).ceil().max(1.0) as usize
+    }
+
+    /// Splits a dataset into `partitions` equal partitions, mapping each onto the
+    /// block range it reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions == 0` or `size_mb <= 0`.
+    #[must_use]
+    pub fn partition(&self, size_mb: f64, partitions: usize) -> Vec<PartitionMeta> {
+        assert!(partitions > 0, "need at least one partition");
+        assert!(size_mb > 0.0, "dataset must be non-empty");
+        let per = size_mb / partitions as f64;
+        (0..partitions)
+            .map(|i| {
+                let start_mb = per * i as f64;
+                let end_mb = per * (i + 1) as f64;
+                let first_block = (start_mb / self.block_mb) as usize;
+                let last_block = ((end_mb - 1e-9) / self.block_mb) as usize;
+                PartitionMeta {
+                    index: i,
+                    size_mb: per,
+                    first_block,
+                    block_span: last_block - first_block + 1,
+                }
+            })
+            .collect()
+    }
+
+    /// Total bytes stored for a dataset, including replication, in MB.
+    #[must_use]
+    pub fn stored_mb(&self, size_mb: f64) -> f64 {
+        self.blocks_for(size_mb) as f64 * self.block_mb * self.replication as f64
+    }
+}
+
+/// MB of input actually read when dropping a fraction `theta` of `partitions`
+/// equal partitions of a `size_mb` dataset — the I/O savings of early task drop.
+///
+/// # Panics
+///
+/// Panics if `theta` is outside `[0, 1]`.
+#[must_use]
+pub fn bytes_read_mb(size_mb: f64, partitions: usize, theta: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&theta), "theta must be in [0,1]");
+    let kept = (partitions as f64 * (1.0 - theta)).ceil();
+    size_mb * kept / partitions as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_round_up() {
+        let h = HdfsLayout::default();
+        assert_eq!(h.blocks_for(1.0), 1);
+        assert_eq!(h.blocks_for(128.0), 1);
+        assert_eq!(h.blocks_for(129.0), 2);
+        assert_eq!(h.blocks_for(1117.0), 9);
+    }
+
+    #[test]
+    fn partitions_cover_dataset() {
+        let h = HdfsLayout::default();
+        let parts = h.partition(1117.0, 50);
+        assert_eq!(parts.len(), 50);
+        let total: f64 = parts.iter().map(|p| p.size_mb).sum();
+        assert!((total - 1117.0).abs() < 1e-9);
+        // All partitions are equal (Spark's default split).
+        assert!((parts[0].size_mb - 22.34).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partition_block_ranges_are_consistent() {
+        let h = HdfsLayout::default();
+        let parts = h.partition(1000.0, 10);
+        for p in &parts {
+            assert!(p.block_span >= 1);
+            assert!(p.first_block < h.blocks_for(1000.0));
+        }
+        // The last partition's range must not exceed the dataset's blocks.
+        let last = parts.last().unwrap();
+        assert!(last.first_block + last.block_span <= h.blocks_for(1000.0));
+    }
+
+    #[test]
+    fn replication_multiplies_storage() {
+        let h = HdfsLayout::default();
+        assert!((h.stored_mb(128.0) - 3.0 * 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dropped_partitions_save_io() {
+        assert!((bytes_read_mb(1000.0, 50, 0.0) - 1000.0).abs() < 1e-9);
+        assert!((bytes_read_mb(1000.0, 50, 0.2) - 800.0).abs() < 1e-9);
+        // Ceiling keeps at least one partition until theta = 1.
+        assert!(bytes_read_mb(1000.0, 50, 0.99) > 0.0);
+        assert_eq!(bytes_read_mb(1000.0, 50, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,866 @@
+//! The cluster simulator: one job at a time over `C` slots, with dropping, DVFS and
+//! eviction.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dias_des::{EventHandle, EventQueue, SimTime};
+
+use crate::{ClusterSpec, EnergyMeter, FreqLevel, JobId, JobInstance};
+
+/// Errors from driving the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// `start_job` was called while a job is running.
+    Busy,
+    /// An operation required a running job but the engine is idle.
+    Idle,
+    /// The drop-ratio vector does not match the job's stages or is out of range.
+    BadDrops(String),
+    /// The cluster specification is invalid.
+    InvalidSpec(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Busy => write!(f, "engine is busy with another job"),
+            EngineError::Idle => write!(f, "engine is idle"),
+            EngineError::BadDrops(msg) => write!(f, "invalid drop ratios: {msg}"),
+            EngineError::InvalidSpec(msg) => write!(f, "invalid cluster spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// What happened when the simulator advanced by one internal event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EngineEvent {
+    /// The setup (overhead) stage completed.
+    SetupFinished {
+        /// The running job.
+        job: JobId,
+    },
+    /// One task completed; more remain in the stage.
+    TaskFinished {
+        /// The running job.
+        job: JobId,
+        /// Stage index of the task.
+        stage: usize,
+        /// Tasks still to complete in this stage.
+        tasks_left: usize,
+    },
+    /// A stage completed (its shuffle, if any, begins).
+    StageFinished {
+        /// The running job.
+        job: JobId,
+        /// The completed stage index.
+        stage: usize,
+    },
+    /// An inter-stage shuffle completed.
+    ShuffleFinished {
+        /// The running job.
+        job: JobId,
+        /// The stage about to start.
+        next_stage: usize,
+    },
+    /// The job's last stage completed; the engine is idle again.
+    JobFinished {
+        /// The finished job.
+        job: JobId,
+        /// Execution metrics of this (final) attempt.
+        metrics: JobRunMetrics,
+    },
+}
+
+/// Metrics of one completed job attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobRunMetrics {
+    /// Wall-clock execution time of this attempt (dispatch to completion).
+    pub execution_secs: f64,
+    /// Machine-seconds of work performed, in base-frequency equivalents.
+    pub work_secs: f64,
+    /// Wall-clock seconds of this attempt spent at sprint frequency.
+    pub sprint_secs: f64,
+    /// Tasks executed.
+    pub tasks_run: usize,
+    /// Tasks dropped by the deflator's ratios.
+    pub tasks_dropped: usize,
+}
+
+/// Work destroyed by evicting the running job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvictedWork {
+    /// Wall-clock seconds the attempt had been running.
+    pub wall_secs: f64,
+    /// Machine-seconds of work performed and lost (base-frequency equivalents).
+    pub work_secs: f64,
+    /// Wall-clock seconds of the attempt spent sprinting.
+    pub sprint_secs: f64,
+}
+
+#[derive(Debug, Clone)]
+struct RunningTask {
+    stage: usize,
+    work_left: f64,
+    since: SimTime,
+    handle: EventHandle,
+}
+
+#[derive(Debug, Clone)]
+enum Phase {
+    /// Setup or shuffle: a single serial activity.
+    Serial {
+        is_setup: bool,
+        next_stage: usize,
+        work_left: f64,
+        since: SimTime,
+        handle: EventHandle,
+    },
+    Stage {
+        idx: usize,
+        queue: VecDeque<f64>,
+        running: Vec<RunningTask>,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum Internal {
+    SerialDone,
+    TaskDone { stage: usize },
+}
+
+#[derive(Debug)]
+struct Run {
+    job: JobId,
+    stage_tasks: Vec<Vec<f64>>,
+    shuffle_secs: Vec<f64>,
+    phase: Phase,
+    started: SimTime,
+    work_done: f64,
+    sprint_secs: f64,
+    tasks_run: usize,
+    tasks_dropped: usize,
+}
+
+/// The Spark-like engine: a cluster of `C` slots executing one multi-stage job,
+/// advanced one event at a time.
+///
+/// Driving pattern: the controller compares [`ClusterSim::next_event_time`] with its
+/// own arrival/sprint timers and calls [`ClusterSim::advance`] whenever the engine
+/// holds the earliest event. See the crate-level example.
+#[derive(Debug)]
+pub struct ClusterSim {
+    spec: ClusterSpec,
+    time: SimTime,
+    freq: FreqLevel,
+    sprint_since: Option<SimTime>,
+    queue: EventQueue<Internal>,
+    run: Option<Run>,
+    meter: EnergyMeter,
+}
+
+impl ClusterSim {
+    /// Creates an idle cluster at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` fails validation; use [`ClusterSpec::validate`] to check
+    /// first.
+    #[must_use]
+    pub fn new(spec: ClusterSpec) -> Self {
+        spec.validate().expect("invalid cluster spec");
+        let meter = EnergyMeter::new(&spec, SimTime::ZERO);
+        ClusterSim {
+            spec,
+            time: SimTime::ZERO,
+            freq: FreqLevel::Base,
+            sprint_since: None,
+            queue: EventQueue::new(),
+            run: None,
+            meter,
+        }
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// The cluster specification.
+    #[must_use]
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Whether no job is running.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.run.is_none()
+    }
+
+    /// Current frequency level.
+    #[must_use]
+    pub fn frequency(&self) -> FreqLevel {
+        self.freq
+    }
+
+    /// Id of the running job, if any.
+    #[must_use]
+    pub fn running_job(&self) -> Option<JobId> {
+        self.run.as_ref().map(|r| r.job)
+    }
+
+    /// Total energy consumed so far, in joules.
+    #[must_use]
+    pub fn energy_joules(&self) -> f64 {
+        self.meter.energy_joules(self.time)
+    }
+
+    /// Advances the wall clock to `now` without processing events (used by the
+    /// controller while the engine is idle so energy integrates correctly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is before the current time or an engine event precedes it.
+    pub fn idle_until(&mut self, now: SimTime) {
+        assert!(now >= self.time, "time must not run backwards");
+        if let Some(t) = self.queue.peek_time() {
+            assert!(now <= t, "cannot skip over a pending engine event");
+        }
+        self.time = now;
+    }
+
+    /// Dispatches `instance` with per-stage drop ratios `drops` at the current time.
+    ///
+    /// Stage `i` keeps its first `⌈n_i(1−drops[i])⌉` tasks; task order within an
+    /// instance is already i.i.d., so prefix selection is equivalent to the paper's
+    /// random drop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Busy`] if a job is running and
+    /// [`EngineError::BadDrops`] for a malformed drop vector.
+    pub fn start_job(&mut self, instance: &JobInstance, drops: &[f64]) -> Result<(), EngineError> {
+        if self.run.is_some() {
+            return Err(EngineError::Busy);
+        }
+        if drops.len() != instance.task_secs.len() {
+            return Err(EngineError::BadDrops(format!(
+                "{} ratios for {} stages",
+                drops.len(),
+                instance.task_secs.len()
+            )));
+        }
+        if drops.iter().any(|t| !(0.0..=1.0).contains(t)) {
+            return Err(EngineError::BadDrops("ratios must be in [0,1]".into()));
+        }
+
+        let mut tasks_dropped = 0;
+        let mut total_tasks = 0;
+        let stage_tasks: Vec<Vec<f64>> = instance
+            .task_secs
+            .iter()
+            .zip(drops)
+            .map(|(ts, &theta)| {
+                let keep = ((ts.len() as f64) * (1.0 - theta)).ceil() as usize;
+                tasks_dropped += ts.len() - keep;
+                total_tasks += ts.len();
+                ts[..keep].to_vec()
+            })
+            .collect();
+
+        // Setup shortens with the data actually read (§4.3's drop-dependent
+        // overhead): effective = setup × (1 − f + f·kept_fraction).
+        let kept_fraction = if total_tasks == 0 {
+            1.0
+        } else {
+            (total_tasks - tasks_dropped) as f64 / total_tasks as f64
+        };
+        let f = instance.spec.setup_data_fraction;
+        let setup_secs = instance.setup_secs * (1.0 - f + f * kept_fraction);
+
+        let speed = self.spec.speed_at(self.freq);
+        let handle = self
+            .queue
+            .push(self.time + setup_secs / speed, Internal::SerialDone);
+        self.run = Some(Run {
+            job: instance.spec.id,
+            stage_tasks,
+            shuffle_secs: instance.shuffle_secs.clone(),
+            phase: Phase::Serial {
+                is_setup: true,
+                next_stage: 0,
+                work_left: setup_secs,
+                since: self.time,
+                handle,
+            },
+            started: self.time,
+            work_done: 0.0,
+            sprint_secs: 0.0,
+            tasks_run: 0,
+            tasks_dropped,
+        });
+        if self.freq == FreqLevel::Sprint {
+            self.sprint_since = Some(self.time);
+        }
+        self.meter.update(self.time, 1, self.freq);
+        Ok(())
+    }
+
+    /// Timestamp of the next internal event, if a job is running.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Processes the next internal event and reports what happened.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Idle`] when no job is running.
+    pub fn advance(&mut self) -> Result<EngineEvent, EngineError> {
+        let (t, ev) = self.queue.pop().ok_or(EngineError::Idle)?;
+        self.time = t;
+        match ev {
+            Internal::SerialDone => self.finish_serial(),
+            Internal::TaskDone { stage } => self.finish_task(stage),
+        }
+    }
+
+    /// Evicts the running job, losing all its work (preemptive baseline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Idle`] when no job is running.
+    pub fn evict(&mut self) -> Result<EvictedWork, EngineError> {
+        let mut run = self.run.take().ok_or(EngineError::Idle)?;
+        let speed = self.spec.speed_at(self.freq);
+        // Credit partial work of in-flight activities since their last reschedule
+        // point (earlier segments were credited at those points).
+        match &run.phase {
+            Phase::Serial {
+                work_left, since, ..
+            } => {
+                let elapsed_work = ((self.time - *since) * speed).min(*work_left);
+                run.work_done += elapsed_work;
+            }
+            Phase::Stage { running, .. } => {
+                for task in running {
+                    run.work_done += ((self.time - task.since) * speed).min(task.work_left);
+                }
+            }
+        }
+        self.queue.clear();
+        let sprint_secs = run.sprint_secs + self.current_sprint_tail();
+        if self.freq == FreqLevel::Sprint {
+            self.sprint_since = Some(self.time);
+        }
+        self.meter.update(self.time, 0, self.freq);
+        Ok(EvictedWork {
+            wall_secs: self.time - run.started,
+            work_secs: run.work_done,
+            sprint_secs,
+        })
+    }
+
+    /// Switches the cluster frequency, rescaling all in-flight activities.
+    pub fn set_frequency(&mut self, freq: FreqLevel) {
+        if freq == self.freq {
+            return;
+        }
+        let old_speed = self.spec.speed_at(self.freq);
+        let new_speed = self.spec.speed_at(freq);
+        let now = self.time;
+
+        if let Some(run) = &mut self.run {
+            // Account sprint wall-time before the switch.
+            if self.freq == FreqLevel::Sprint {
+                if let Some(since) = self.sprint_since.take() {
+                    run.sprint_secs += now - since;
+                }
+            }
+            match &mut run.phase {
+                Phase::Serial {
+                    work_left,
+                    since,
+                    handle,
+                    ..
+                } => {
+                    let done = ((now - *since) * old_speed).min(*work_left);
+                    run.work_done += done;
+                    *work_left -= done;
+                    *since = now;
+                    self.queue.cancel(*handle);
+                    *handle = self
+                        .queue
+                        .push(now + *work_left / new_speed, Internal::SerialDone);
+                }
+                Phase::Stage { running, .. } => {
+                    for task in running.iter_mut() {
+                        let done = ((now - task.since) * old_speed).min(task.work_left);
+                        run.work_done += done;
+                        task.work_left -= done;
+                        task.since = now;
+                        self.queue.cancel(task.handle);
+                        task.handle = self.queue.push(
+                            now + task.work_left / new_speed,
+                            Internal::TaskDone { stage: task.stage },
+                        );
+                    }
+                }
+            }
+        }
+        self.freq = freq;
+        if freq == FreqLevel::Sprint {
+            self.sprint_since = Some(now);
+        } else {
+            self.sprint_since = None;
+        }
+        let busy = self.busy_slots();
+        self.meter.update(now, busy, freq);
+    }
+
+    fn busy_slots(&self) -> usize {
+        match &self.run {
+            None => 0,
+            Some(run) => match &run.phase {
+                Phase::Serial { .. } => 1,
+                Phase::Stage { running, .. } => running.len(),
+            },
+        }
+    }
+
+    fn current_sprint_tail(&self) -> f64 {
+        match (self.freq, self.sprint_since) {
+            (FreqLevel::Sprint, Some(since)) => self.time - since,
+            _ => 0.0,
+        }
+    }
+
+    fn finish_serial(&mut self) -> Result<EngineEvent, EngineError> {
+        let run = self.run.as_mut().ok_or(EngineError::Idle)?;
+        let (is_setup, next_stage) = match &run.phase {
+            Phase::Serial {
+                is_setup,
+                next_stage,
+                work_left,
+                ..
+            } => {
+                // Residual since the last reschedule point; earlier segments were
+                // credited when the frequency changed.
+                run.work_done += work_left;
+                (*is_setup, *next_stage)
+            }
+            Phase::Stage { .. } => return Err(EngineError::Idle),
+        };
+        let job = run.job;
+        let event = if is_setup {
+            EngineEvent::SetupFinished { job }
+        } else {
+            EngineEvent::ShuffleFinished { job, next_stage }
+        };
+        match self.enter_stage(next_stage) {
+            Some(finished) => Ok(finished),
+            None => Ok(event),
+        }
+    }
+
+    fn finish_task(&mut self, stage: usize) -> Result<EngineEvent, EngineError> {
+        let speed = self.spec.speed_at(self.freq);
+        let time = self.time;
+        let run = self.run.as_mut().ok_or(EngineError::Idle)?;
+        let job = run.job;
+        let (tasks_left, stage_done) = match &mut run.phase {
+            Phase::Stage {
+                idx,
+                queue,
+                running,
+            } if *idx == stage => {
+                // Remove the task whose finish time is now (work_left exhausted).
+                let pos = running
+                    .iter()
+                    .position(|t| (t.work_left - (time - t.since) * speed).abs() < 1e-6)
+                    .unwrap_or(0);
+                let done = running.swap_remove(pos);
+                run.work_done += done.work_left;
+                run.tasks_run += 1;
+                // Launch the next pending task on the freed slot.
+                if let Some(work) = queue.pop_front() {
+                    let handle = self
+                        .queue
+                        .push(time + work / speed, Internal::TaskDone { stage });
+                    running.push(RunningTask {
+                        stage,
+                        work_left: work,
+                        since: time,
+                        handle,
+                    });
+                }
+                (
+                    queue.len() + running.len(),
+                    running.is_empty() && queue.is_empty(),
+                )
+            }
+            _ => return Err(EngineError::Idle),
+        };
+        if !stage_done {
+            let busy = self.busy_slots();
+            self.meter.update(self.time, busy, self.freq);
+            return Ok(EngineEvent::TaskFinished {
+                job,
+                stage,
+                tasks_left,
+            });
+        }
+        // Stage complete: shuffle to the next stage or finish the job.
+        let total_stages = run.stage_tasks.len();
+        if stage + 1 < total_stages {
+            let shuffle = run.shuffle_secs[stage];
+            let speed = self.spec.speed_at(self.freq);
+            let handle = self
+                .queue
+                .push(self.time + shuffle / speed, Internal::SerialDone);
+            let run = self.run.as_mut().expect("job is running");
+            run.phase = Phase::Serial {
+                is_setup: false,
+                next_stage: stage + 1,
+                work_left: shuffle,
+                since: self.time,
+                handle,
+            };
+            self.meter.update(self.time, 1, self.freq);
+            Ok(EngineEvent::StageFinished { job, stage })
+        } else {
+            Ok(self.finish_job())
+        }
+    }
+
+    /// Begins stage `idx`; returns `Some(JobFinished)` if the job ends instead
+    /// (e.g. every remaining stage was dropped empty).
+    fn enter_stage(&mut self, idx: usize) -> Option<EngineEvent> {
+        let speed = self.spec.speed_at(self.freq);
+        let time = self.time;
+        let slots = self.spec.slots();
+        let run = self.run.as_mut()?;
+        if idx >= run.stage_tasks.len() {
+            return Some(self.finish_job());
+        }
+        let mut queue: VecDeque<f64> = run.stage_tasks[idx].iter().copied().collect();
+        if queue.is_empty() {
+            // Entire stage dropped: move straight through its shuffle or finish.
+            if idx + 1 < run.stage_tasks.len() {
+                let shuffle = run.shuffle_secs[idx];
+                let handle = self
+                    .queue
+                    .push(time + shuffle / speed, Internal::SerialDone);
+                run.phase = Phase::Serial {
+                    is_setup: false,
+                    next_stage: idx + 1,
+                    work_left: shuffle,
+                    since: time,
+                    handle,
+                };
+                self.meter.update(time, 1, self.freq);
+                return None;
+            }
+            return Some(self.finish_job());
+        }
+        let mut running = Vec::new();
+        while running.len() < slots {
+            let Some(work) = queue.pop_front() else { break };
+            let handle = self
+                .queue
+                .push(time + work / speed, Internal::TaskDone { stage: idx });
+            running.push(RunningTask {
+                stage: idx,
+                work_left: work,
+                since: time,
+                handle,
+            });
+        }
+        let busy = running.len();
+        run.phase = Phase::Stage {
+            idx,
+            queue,
+            running,
+        };
+        self.meter.update(time, busy, self.freq);
+        None
+    }
+
+    fn finish_job(&mut self) -> EngineEvent {
+        let run = self.run.take().expect("job is running");
+        let sprint_secs = run.sprint_secs + self.current_sprint_tail();
+        if self.freq == FreqLevel::Sprint {
+            self.sprint_since = Some(self.time);
+        }
+        self.queue.clear();
+        self.meter.update(self.time, 0, self.freq);
+        EngineEvent::JobFinished {
+            job: run.job,
+            metrics: JobRunMetrics {
+                execution_secs: self.time - run.started,
+                work_secs: run.work_done,
+                sprint_secs,
+                tasks_run: run.tasks_run,
+                tasks_dropped: run.tasks_dropped,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{JobSpec, StageKind, StageSpec};
+    use dias_stochastic::Dist;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn constant_job(map_tasks: usize, map_secs: f64) -> JobInstance {
+        let spec = JobSpec::builder(1, 0)
+            .input_mb(473.0)
+            .setup(Dist::constant(10.0))
+            .shuffle(Dist::constant(5.0))
+            .stage(StageSpec::new(
+                StageKind::Map,
+                map_tasks,
+                Dist::constant(map_secs),
+            ))
+            .stage(StageSpec::new(StageKind::Reduce, 10, Dist::constant(8.0)))
+            .build();
+        let mut rng = StdRng::seed_from_u64(1);
+        JobInstance::sample(&spec, &mut rng)
+    }
+
+    fn run_to_completion(sim: &mut ClusterSim) -> JobRunMetrics {
+        loop {
+            if let EngineEvent::JobFinished { metrics, .. } = sim.advance().unwrap() {
+                return metrics;
+            }
+        }
+    }
+
+    #[test]
+    fn wave_execution_makespan() {
+        // 50 constant tasks of 15 s on 20 slots: 3 waves (20, 20, 10) = 45 s.
+        let mut sim = ClusterSim::new(ClusterSpec::paper_reference());
+        sim.start_job(&constant_job(50, 15.0), &[0.0, 0.0]).unwrap();
+        let m = run_to_completion(&mut sim);
+        let expected = 10.0 + 45.0 + 5.0 + 8.0;
+        assert!(
+            (m.execution_secs - expected).abs() < 1e-9,
+            "{} vs {expected}",
+            m.execution_secs
+        );
+        assert_eq!(m.tasks_run, 60);
+        assert_eq!(m.tasks_dropped, 0);
+        // Work = 10 + 50*15 + 5 + 10*8.
+        assert!((m.work_secs - (10.0 + 750.0 + 5.0 + 80.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dropping_removes_a_wave() {
+        // Dropping 20% of 50 tasks leaves 40 = exactly 2 waves.
+        let mut sim = ClusterSim::new(ClusterSpec::paper_reference());
+        sim.start_job(&constant_job(50, 15.0), &[0.2, 0.0]).unwrap();
+        let m = run_to_completion(&mut sim);
+        assert!((m.execution_secs - (10.0 + 30.0 + 5.0 + 8.0)).abs() < 1e-9);
+        assert_eq!(m.tasks_dropped, 10);
+    }
+
+    #[test]
+    fn full_drop_skips_stage_but_keeps_shuffle() {
+        let mut sim = ClusterSim::new(ClusterSpec::paper_reference());
+        sim.start_job(&constant_job(50, 15.0), &[1.0, 0.0]).unwrap();
+        let m = run_to_completion(&mut sim);
+        assert!((m.execution_secs - (10.0 + 5.0 + 8.0)).abs() < 1e-9);
+        assert_eq!(m.tasks_dropped, 50);
+        assert_eq!(m.tasks_run, 10);
+    }
+
+    #[test]
+    fn sprinting_from_start_speeds_everything() {
+        let mut sim = ClusterSim::new(ClusterSpec::paper_reference());
+        sim.set_frequency(FreqLevel::Sprint);
+        sim.start_job(&constant_job(50, 15.0), &[0.0, 0.0]).unwrap();
+        let m = run_to_completion(&mut sim);
+        let expected = (10.0 + 45.0 + 5.0 + 8.0) / 2.5;
+        assert!(
+            (m.execution_secs - expected).abs() < 1e-9,
+            "{} vs {expected}",
+            m.execution_secs
+        );
+        // The whole attempt ran at sprint level.
+        assert!((m.sprint_secs - m.execution_secs).abs() < 1e-9);
+        // Work is counted in base-equivalents: unchanged by sprinting.
+        assert!((m.work_secs - (10.0 + 750.0 + 5.0 + 80.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mid_job_sprint_rescales_remaining_work() {
+        let mut sim = ClusterSim::new(ClusterSpec::paper_reference());
+        sim.start_job(&constant_job(20, 100.0), &[0.0, 0.0])
+            .unwrap();
+        // Setup finishes at t=10; first (only) map wave runs 100 s at base.
+        let ev = sim.advance().unwrap();
+        assert!(matches!(ev, EngineEvent::SetupFinished { .. }));
+        // Sprint halfway through the wave: 50 s of work left -> 20 s at 2.5x.
+        sim.idle_until(SimTime::from_secs(60.0));
+        sim.set_frequency(FreqLevel::Sprint);
+        let m = run_to_completion(&mut sim);
+        // Map ends at 60 + 50/2.5 = 80; shuffle 5/2.5 = 2; reduce 8/2.5 = 3.2.
+        let expected = 80.0 + 2.0 + 3.2;
+        assert!(
+            (m.execution_secs - expected).abs() < 1e-9,
+            "{} vs {expected}",
+            m.execution_secs
+        );
+        assert!((m.sprint_secs - (expected - 60.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eviction_reports_lost_work() {
+        let mut sim = ClusterSim::new(ClusterSpec::paper_reference());
+        sim.start_job(&constant_job(50, 15.0), &[0.0, 0.0]).unwrap();
+        // Let setup finish (t=10), then one task wave partially complete.
+        sim.advance().unwrap();
+        sim.idle_until(SimTime::from_secs(17.0));
+        let evicted = sim.evict().unwrap();
+        assert!((evicted.wall_secs - 17.0).abs() < 1e-9);
+        // Setup 10 + 20 slots * 7 s of partial task work.
+        assert!((evicted.work_secs - (10.0 + 140.0)).abs() < 1e-9);
+        assert!(sim.is_idle());
+        // The engine accepts a new job immediately.
+        sim.start_job(&constant_job(10, 1.0), &[0.0, 0.0]).unwrap();
+        let m = run_to_completion(&mut sim);
+        assert!(m.execution_secs > 0.0);
+    }
+
+    #[test]
+    fn busy_engine_rejects_second_job() {
+        let mut sim = ClusterSim::new(ClusterSpec::paper_reference());
+        sim.start_job(&constant_job(10, 1.0), &[0.0, 0.0]).unwrap();
+        assert_eq!(
+            sim.start_job(&constant_job(10, 1.0), &[0.0, 0.0]),
+            Err(EngineError::Busy)
+        );
+    }
+
+    #[test]
+    fn idle_engine_rejects_operations() {
+        let mut sim = ClusterSim::new(ClusterSpec::paper_reference());
+        assert_eq!(sim.evict(), Err(EngineError::Idle));
+        assert!(sim.advance().is_err());
+        assert!(sim.next_event_time().is_none());
+    }
+
+    #[test]
+    fn bad_drop_vectors_rejected() {
+        let mut sim = ClusterSim::new(ClusterSpec::paper_reference());
+        let job = constant_job(10, 1.0);
+        assert!(matches!(
+            sim.start_job(&job, &[0.0]),
+            Err(EngineError::BadDrops(_))
+        ));
+        assert!(matches!(
+            sim.start_job(&job, &[0.5, 1.5]),
+            Err(EngineError::BadDrops(_))
+        ));
+    }
+
+    #[test]
+    fn event_sequence_is_coherent() {
+        let mut sim = ClusterSim::new(ClusterSpec::paper_reference());
+        sim.start_job(&constant_job(25, 10.0), &[0.0, 0.0]).unwrap();
+        let mut seen_setup = false;
+        let mut seen_stage0 = false;
+        let mut seen_shuffle = false;
+        loop {
+            match sim.advance().unwrap() {
+                EngineEvent::SetupFinished { .. } => {
+                    assert!(!seen_setup);
+                    seen_setup = true;
+                }
+                EngineEvent::TaskFinished { .. } => assert!(seen_setup),
+                EngineEvent::StageFinished { stage, .. } => {
+                    assert_eq!(stage, 0);
+                    seen_stage0 = true;
+                }
+                EngineEvent::ShuffleFinished { next_stage, .. } => {
+                    assert!(seen_stage0);
+                    assert_eq!(next_stage, 1);
+                    seen_shuffle = true;
+                }
+                EngineEvent::JobFinished { .. } => break,
+            }
+        }
+        assert!(seen_setup && seen_stage0 && seen_shuffle);
+    }
+
+    #[test]
+    fn energy_accounts_for_busy_time() {
+        let mut sim = ClusterSim::new(ClusterSpec::paper_reference());
+        sim.start_job(&constant_job(20, 10.0), &[0.0, 0.0]).unwrap();
+        let m = run_to_completion(&mut sim);
+        let energy = sim.energy_joules();
+        // Lower bound: idle floor for the whole run. Upper: full power all run.
+        let idle_floor = 900.0 * m.execution_secs;
+        let full_power = 1800.0 * m.execution_secs;
+        assert!(
+            energy > idle_floor && energy < full_power,
+            "energy {energy}"
+        );
+    }
+
+    #[test]
+    fn variable_task_times_finish_out_of_order() {
+        let spec = JobSpec::builder(2, 0)
+            .setup(Dist::constant(1.0))
+            .shuffle(Dist::constant(1.0))
+            .stage(StageSpec::new(StageKind::Map, 40, Dist::uniform(5.0, 20.0)))
+            .stage(StageSpec::new(StageKind::Reduce, 5, Dist::constant(2.0)))
+            .build();
+        let mut rng = StdRng::seed_from_u64(9);
+        let inst = JobInstance::sample(&spec, &mut rng);
+        let mut sim = ClusterSim::new(ClusterSpec::paper_reference());
+        sim.start_job(&inst, &[0.0, 0.0]).unwrap();
+        let m = run_to_completion(&mut sim);
+        // Work conservation: all sampled work executed.
+        assert!((m.work_secs - inst.total_work_secs()).abs() < 1e-6);
+        assert_eq!(m.tasks_run, 45);
+    }
+}
+
+#[cfg(test)]
+mod setup_scaling_tests {
+    use super::*;
+    use crate::{JobSpec, StageKind, StageSpec};
+    use dias_stochastic::Dist;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn setup_shrinks_with_dropped_data() {
+        let spec = JobSpec::builder(0, 0)
+            .setup(Dist::constant(10.0))
+            .setup_data_fraction(0.5)
+            .stage(StageSpec::new(StageKind::Map, 50, Dist::constant(1.0)))
+            .build();
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = JobInstance::sample(&spec, &mut rng);
+        let mut sim = ClusterSim::new(ClusterSpec::paper_reference());
+        // Drop 90% of tasks: kept fraction = 5/50 = 0.1, setup = 10*(0.5+0.05) = 5.5.
+        sim.start_job(&inst, &[0.9]).unwrap();
+        let first = sim.next_event_time().unwrap();
+        assert!((first.as_secs() - 5.5).abs() < 1e-9, "{first}");
+        // Without drops the full setup applies.
+        let mut sim2 = ClusterSim::new(ClusterSpec::paper_reference());
+        sim2.start_job(&inst, &[0.0]).unwrap();
+        assert!((sim2.next_event_time().unwrap().as_secs() - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,84 @@
+//! Small dense linear-algebra toolkit backing the DiAS stochastic models.
+//!
+//! Phase-type distributions and Markovian arrival processes need a handful of dense
+//! operations on modest matrices (tens to a few hundred rows): products, LU solves,
+//! matrix exponentials, Kronecker products and stationary vectors of Markov chains.
+//! This crate implements exactly that set, with no external numeric dependencies.
+//!
+//! # Examples
+//!
+//! ```
+//! use dias_linalg::Matrix;
+//!
+//! let a = Matrix::from_rows(&[vec![4.0, 3.0], vec![6.0, 3.0]]);
+//! let x = a.solve(&[10.0, 12.0]).unwrap();
+//! assert!((x[0] - 1.0).abs() < 1e-12);
+//! assert!((x[1] - 2.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod markov;
+mod matrix;
+
+pub use markov::{dtmc_stationary, stationary_distribution};
+pub use matrix::{LinalgError, Matrix};
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product of unequal lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Sum of the entries of a slice (`x · 1`).
+#[must_use]
+pub fn sum(a: &[f64]) -> f64 {
+    a.iter().sum()
+}
+
+/// Scales a slice in place.
+pub fn scale_in_place(a: &mut [f64], s: f64) {
+    for x in a {
+        *x *= s;
+    }
+}
+
+/// `a + s * b`, element-wise, into a new vector.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn axpy(a: &[f64], s: f64, b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "axpy of unequal lengths");
+    a.iter().zip(b).map(|(x, y)| x + s * y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_sum() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(sum(&[1.0, 2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn axpy_combines() {
+        assert_eq!(axpy(&[1.0, 1.0], 2.0, &[3.0, 4.0]), vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn scale_mutates() {
+        let mut v = vec![1.0, -2.0];
+        scale_in_place(&mut v, 3.0);
+        assert_eq!(v, vec![3.0, -6.0]);
+    }
+}

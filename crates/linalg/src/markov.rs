@@ -1,0 +1,136 @@
+//! Stationary vectors of Markov chains.
+
+use crate::{LinalgError, Matrix};
+
+/// Stationary distribution `π` of a continuous-time Markov chain generator `Q`:
+/// solves `π Q = 0`, `π 1 = 1`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Singular`] if the replaced system is singular (e.g. the
+/// chain is reducible in a way that leaves the system underdetermined).
+///
+/// # Panics
+///
+/// Panics if `q` is not square.
+///
+/// # Examples
+///
+/// ```
+/// use dias_linalg::{stationary_distribution, Matrix};
+///
+/// // Two-state chain: 0 -> 1 at rate 2, 1 -> 0 at rate 1. π = (1/3, 2/3).
+/// let q = Matrix::from_rows(&[vec![-2.0, 2.0], vec![1.0, -1.0]]);
+/// let pi = stationary_distribution(&q).unwrap();
+/// assert!((pi[0] - 1.0 / 3.0).abs() < 1e-12);
+/// assert!((pi[1] - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn stationary_distribution(q: &Matrix) -> Result<Vec<f64>, LinalgError> {
+    assert!(q.is_square(), "generator must be square");
+    let n = q.rows();
+    // Replace the last equation of Qᵀ π = 0 with the normalization Σπ = 1.
+    let mut system = q.transpose();
+    for j in 0..n {
+        system[(n - 1, j)] = 1.0;
+    }
+    let mut rhs = vec![0.0; n];
+    rhs[n - 1] = 1.0;
+    let pi = system.solve(&rhs)?;
+    Ok(clamp_probabilities(pi))
+}
+
+/// Stationary distribution `π` of a discrete-time Markov chain with transition
+/// matrix `P`: solves `π P = π`, `π 1 = 1`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Singular`] if the system is singular.
+///
+/// # Panics
+///
+/// Panics if `p` is not square.
+pub fn dtmc_stationary(p: &Matrix) -> Result<Vec<f64>, LinalgError> {
+    assert!(p.is_square(), "transition matrix must be square");
+    let n = p.rows();
+    // (Pᵀ - I) π = 0 with normalization row.
+    let mut system = &p.transpose() - &Matrix::identity(n);
+    for j in 0..n {
+        system[(n - 1, j)] = 1.0;
+    }
+    let mut rhs = vec![0.0; n];
+    rhs[n - 1] = 1.0;
+    let pi = system.solve(&rhs)?;
+    Ok(clamp_probabilities(pi))
+}
+
+/// Clamps tiny negative round-off to zero and renormalizes.
+fn clamp_probabilities(mut pi: Vec<f64>) -> Vec<f64> {
+    for x in &mut pi {
+        if *x < 0.0 && *x > -1e-9 {
+            *x = 0.0;
+        }
+    }
+    let total: f64 = pi.iter().sum();
+    if total > 0.0 {
+        for x in &mut pi {
+            *x /= total;
+        }
+    }
+    pi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctmc_birth_death() {
+        // M/M/1/2 with λ=1, μ=2: states 0,1,2.
+        let q = Matrix::from_rows(&[
+            vec![-1.0, 1.0, 0.0],
+            vec![2.0, -3.0, 1.0],
+            vec![0.0, 2.0, -2.0],
+        ]);
+        let pi = stationary_distribution(&q).unwrap();
+        // Detailed balance: π1 = π0/2, π2 = π0/4; π0 = 4/7.
+        assert!((pi[0] - 4.0 / 7.0).abs() < 1e-12);
+        assert!((pi[1] - 2.0 / 7.0).abs() < 1e-12);
+        assert!((pi[2] - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ctmc_stationary_annihilates_generator() {
+        let q = Matrix::from_rows(&[
+            vec![-3.0, 2.0, 1.0],
+            vec![1.0, -4.0, 3.0],
+            vec![2.0, 2.0, -4.0],
+        ]);
+        let pi = stationary_distribution(&q).unwrap();
+        let residual = q.transpose().mul_vec(&pi);
+        for r in residual {
+            assert!(r.abs() < 1e-12);
+        }
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtmc_two_state() {
+        let p = Matrix::from_rows(&[vec![0.9, 0.1], vec![0.5, 0.5]]);
+        let pi = dtmc_stationary(&p).unwrap();
+        // π0 = 5/6, π1 = 1/6.
+        assert!((pi[0] - 5.0 / 6.0).abs() < 1e-12);
+        assert!((pi[1] - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtmc_identity_needs_more_info() {
+        // Identity chain is reducible: every distribution is stationary. The solver
+        // must either error or return *a* valid distribution; it must not panic.
+        let p = Matrix::identity(2);
+        match dtmc_stationary(&p) {
+            Ok(pi) => assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9),
+            Err(LinalgError::Singular) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Accuracy-loss models: how the analysis error grows with the drop ratio.
+//!
+//! The paper measures relative errors offline for a grid of drop ratios (Fig. 6:
+//! ≈ 8.5% at θ=0.1, ≈ 15% at θ=0.2, ≈ 32% at θ=0.4, growing sub-linearly) and the
+//! deflator inverts that curve to find the largest drop ratio an accuracy bound
+//! allows. Two curve shapes are provided:
+//!
+//! * [`SamplingErrorModel`] — `err(θ) = a·√(θ/(1−θ))`, the shape predicted by
+//!   Horvitz–Thompson estimation from a `1−θ` sample of the data (sampling noise of
+//!   scaled-up counts); one parameter, fit by least squares.
+//! * [`TabulatedAccuracy`] — piecewise-linear interpolation through measured points,
+//!   exactly how the paper's deflator "consults the results in Figure 6".
+
+use serde::{Deserialize, Serialize};
+
+use crate::ModelError;
+
+/// A curve mapping drop ratio `θ` to expected relative error (in percent).
+pub trait AccuracyCurve {
+    /// Expected relative error (%) when dropping a fraction `theta` of tasks.
+    fn error_at(&self, theta: f64) -> f64;
+
+    /// Largest drop ratio whose expected error stays within `bound` percent.
+    fn max_theta_for(&self, bound: f64) -> f64;
+}
+
+/// The Horvitz–Thompson sampling-error shape `err(θ) = a·√(θ/(1−θ))`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplingErrorModel {
+    coefficient: f64,
+}
+
+impl SamplingErrorModel {
+    /// Creates the model with a known coefficient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadParameter`] if `coefficient <= 0`.
+    pub fn new(coefficient: f64) -> Result<Self, ModelError> {
+        if coefficient <= 0.0 {
+            return Err(ModelError::BadParameter(
+                "coefficient must be positive".into(),
+            ));
+        }
+        Ok(SamplingErrorModel { coefficient })
+    }
+
+    /// Least-squares fit of the coefficient through measured `(θ, error%)` points.
+    ///
+    /// With basis `b(θ) = √(θ/(1−θ))` the optimal coefficient is
+    /// `Σ b·err / Σ b²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadParameter`] if no usable points (θ in `(0,1)`,
+    /// error > 0) are provided.
+    pub fn fit(points: &[(f64, f64)]) -> Result<Self, ModelError> {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(theta, err) in points {
+            if !(0.0..1.0).contains(&theta) || theta == 0.0 || err <= 0.0 {
+                continue;
+            }
+            let b = (theta / (1.0 - theta)).sqrt();
+            num += b * err;
+            den += b * b;
+        }
+        if den <= 0.0 {
+            return Err(ModelError::BadParameter(
+                "no usable accuracy points to fit".into(),
+            ));
+        }
+        SamplingErrorModel::new(num / den)
+    }
+
+    /// The fitted coefficient `a`.
+    #[must_use]
+    pub fn coefficient(&self) -> f64 {
+        self.coefficient
+    }
+
+    /// The paper's Fig. 6 calibration: ≈ 8.5% at θ = 0.1, 15% at 0.2, 32% at 0.4.
+    #[must_use]
+    pub fn paper_fig6() -> Self {
+        SamplingErrorModel::fit(&[(0.1, 8.5), (0.2, 15.0), (0.4, 32.0)])
+            .expect("static calibration points are valid")
+    }
+}
+
+impl AccuracyCurve for SamplingErrorModel {
+    fn error_at(&self, theta: f64) -> f64 {
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+        self.coefficient * (theta / (1.0 - theta)).sqrt()
+    }
+
+    fn max_theta_for(&self, bound: f64) -> f64 {
+        if bound <= 0.0 {
+            return 0.0;
+        }
+        // Invert err = a·√(θ/(1−θ)): θ = e²/(a² + e²).
+        let e2 = (bound / self.coefficient).powi(2);
+        e2 / (1.0 + e2)
+    }
+}
+
+/// Piecewise-linear interpolation through measured `(θ, error%)` points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TabulatedAccuracy {
+    /// Sorted by θ, starting implicitly from (0, 0).
+    points: Vec<(f64, f64)>,
+}
+
+impl TabulatedAccuracy {
+    /// Builds the table; points are sorted by θ and must be strictly inside `(0, 1]`
+    /// with non-decreasing error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadParameter`] for empty input, out-of-range θ, or
+    /// decreasing error values.
+    pub fn new(mut points: Vec<(f64, f64)>) -> Result<Self, ModelError> {
+        if points.is_empty() {
+            return Err(ModelError::BadParameter("need at least one point".into()));
+        }
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("theta is not NaN"));
+        let mut last_err = 0.0;
+        for &(theta, err) in &points {
+            if !(0.0..=1.0).contains(&theta) || theta == 0.0 {
+                return Err(ModelError::BadParameter(format!(
+                    "theta {theta} outside (0,1]"
+                )));
+            }
+            if err < last_err {
+                return Err(ModelError::BadParameter(
+                    "error must be non-decreasing in theta".into(),
+                ));
+            }
+            last_err = err;
+        }
+        Ok(TabulatedAccuracy { points })
+    }
+}
+
+impl AccuracyCurve for TabulatedAccuracy {
+    fn error_at(&self, theta: f64) -> f64 {
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+        let mut prev = (0.0, 0.0);
+        for &(x, y) in &self.points {
+            if theta <= x {
+                let span = x - prev.0;
+                if span <= 0.0 {
+                    return y;
+                }
+                let frac = (theta - prev.0) / span;
+                return prev.1 + frac * (y - prev.1);
+            }
+            prev = (x, y);
+        }
+        // Beyond the last point: extrapolate flat (conservative for feasibility).
+        prev.1
+    }
+
+    fn max_theta_for(&self, bound: f64) -> f64 {
+        if bound <= 0.0 {
+            return 0.0;
+        }
+        let mut prev = (0.0, 0.0);
+        for &(x, y) in &self.points {
+            if y > bound {
+                let span = y - prev.1;
+                if span <= 0.0 {
+                    return prev.0;
+                }
+                return prev.0 + (bound - prev.1) / span * (x - prev.0);
+            }
+            prev = (x, y);
+        }
+        prev.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_calibration_matches_fig6() {
+        let m = SamplingErrorModel::paper_fig6();
+        // The one-parameter √ shape reproduces the calibration points within a few
+        // percentage points (the tabulated curve is exact where that matters).
+        assert!((m.error_at(0.1) - 8.5).abs() < 4.0, "{}", m.error_at(0.1));
+        assert!((m.error_at(0.2) - 15.0).abs() < 4.0, "{}", m.error_at(0.2));
+        assert!((m.error_at(0.4) - 32.0).abs() < 5.0, "{}", m.error_at(0.4));
+        // Sub-linear growth: err(0.4) < 4 × err(0.1).
+        assert!(m.error_at(0.4) < 4.0 * m.error_at(0.1));
+    }
+
+    #[test]
+    fn inversion_roundtrips() {
+        let m = SamplingErrorModel::new(25.0).unwrap();
+        for bound in [5.0, 8.5, 15.0, 32.0] {
+            let theta = m.max_theta_for(bound);
+            assert!((m.error_at(theta) - bound).abs() < 1e-9);
+        }
+        assert_eq!(m.max_theta_for(0.0), 0.0);
+    }
+
+    #[test]
+    fn fit_exact_shape_recovers_coefficient() {
+        let truth = SamplingErrorModel::new(30.0).unwrap();
+        let pts: Vec<(f64, f64)> = [0.1, 0.2, 0.4, 0.6]
+            .iter()
+            .map(|&t| (t, truth.error_at(t)))
+            .collect();
+        let fitted = SamplingErrorModel::fit(&pts).unwrap();
+        assert!((fitted.coefficient() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tabulated_interpolates() {
+        let t = TabulatedAccuracy::new(vec![(0.1, 8.5), (0.2, 15.0), (0.4, 32.0)]).unwrap();
+        assert!((t.error_at(0.1) - 8.5).abs() < 1e-12);
+        assert!((t.error_at(0.15) - 11.75).abs() < 1e-12);
+        // Below the first point interpolates from (0,0).
+        assert!((t.error_at(0.05) - 4.25).abs() < 1e-12);
+        // Inversion.
+        assert!((t.max_theta_for(15.0) - 0.2).abs() < 1e-12);
+        assert!((t.max_theta_for(23.5) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tabulated_validation() {
+        assert!(TabulatedAccuracy::new(vec![]).is_err());
+        assert!(TabulatedAccuracy::new(vec![(0.0, 1.0)]).is_err());
+        assert!(TabulatedAccuracy::new(vec![(0.2, 10.0), (0.3, 5.0)]).is_err());
+    }
+
+    #[test]
+    fn zero_drop_zero_error() {
+        let m = SamplingErrorModel::paper_fig6();
+        assert_eq!(m.error_at(0.0), 0.0);
+        let t = TabulatedAccuracy::new(vec![(0.5, 20.0)]).unwrap();
+        assert_eq!(t.error_at(0.0), 0.0);
+    }
+}

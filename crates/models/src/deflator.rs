@@ -1,0 +1,507 @@
+//! The model-guided task deflator (paper §3.2 and §5.3).
+//!
+//! The deflator chooses, for every priority class, the approximation level `θ_k`
+//! (and optionally a sprint timeout) given each class's tolerance to accuracy
+//! degradation and latency targets. Following the paper's suggested procedure, it
+//! **exhaustively searches** a grid of drop-ratio combinations, scoring each with the
+//! stochastic models: accuracy curves bound the admissible `θ_k`, and the
+//! non-preemptive priority-queue formulas predict per-class mean response times.
+//!
+//! The search minimizes a weighted combination of predicted latency and accuracy
+//! loss over the feasible set; ties resolve toward smaller drop ratios (less
+//! accuracy loss). "Such a searching procedure needs to be evoked upon every
+//! workload change" (§5.3) — a [`Deflator`] is cheap to rebuild.
+
+use serde::{Deserialize, Serialize};
+
+use dias_stochastic::Ph;
+
+use crate::accuracy::AccuracyCurve;
+use crate::priority::{non_preemptive_means, ClassInput, ClassMeans};
+use crate::sprint::{sprinted_moments, SprintEffect};
+use crate::{ModelError, TaskLevelModel};
+
+/// A source of per-class service-time distributions parameterized by drop ratio.
+///
+/// Implemented by [`TaskLevelModel`] (rebuilding Eq. 1 with the new `θ_m`); wrap
+/// profiled wave-level models in a closure-style adapter if needed.
+pub trait ThetaService {
+    /// The service-time PH when dropping a fraction `theta` of (map) tasks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the underlying model rejects `theta`.
+    fn service_ph(&self, theta: f64) -> Result<Ph, ModelError>;
+}
+
+impl ThetaService for TaskLevelModel {
+    /// Applies `theta` to the map stage and keeps the configured reduce drop ratio.
+    fn service_ph(&self, theta: f64) -> Result<Ph, ModelError> {
+        self.with_drop(theta, self.theta_reduce).ph()
+    }
+}
+
+/// Per-class constraints and workload facts the deflator plans against.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassConstraints {
+    /// Poisson arrival rate of the class (jobs/s).
+    pub lambda: f64,
+    /// Maximum tolerated relative error, in percent (0 for exact classes).
+    pub max_error_pct: f64,
+    /// Optional bound on the class's predicted mean response time (seconds).
+    pub mean_latency_bound: Option<f64>,
+    /// Optional sprint applied to the class's jobs.
+    pub sprint: Option<SprintEffect>,
+}
+
+/// The deflator's decision: per-class drop ratios with model predictions attached.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeflatorPlan {
+    /// Chosen drop ratio per class (same indexing as the input classes).
+    pub thetas: Vec<f64>,
+    /// Predicted per-class mean waiting/response under the chosen ratios.
+    pub predicted: Vec<ClassMeans>,
+    /// Predicted relative error (%) per class.
+    pub errors: Vec<f64>,
+    /// Objective value of the selected plan (lower is better).
+    pub objective: f64,
+}
+
+/// Relative importance of latency vs accuracy in the deflator's objective.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveWeights {
+    /// Weight on the λ-weighted mean response time (normalized by the no-drop
+    /// baseline).
+    pub latency: f64,
+    /// Weight on the λ-weighted accuracy loss (fraction of the class bound used).
+    pub accuracy: f64,
+}
+
+impl Default for ObjectiveWeights {
+    fn default() -> Self {
+        ObjectiveWeights {
+            latency: 1.0,
+            accuracy: 0.25,
+        }
+    }
+}
+
+/// The model-guided deflator: searches drop-ratio combinations for all classes.
+///
+/// Classes are indexed with higher index = higher priority, as everywhere in the
+/// workspace.
+pub struct Deflator<'a> {
+    classes: Vec<(
+        ClassConstraints,
+        &'a dyn ThetaService,
+        &'a dyn AccuracyCurve,
+    )>,
+    theta_grid: Vec<f64>,
+    weights: ObjectiveWeights,
+}
+
+impl<'a> Deflator<'a> {
+    /// Creates a deflator with the default candidate grid
+    /// `{0, 0.05, 0.1, …, 0.9}` and default weights.
+    #[must_use]
+    pub fn new() -> Self {
+        Deflator {
+            classes: Vec::new(),
+            theta_grid: (0..=18).map(|i| i as f64 * 0.05).collect(),
+            weights: ObjectiveWeights::default(),
+        }
+    }
+
+    /// Adds a class (call in priority order, lowest first).
+    pub fn class(
+        &mut self,
+        constraints: ClassConstraints,
+        service: &'a dyn ThetaService,
+        accuracy: &'a dyn AccuracyCurve,
+    ) -> &mut Self {
+        self.classes.push((constraints, service, accuracy));
+        self
+    }
+
+    /// Replaces the candidate drop-ratio grid.
+    pub fn theta_grid(&mut self, grid: Vec<f64>) -> &mut Self {
+        self.theta_grid = grid;
+        self
+    }
+
+    /// Replaces the objective weights.
+    pub fn weights(&mut self, weights: ObjectiveWeights) -> &mut Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Runs the exhaustive search and returns the best feasible plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadParameter`] when no classes were added or the grid is
+    /// empty, and [`ModelError::Unstable`] when *no* candidate combination yields a
+    /// stable queue (the search skips individually unstable combinations otherwise).
+    pub fn plan(&self) -> Result<DeflatorPlan, ModelError> {
+        if self.classes.is_empty() {
+            return Err(ModelError::BadParameter("no classes configured".into()));
+        }
+        if self.theta_grid.is_empty() {
+            return Err(ModelError::BadParameter("empty theta grid".into()));
+        }
+        let k = self.classes.len();
+
+        // Admissible candidates per class: grid values within the accuracy bound.
+        let mut candidates: Vec<Vec<f64>> = Vec::with_capacity(k);
+        for (cons, _, acc) in &self.classes {
+            let max_theta = acc.max_theta_for(cons.max_error_pct);
+            let mut cs: Vec<f64> = self
+                .theta_grid
+                .iter()
+                .copied()
+                .filter(|&t| t <= max_theta + 1e-12)
+                .collect();
+            if cs.is_empty() {
+                cs.push(0.0);
+            }
+            candidates.push(cs);
+        }
+
+        // Baseline response (all θ = 0) for normalization; fall back to 1 when the
+        // undropped system is itself unstable (then only latency ordering matters).
+        let baseline = self
+            .evaluate(&vec![0.0; k])
+            .map(|(m, _)| weighted_response(&self.lambdas(), &m))
+            .unwrap_or(1.0);
+
+        let mut best: Option<DeflatorPlan> = None;
+        let mut combo = vec![0usize; k];
+        loop {
+            let thetas: Vec<f64> = combo
+                .iter()
+                .enumerate()
+                .map(|(c, &i)| candidates[c][i])
+                .collect();
+            if let Ok((means, errors)) = self.evaluate(&thetas) {
+                let feasible =
+                    self.classes.iter().zip(&means).all(|((cons, _, _), m)| {
+                        match cons.mean_latency_bound {
+                            Some(bound) => m.response <= bound,
+                            None => true,
+                        }
+                    });
+                if feasible {
+                    let lam = self.lambdas();
+                    let latency_term = weighted_response(&lam, &means) / baseline.max(1e-12);
+                    let accuracy_term = {
+                        let total: f64 = lam.iter().sum();
+                        self.classes
+                            .iter()
+                            .zip(&errors)
+                            .map(|((cons, _, _), &e)| {
+                                let share = cons.lambda / total;
+                                if cons.max_error_pct > 0.0 {
+                                    share * e / cons.max_error_pct
+                                } else {
+                                    0.0
+                                }
+                            })
+                            .sum::<f64>()
+                    };
+                    let objective =
+                        self.weights.latency * latency_term + self.weights.accuracy * accuracy_term;
+                    let better = match &best {
+                        None => true,
+                        Some(b) => {
+                            objective < b.objective - 1e-12
+                                || ((objective - b.objective).abs() <= 1e-12
+                                    && thetas.iter().sum::<f64>() < b.thetas.iter().sum::<f64>())
+                        }
+                    };
+                    if better {
+                        best = Some(DeflatorPlan {
+                            thetas: thetas.clone(),
+                            predicted: means,
+                            errors,
+                            objective,
+                        });
+                    }
+                }
+            }
+            // Advance the mixed-radix counter over candidate combinations.
+            let mut pos = 0;
+            loop {
+                if pos == k {
+                    return best.ok_or(ModelError::Unstable { utilization: 1.0 });
+                }
+                combo[pos] += 1;
+                if combo[pos] < candidates[pos].len() {
+                    break;
+                }
+                combo[pos] = 0;
+                pos += 1;
+            }
+        }
+    }
+
+    fn lambdas(&self) -> Vec<f64> {
+        self.classes.iter().map(|(c, _, _)| c.lambda).collect()
+    }
+
+    /// Predicted means and errors for a drop-ratio vector.
+    fn evaluate(&self, thetas: &[f64]) -> Result<(Vec<ClassMeans>, Vec<f64>), ModelError> {
+        let mut inputs = Vec::with_capacity(self.classes.len());
+        let mut errors = Vec::with_capacity(self.classes.len());
+        for ((cons, service, acc), &theta) in self.classes.iter().zip(thetas) {
+            let ph = service.service_ph(theta)?;
+            let (m1, m2) = match &cons.sprint {
+                Some(e) => sprinted_moments(&ph, e),
+                None => (ph.moment(1), ph.moment(2)),
+            };
+            inputs.push(ClassInput {
+                lambda: cons.lambda,
+                mean_service: m1,
+                second_moment: m2,
+            });
+            errors.push(acc.error_at(theta));
+        }
+        let means = non_preemptive_means(&inputs)?;
+        Ok((means, errors))
+    }
+}
+
+impl Default for Deflator<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn weighted_response(lambdas: &[f64], means: &[ClassMeans]) -> f64 {
+    let total: f64 = lambdas.iter().sum();
+    lambdas
+        .iter()
+        .zip(means)
+        .map(|(l, m)| l / total * m.response)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::SamplingErrorModel;
+    use dias_stochastic::DiscreteDist;
+
+    fn model(map_mean: f64) -> TaskLevelModel {
+        TaskLevelModel {
+            slots: 20,
+            map_tasks: DiscreteDist::constant(50),
+            reduce_tasks: DiscreteDist::constant(10),
+            setup_rate: 1.0 / 12.0,
+            map_task_rate: 1.0 / map_mean,
+            shuffle_rate: 1.0 / 8.0,
+            reduce_task_rate: 1.0 / 12.0,
+            theta_map: 0.0,
+            theta_reduce: 0.0,
+        }
+    }
+
+    #[test]
+    fn zero_tolerance_forces_zero_drop() {
+        let low = model(35.0);
+        let high = model(15.0);
+        let acc = SamplingErrorModel::paper_fig6();
+        let mut d = Deflator::new();
+        d.class(
+            ClassConstraints {
+                lambda: 0.003,
+                max_error_pct: 0.0,
+                mean_latency_bound: None,
+                sprint: None,
+            },
+            &low,
+            &acc,
+        );
+        d.class(
+            ClassConstraints {
+                lambda: 0.0005,
+                max_error_pct: 0.0,
+                mean_latency_bound: None,
+                sprint: None,
+            },
+            &high,
+            &acc,
+        );
+        let plan = d.plan().unwrap();
+        assert_eq!(plan.thetas, vec![0.0, 0.0]);
+        assert_eq!(plan.errors, vec![0.0, 0.0]);
+    }
+
+    /// Response of the high class with both classes forced to zero drop.
+    fn zero_drop_reference(low: &TaskLevelModel, high: &TaskLevelModel) -> DeflatorPlan {
+        let acc = SamplingErrorModel::paper_fig6();
+        let mut d = Deflator::new();
+        d.class(
+            ClassConstraints {
+                lambda: 0.0036,
+                max_error_pct: 0.0,
+                mean_latency_bound: None,
+                sprint: None,
+            },
+            low,
+            &acc,
+        );
+        d.class(
+            ClassConstraints {
+                lambda: 0.0005,
+                max_error_pct: 0.0,
+                mean_latency_bound: None,
+                sprint: None,
+            },
+            high,
+            &acc,
+        );
+        d.plan().unwrap()
+    }
+
+    #[test]
+    fn tolerant_low_class_gets_dropped() {
+        // High enough load that queueing dominates: dropping clearly pays off.
+        let low = model(35.0);
+        let high = model(15.0);
+        let acc = SamplingErrorModel::paper_fig6();
+        let mut d = Deflator::new();
+        d.class(
+            ClassConstraints {
+                lambda: 0.0036,
+                max_error_pct: 15.0, // tolerates ~20% drop per Fig 6
+                mean_latency_bound: None,
+                sprint: None,
+            },
+            &low,
+            &acc,
+        );
+        d.class(
+            ClassConstraints {
+                lambda: 0.0005,
+                max_error_pct: 0.0,
+                mean_latency_bound: None,
+                sprint: None,
+            },
+            &high,
+            &acc,
+        );
+        let plan = d.plan().unwrap();
+        assert_eq!(plan.thetas[1], 0.0, "exact class must not drop");
+        assert!(
+            plan.thetas[0] > 0.0,
+            "tolerant low class should be approximated, got {:?}",
+            plan.thetas
+        );
+        // Accuracy bound respected.
+        assert!(plan.errors[0] <= 15.0 + 1e-9);
+        // The plan improves on the zero-drop reference.
+        let reference = zero_drop_reference(&low, &high);
+        assert!(plan.predicted[0].response < reference.predicted[0].response);
+    }
+
+    #[test]
+    fn latency_bound_filters_candidates() {
+        let low = model(35.0);
+        let high = model(15.0);
+        let acc = SamplingErrorModel::paper_fig6();
+        // Demand a high-class response strictly better than the zero-drop value:
+        // only plans that deflate the low class can satisfy it.
+        let reference = zero_drop_reference(&low, &high);
+        let tight_bound = reference.predicted[1].response * 0.97;
+
+        let mut d = Deflator::new();
+        d.class(
+            ClassConstraints {
+                lambda: 0.0036,
+                max_error_pct: 32.0,
+                mean_latency_bound: None,
+                sprint: None,
+            },
+            &low,
+            &acc,
+        );
+        d.class(
+            ClassConstraints {
+                lambda: 0.0005,
+                max_error_pct: 0.0,
+                mean_latency_bound: Some(tight_bound),
+                sprint: None,
+            },
+            &high,
+            &acc,
+        );
+        let plan = d.plan().unwrap();
+        assert!(plan.predicted[1].response <= tight_bound + 1e-9);
+        assert!(
+            plan.thetas[0] > 0.0,
+            "meeting the tighter bound requires dropping, got {:?}",
+            plan.thetas
+        );
+    }
+
+    #[test]
+    fn sprint_improves_predicted_latency() {
+        let low = model(35.0);
+        let high = model(15.0);
+        let acc = SamplingErrorModel::paper_fig6();
+        let build = |sprint: Option<SprintEffect>| {
+            let mut d = Deflator::new();
+            d.class(
+                ClassConstraints {
+                    lambda: 0.003,
+                    max_error_pct: 15.0,
+                    mean_latency_bound: None,
+                    sprint: None,
+                },
+                &low,
+                &acc,
+            );
+            d.class(
+                ClassConstraints {
+                    lambda: 0.0005,
+                    max_error_pct: 0.0,
+                    mean_latency_bound: None,
+                    sprint,
+                },
+                &high,
+                &acc,
+            );
+            d.plan().unwrap()
+        };
+        let plain = build(None);
+        let sprinted = build(Some(SprintEffect::new(0.0, 2.5)));
+        assert!(
+            sprinted.predicted[1].response < plain.predicted[1].response,
+            "sprinting must improve the high class"
+        );
+    }
+
+    #[test]
+    fn empty_deflator_rejected() {
+        assert!(Deflator::new().plan().is_err());
+    }
+
+    #[test]
+    fn overloaded_system_unstable_everywhere() {
+        let low = model(35.0);
+        let acc = SamplingErrorModel::paper_fig6();
+        let mut d = Deflator::new();
+        // λ·E[S] >> 1 even at max drop.
+        d.class(
+            ClassConstraints {
+                lambda: 10.0,
+                max_error_pct: 5.0,
+                mean_latency_bound: None,
+                sprint: None,
+            },
+            &low,
+            &acc,
+        );
+        assert!(matches!(d.plan(), Err(ModelError::Unstable { .. })));
+    }
+}

@@ -1,0 +1,86 @@
+//! The DiAS paper's stochastic models (§4): bottom-up phase-type job models and the
+//! multi-priority queueing analysis that guides the deflator.
+//!
+//! The paper models a big-data cluster as a single server (each job seizes all `C`
+//! computing slots) serving `K` priority classes. Job processing times are built
+//! bottom-up as phase-type (PH) distributions, either
+//!
+//! * at the **task level** ([`TaskLevelModel`], Eq. 1 of the paper): a birth-type
+//!   chain over `{O, M_t, …, M_1, S, R_u, …, R_1}` tracking remaining map/reduce
+//!   tasks with parallelism capped at `C`; or
+//! * at the **wave level** ([`WaveLevelModel`], §4.2): consecutive waves of `C`
+//!   tasks, each wave an arbitrary PH block, mixed over the random wave count
+//!   `q_m(d)`.
+//!
+//! Task dropping enters through the effective counts `n̄ = ⌈n(1−θ)⌉`; sprinting
+//! through modified service moments ([`sprint`]). The per-class response times of the
+//! resulting MMAP[K]/PH[K]/1 queue are computed two ways:
+//!
+//! * exact **means** for marked-Poisson arrivals via classical M[K]/G/1 priority
+//!   formulas ([`priority`]), plus the exact M/PH/1 waiting-time distribution
+//!   ([`priority::mph1_waiting_ph`]);
+//! * full **distributions** (tail percentiles) by Monte-Carlo evaluation of the same
+//!   stochastic model ([`mc::McQueue`]) — substituting for Horváth's matrix-analytic
+//!   solver, as documented in `DESIGN.md`.
+//!
+//! The [`deflator`] module implements the paper's §5.3 procedure: exhaustively search
+//! drop ratios and sprint timeouts against accuracy and latency constraints, scoring
+//! candidates with the models above.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod deflator;
+pub mod mc;
+pub mod overhead;
+pub mod priority;
+pub mod sprint;
+mod task_level;
+mod wave_level;
+
+pub use task_level::TaskLevelModel;
+pub use wave_level::{effective_tasks, wave_count_probs, WaveLevelModel};
+
+use std::fmt;
+
+/// Errors produced by the model constructors and solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A parameter was outside its valid range.
+    BadParameter(String),
+    /// The queueing system is unstable (utilization at or above 1).
+    Unstable {
+        /// Offered load of the offending class and all higher-priority classes.
+        utilization: f64,
+    },
+    /// An underlying phase-type construction failed.
+    Ph(dias_stochastic::PhError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
+            ModelError::Unstable { utilization } => {
+                write!(f, "queue unstable: utilization {utilization} >= 1")
+            }
+            ModelError::Ph(e) => write!(f, "phase-type error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Ph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dias_stochastic::PhError> for ModelError {
+    fn from(e: dias_stochastic::PhError) -> Self {
+        ModelError::Ph(e)
+    }
+}

@@ -1,0 +1,418 @@
+//! Monte-Carlo evaluation of the MMAP[K]/PH[K]/1 priority queue.
+//!
+//! The paper uses Horváth's matrix-analytic method to obtain per-class response-time
+//! *distributions*. This module evaluates exactly the same stochastic model —
+//! marked arrivals, PH service per class, single server, priority scheduling —
+//! numerically: it simulates the queue (not the cluster) and reports per-class
+//! response/waiting sample sets from which any percentile follows. Means are
+//! cross-checked against the exact formulas in [`crate::priority`] in the tests.
+//!
+//! Beyond the disciplines the exact formulas cover, the evaluator also supports
+//! *preemptive-repeat* — eviction that re-executes jobs from scratch, the behaviour
+//! production preemption actually exhibits and the source of the paper's "resource
+//! waste" metric.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use dias_des::stats::SampleSet;
+use dias_des::SeedSequence;
+use dias_stochastic::{MarkedPoisson, Ph};
+
+use crate::sprint::SprintEffect;
+use crate::ModelError;
+
+/// Queue discipline across priority classes (within a class: FCFS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Discipline {
+    /// Jobs in service always finish; arrivals wait (the DiAS discipline).
+    NonPreemptive,
+    /// Higher-priority arrivals suspend the job in service; it later resumes where
+    /// it stopped (optimistic eviction).
+    PreemptiveResume,
+    /// Higher-priority arrivals evict the job in service; it re-runs from scratch
+    /// with the *same* total service requirement (production-style eviction; the
+    /// work already done is wasted).
+    PreemptiveRepeatIdentical,
+    /// Like repeat, but the re-run draws a fresh service time.
+    PreemptiveRepeatResample,
+}
+
+impl Discipline {
+    /// Whether the discipline evicts running jobs.
+    #[must_use]
+    pub fn is_preemptive(self) -> bool {
+        !matches!(self, Discipline::NonPreemptive)
+    }
+}
+
+/// Configuration of a Monte-Carlo queue run.
+#[derive(Debug, Clone)]
+pub struct McQueue {
+    /// Marked Poisson arrivals, one rate per class (class index = priority; higher
+    /// index = higher priority).
+    pub arrivals: MarkedPoisson,
+    /// Per-class base-speed service-time distributions.
+    pub service: Vec<Ph>,
+    /// Optional sprint transform per class, applied to each service requirement.
+    pub sprint: Vec<Option<SprintEffect>>,
+    /// Scheduling discipline.
+    pub discipline: Discipline,
+    /// Number of completed jobs to record after warm-up.
+    pub jobs: usize,
+    /// Completed jobs discarded before recording statistics.
+    pub warmup: usize,
+    /// Master seed for reproducibility.
+    pub seed: u64,
+}
+
+/// Per-class sample sets and system-level outcomes of a Monte-Carlo run.
+#[derive(Debug, Clone, Default)]
+pub struct McResult {
+    /// Response-time samples per class (arrival to completion).
+    pub response: Vec<SampleSet>,
+    /// Waiting-time samples per class (response − final execution time).
+    pub waiting: Vec<SampleSet>,
+    /// Final execution-time samples per class (service actually delivered on the
+    /// completing attempt, after any sprint transform).
+    pub execution: Vec<SampleSet>,
+    /// Fraction of delivered service time that was wasted on evicted attempts.
+    pub waste_fraction: f64,
+    /// Server busy fraction over the run horizon.
+    pub utilization: f64,
+}
+
+impl McResult {
+    /// Mean response time of class `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn mean_response(&self, k: usize) -> f64 {
+        self.response[k].mean()
+    }
+
+    /// 95th-percentile response time of class `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn p95_response(&self, k: usize) -> f64 {
+        self.response[k].p95()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Job {
+    class: usize,
+    arrived: f64,
+    /// Full (sprint-transformed) service requirement of the current attempt.
+    total: f64,
+    /// Remaining service of the current attempt.
+    remaining: f64,
+    /// Service delivered to evicted attempts (wasted work).
+    wasted: f64,
+}
+
+impl McQueue {
+    /// Runs the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadParameter`] if the class counts of `arrivals`,
+    /// `service` and `sprint` disagree or `jobs == 0`. An unstable configuration is
+    /// not an error — the run simply reports very large responses — but
+    /// [`ModelError::Unstable`] is returned when a *repeat* discipline is driven at
+    /// base utilization ≥ 1, where the simulation could not terminate.
+    pub fn run(&self) -> Result<McResult, ModelError> {
+        let k = self.arrivals.classes();
+        if self.service.len() != k || self.sprint.len() != k {
+            return Err(ModelError::BadParameter(format!(
+                "{} classes but {} service and {} sprint entries",
+                k,
+                self.service.len(),
+                self.sprint.len()
+            )));
+        }
+        if self.jobs == 0 {
+            return Err(ModelError::BadParameter("jobs must be positive".into()));
+        }
+        let rho: f64 = (0..k)
+            .map(|c| self.arrivals.rates()[c] * self.service[c].mean())
+            .sum();
+        if rho >= 1.0 && self.discipline.is_preemptive() {
+            return Err(ModelError::Unstable { utilization: rho });
+        }
+
+        let seeds = SeedSequence::new(self.seed);
+        let mut arr_rng: StdRng = seeds.stream("mc/arrivals");
+        let mut svc_rng: StdRng = seeds.stream("mc/service");
+
+        let mut queues: Vec<VecDeque<Job>> = (0..k).map(|_| VecDeque::new()).collect();
+        let mut in_service: Option<Job> = None;
+        let mut service_started = 0.0f64;
+
+        let mut now = 0.0f64;
+        let mut next_arrival = self.arrivals.sample_next(&mut arr_rng, now);
+        let mut completed = 0usize;
+        let mut busy_time = 0.0f64;
+        let mut wasted_time = 0.0f64;
+        let mut delivered_time = 0.0f64;
+
+        let mut result = McResult {
+            response: vec![SampleSet::new(); k],
+            waiting: vec![SampleSet::new(); k],
+            execution: vec![SampleSet::new(); k],
+            ..Default::default()
+        };
+
+        let target = self.warmup + self.jobs;
+        while completed < target {
+            let completion_time = in_service.as_ref().map(|j| service_started + j.remaining);
+            let next_is_arrival = match completion_time {
+                None => true,
+                Some(ct) => next_arrival.time < ct,
+            };
+
+            if next_is_arrival {
+                now = next_arrival.time;
+                let class = next_arrival.class;
+                let base = self.service[class].sample(&mut svc_rng);
+                let total = match &self.sprint[class] {
+                    Some(e) => e.apply(base),
+                    None => base,
+                };
+                let job = Job {
+                    class,
+                    arrived: now,
+                    total,
+                    remaining: total,
+                    wasted: 0.0,
+                };
+                next_arrival = self.arrivals.sample_next(&mut arr_rng, now);
+
+                match &mut in_service {
+                    None => {
+                        in_service = Some(job);
+                        service_started = now;
+                    }
+                    Some(current) if self.discipline.is_preemptive() && class > current.class => {
+                        // Evict the running job back to the head of its buffer.
+                        let mut evicted = in_service.take().expect("checked above");
+                        let done = now - service_started;
+                        busy_time += done;
+                        delivered_time += done;
+                        match self.discipline {
+                            Discipline::PreemptiveResume => {
+                                evicted.remaining -= done;
+                            }
+                            Discipline::PreemptiveRepeatIdentical => {
+                                evicted.wasted += done;
+                                wasted_time += done;
+                                evicted.remaining = evicted.total;
+                            }
+                            Discipline::PreemptiveRepeatResample => {
+                                evicted.wasted += done;
+                                wasted_time += done;
+                                let base = self.service[evicted.class].sample(&mut svc_rng);
+                                evicted.total = match &self.sprint[evicted.class] {
+                                    Some(e) => e.apply(base),
+                                    None => base,
+                                };
+                                evicted.remaining = evicted.total;
+                            }
+                            Discipline::NonPreemptive => unreachable!("checked above"),
+                        }
+                        queues[evicted.class].push_front(evicted);
+                        in_service = Some(job);
+                        service_started = now;
+                    }
+                    Some(_) => queues[class].push_back(job),
+                }
+            } else {
+                // Completion.
+                now = completion_time.expect("branch requires a running job");
+                let job = in_service.take().expect("branch requires a running job");
+                let done = now - service_started;
+                busy_time += done;
+                delivered_time += done;
+                completed += 1;
+                if completed > self.warmup {
+                    let response = now - job.arrived;
+                    result.response[job.class].push(response);
+                    result.execution[job.class].push(job.total);
+                    result.waiting[job.class].push((response - job.total).max(0.0));
+                }
+                // Next job: head of the highest-priority non-empty buffer.
+                for q in queues.iter_mut().rev() {
+                    if let Some(next) = q.pop_front() {
+                        in_service = Some(next);
+                        service_started = now;
+                        break;
+                    }
+                }
+            }
+        }
+
+        result.waste_fraction = if delivered_time > 0.0 {
+            wasted_time / delivered_time
+        } else {
+            0.0
+        };
+        result.utilization = if now > 0.0 { busy_time / now } else { 0.0 };
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::priority::{non_preemptive_means, preemptive_resume_means, ClassInput};
+
+    fn two_class_queue(discipline: Discipline) -> McQueue {
+        McQueue {
+            arrivals: MarkedPoisson::new(vec![0.27, 0.03]).unwrap(),
+            service: vec![
+                Ph::erlang(2, 1.0).unwrap(), // low priority, mean 2
+                Ph::exponential(1.0).unwrap(),
+            ],
+            sprint: vec![None, None],
+            discipline,
+            jobs: 60_000,
+            warmup: 5_000,
+            seed: 42,
+        }
+    }
+
+    fn inputs(q: &McQueue) -> Vec<ClassInput> {
+        (0..2)
+            .map(|k| ClassInput::from_ph(q.arrivals.rates()[k], &q.service[k]))
+            .collect()
+    }
+
+    #[test]
+    fn non_preemptive_matches_cobham() {
+        let q = two_class_queue(Discipline::NonPreemptive);
+        let result = q.run().unwrap();
+        let exact = non_preemptive_means(&inputs(&q)).unwrap();
+        for (k, ex) in exact.iter().enumerate() {
+            let rel = (result.mean_response(k) - ex.response).abs() / ex.response;
+            assert!(
+                rel < 0.06,
+                "class {k}: MC {} vs exact {}",
+                result.mean_response(k),
+                exact[k].response
+            );
+        }
+        assert_eq!(result.waste_fraction, 0.0);
+    }
+
+    #[test]
+    fn preemptive_resume_matches_formula() {
+        let q = two_class_queue(Discipline::PreemptiveResume);
+        let result = q.run().unwrap();
+        let exact = preemptive_resume_means(&inputs(&q)).unwrap();
+        for (k, ex) in exact.iter().enumerate() {
+            let rel = (result.mean_response(k) - ex.response).abs() / ex.response;
+            assert!(
+                rel < 0.06,
+                "class {k}: MC {} vs exact {}",
+                result.mean_response(k),
+                exact[k].response
+            );
+        }
+    }
+
+    #[test]
+    fn repeat_wastes_resources_and_slows_low_class() {
+        let resume = two_class_queue(Discipline::PreemptiveResume).run().unwrap();
+        let repeat = two_class_queue(Discipline::PreemptiveRepeatIdentical)
+            .run()
+            .unwrap();
+        assert!(repeat.waste_fraction > 0.0, "repeat must waste work");
+        assert!(
+            repeat.mean_response(0) > resume.mean_response(0),
+            "repeat must slow the low class: {} vs {}",
+            repeat.mean_response(0),
+            resume.mean_response(0)
+        );
+        // High class is unaffected by the low class under preemption.
+        let rel =
+            (repeat.mean_response(1) - resume.mean_response(1)).abs() / resume.mean_response(1);
+        assert!(rel < 0.06, "high class should match: rel {rel}");
+    }
+
+    #[test]
+    fn repeat_resample_also_wastes() {
+        let r = two_class_queue(Discipline::PreemptiveRepeatResample)
+            .run()
+            .unwrap();
+        assert!(r.waste_fraction > 0.0);
+        assert!(r.mean_response(0) > 0.0);
+    }
+
+    #[test]
+    fn utilization_close_to_offered_load() {
+        let q = two_class_queue(Discipline::NonPreemptive);
+        let result = q.run().unwrap();
+        let rho: f64 = 0.27 * 2.0 + 0.03 * 1.0;
+        assert!(
+            (result.utilization - rho).abs() < 0.03,
+            "util {} vs rho {rho}",
+            result.utilization
+        );
+    }
+
+    #[test]
+    fn sprint_shrinks_high_class_service() {
+        let mut q = two_class_queue(Discipline::NonPreemptive);
+        q.sprint[1] = Some(SprintEffect::new(0.0, 2.5));
+        let sprinted = q.run().unwrap();
+        let plain = two_class_queue(Discipline::NonPreemptive).run().unwrap();
+        let ratio = sprinted.execution[1].mean() / plain.execution[1].mean();
+        assert!(
+            (ratio - 0.4).abs() < 0.05,
+            "sprint-from-dispatch at 2.5x should scale exec by 0.4, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn p95_exceeds_mean() {
+        let r = two_class_queue(Discipline::NonPreemptive).run().unwrap();
+        for k in 0..2 {
+            assert!(r.p95_response(k) > r.mean_response(k));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = two_class_queue(Discipline::NonPreemptive).run().unwrap();
+        let b = two_class_queue(Discipline::NonPreemptive).run().unwrap();
+        assert_eq!(a.mean_response(0), b.mean_response(0));
+        assert_eq!(a.p95_response(1), b.p95_response(1));
+    }
+
+    #[test]
+    fn misconfigured_inputs_rejected() {
+        let mut q = two_class_queue(Discipline::NonPreemptive);
+        q.sprint.pop();
+        assert!(q.run().is_err());
+        let mut q = two_class_queue(Discipline::NonPreemptive);
+        q.jobs = 0;
+        assert!(q.run().is_err());
+    }
+
+    #[test]
+    fn waiting_plus_execution_equals_response_for_non_preemptive() {
+        let r = two_class_queue(Discipline::NonPreemptive).run().unwrap();
+        for k in 0..2 {
+            let lhs = r.waiting[k].mean() + r.execution[k].mean();
+            let rhs = r.response[k].mean();
+            assert!((lhs - rhs).abs() < 1e-9, "class {k}: {lhs} vs {rhs}");
+        }
+    }
+}

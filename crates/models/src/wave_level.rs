@@ -1,0 +1,400 @@
+//! The wave-level processing-time model (paper §4.2).
+//!
+//! Tasks tend to have similar execution times, so a job with `t̄` effective tasks on
+//! `C` slots executes in `⌈t̄/C⌉` consecutive *waves*. Each wave's duration is an
+//! arbitrary PH block — avoiding the exponential assumption of the task-level model —
+//! and the number of waves is random, mixed by
+//! `q_m(d) = Σ_{t̄ ∈ ((d−1)C, dC]} Σ_{t : ⌈t(1−θ)⌉ = t̄} p_m(t)`.
+//!
+//! The job processing time is the literal block matrix of the paper: overhead block
+//! `O`, map-wave blocks chained in sequence (a `d`-wave job *enters* at block
+//! `D−d+1` so every job finishes through the last block), shuffle block `S`, and
+//! reduce-wave blocks likewise.
+
+use serde::{Deserialize, Serialize};
+
+use dias_linalg::Matrix;
+use dias_stochastic::{DiscreteDist, Ph};
+
+use crate::ModelError;
+
+/// Effective number of tasks after dropping: `⌈n(1−θ)⌉`.
+///
+/// # Panics
+///
+/// Panics if `theta` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use dias_models::effective_tasks;
+///
+/// assert_eq!(effective_tasks(50, 0.0), 50);
+/// assert_eq!(effective_tasks(50, 0.2), 40);
+/// assert_eq!(effective_tasks(50, 0.99), 1);
+/// assert_eq!(effective_tasks(50, 1.0), 0);
+/// ```
+#[must_use]
+pub fn effective_tasks(n: usize, theta: f64) -> usize {
+    assert!((0.0..=1.0).contains(&theta), "theta must be in [0,1]");
+    (n as f64 * (1.0 - theta)).ceil() as usize
+}
+
+/// Wave-count probabilities `q(d)` for a task-count distribution under drop ratio
+/// `theta` and `slots` computing slots. Entry `d−1` holds `P(d waves)`; jobs whose
+/// stage drops away entirely contribute to an implicit "0 waves" mass equal to
+/// `1 − Σ_d q(d)`.
+///
+/// # Panics
+///
+/// Panics if `slots == 0` or `theta` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use dias_models::wave_count_probs;
+/// use dias_stochastic::DiscreteDist;
+///
+/// let tasks = DiscreteDist::constant(50);
+/// // 50 tasks on 20 slots: 3 waves.
+/// assert_eq!(wave_count_probs(&tasks, 0.0, 20), vec![0.0, 0.0, 1.0]);
+/// // Dropping 20% leaves 40 tasks: exactly 2 waves.
+/// assert_eq!(wave_count_probs(&tasks, 0.2, 20), vec![0.0, 1.0]);
+/// ```
+#[must_use]
+pub fn wave_count_probs(tasks: &DiscreteDist, theta: f64, slots: usize) -> Vec<f64> {
+    assert!(slots > 0, "need at least one slot");
+    let mut probs: Vec<f64> = Vec::new();
+    for (t, p) in tasks.support() {
+        let t_bar = effective_tasks(t, theta);
+        if t_bar == 0 {
+            continue;
+        }
+        let waves = t_bar.div_ceil(slots);
+        if probs.len() < waves {
+            probs.resize(waves, 0.0);
+        }
+        probs[waves - 1] += p;
+    }
+    probs
+}
+
+/// The wave-level PH model of one priority class's job processing time.
+///
+/// Build per-wave blocks from profiled wave times (e.g. with
+/// [`dias_stochastic::fit::ph_from_mean_scv`]), then call [`WaveLevelModel::ph`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WaveLevelModel {
+    /// Setup/overhead block `(α_o, A_o)`.
+    pub overhead: Ph,
+    /// Shuffle block `(α_s, A_s)`.
+    pub shuffle: Ph,
+    /// Map-wave blocks, first to last; a `d`-wave job enters at block `len()−d`.
+    pub map_waves: Vec<Ph>,
+    /// Wave-count probabilities `q_m(d)` at index `d−1`; must have
+    /// `len() == map_waves.len()` and sum to at most 1 (deficit = map stage dropped
+    /// entirely).
+    pub map_wave_probs: Vec<f64>,
+    /// Reduce-wave blocks, first to last.
+    pub reduce_waves: Vec<Ph>,
+    /// Wave-count probabilities `q_r(d)` at index `d−1`.
+    pub reduce_wave_probs: Vec<f64>,
+}
+
+impl WaveLevelModel {
+    fn validate(&self) -> Result<(), ModelError> {
+        if self.map_waves.len() != self.map_wave_probs.len() {
+            return Err(ModelError::BadParameter(format!(
+                "{} map waves but {} probabilities",
+                self.map_waves.len(),
+                self.map_wave_probs.len()
+            )));
+        }
+        if self.reduce_waves.len() != self.reduce_wave_probs.len() {
+            return Err(ModelError::BadParameter(format!(
+                "{} reduce waves but {} probabilities",
+                self.reduce_waves.len(),
+                self.reduce_wave_probs.len()
+            )));
+        }
+        for (name, probs) in [
+            ("map", &self.map_wave_probs),
+            ("reduce", &self.reduce_wave_probs),
+        ] {
+            let total: f64 = probs.iter().sum();
+            if probs.iter().any(|&p| p < 0.0) || total > 1.0 + 1e-9 {
+                return Err(ModelError::BadParameter(format!(
+                    "{name} wave probabilities invalid (sum {total})"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the full job-processing-time PH `(α, A)` with
+    /// `v_o + Σ v_m(d) + v_s + Σ v_r(d)` phases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadParameter`] if block and probability lengths are
+    /// inconsistent or probabilities are invalid.
+    pub fn ph(&self) -> Result<Ph, ModelError> {
+        self.validate()?;
+
+        // Section layout: [overhead][map blocks…][shuffle][reduce blocks…].
+        let vo = self.overhead.order();
+        let map_sizes: Vec<usize> = self.map_waves.iter().map(Ph::order).collect();
+        let vs = self.shuffle.order();
+        let red_sizes: Vec<usize> = self.reduce_waves.iter().map(Ph::order).collect();
+        let map_total: usize = map_sizes.iter().sum();
+        let red_total: usize = red_sizes.iter().sum();
+        let order = vo + map_total + vs + red_total;
+
+        let map_offset = |block: usize| vo + map_sizes[..block].iter().sum::<usize>();
+        let s_offset = vo + map_total;
+        let red_offset = |block: usize| s_offset + vs + red_sizes[..block].iter().sum::<usize>();
+
+        let mut a = Matrix::zeros(order, order);
+        copy_block(&mut a, self.overhead.matrix(), 0, 0);
+        for (b, w) in self.map_waves.iter().enumerate() {
+            copy_block(&mut a, w.matrix(), map_offset(b), map_offset(b));
+        }
+        copy_block(&mut a, self.shuffle.matrix(), s_offset, s_offset);
+        for (b, w) in self.reduce_waves.iter().enumerate() {
+            copy_block(&mut a, w.matrix(), red_offset(b), red_offset(b));
+        }
+
+        let dm = self.map_waves.len();
+        let dr = self.reduce_waves.len();
+        let map_skip: f64 = 1.0 - self.map_wave_probs.iter().sum::<f64>();
+        let red_skip: f64 = 1.0 - self.reduce_wave_probs.iter().sum::<f64>();
+
+        // Overhead exit: a d-wave job enters map block dm - d; a 0-wave job (stage
+        // fully dropped) goes straight to shuffle.
+        let ao = self.overhead.exit_vector();
+        for d in 1..=dm {
+            let q = self.map_wave_probs[d - 1];
+            if q == 0.0 {
+                continue;
+            }
+            let entry = self.map_waves[dm - d].alpha();
+            outer_into(&mut a, &ao, entry, 0, map_offset(dm - d), q);
+        }
+        if map_skip > 1e-12 || dm == 0 {
+            outer_into(
+                &mut a,
+                &ao,
+                self.shuffle.alpha(),
+                0,
+                s_offset,
+                map_skip.max(0.0),
+            );
+        }
+
+        // Map blocks chain to the next block; the last exits into the shuffle.
+        for b in 0..dm {
+            let exit = self.map_waves[b].exit_vector();
+            if b + 1 < dm {
+                let next = self.map_waves[b + 1].alpha();
+                outer_into(&mut a, &exit, next, map_offset(b), map_offset(b + 1), 1.0);
+            } else {
+                outer_into(
+                    &mut a,
+                    &exit,
+                    self.shuffle.alpha(),
+                    map_offset(b),
+                    s_offset,
+                    1.0,
+                );
+            }
+        }
+
+        // Shuffle exit into reduce blocks (or absorption when the reduce stage is
+        // fully dropped; that mass simply leaves the chain).
+        let as_ = self.shuffle.exit_vector();
+        for d in 1..=dr {
+            let q = self.reduce_wave_probs[d - 1];
+            if q == 0.0 {
+                continue;
+            }
+            let entry = self.reduce_waves[dr - d].alpha();
+            outer_into(&mut a, &as_, entry, s_offset, red_offset(dr - d), q);
+        }
+        let _ = red_skip; // exit mass; no explicit transition needed
+
+        // Reduce blocks chain; the last absorbs.
+        for b in 0..dr.saturating_sub(1) {
+            let exit = self.reduce_waves[b].exit_vector();
+            let next = self.reduce_waves[b + 1].alpha();
+            outer_into(&mut a, &exit, next, red_offset(b), red_offset(b + 1), 1.0);
+        }
+
+        // All jobs start in the overhead block: α = [α_o, 0].
+        let mut alpha = vec![0.0; order];
+        alpha[..vo].copy_from_slice(self.overhead.alpha());
+
+        Ph::new(alpha, a).map_err(ModelError::from)
+    }
+
+    /// Mean processing time of the composed model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from [`WaveLevelModel::ph`].
+    pub fn mean_processing_time(&self) -> Result<f64, ModelError> {
+        Ok(self.ph()?.mean())
+    }
+}
+
+/// Copies `src` into `dst` with its top-left corner at `(row, col)`.
+fn copy_block(dst: &mut Matrix, src: &Matrix, row: usize, col: usize) {
+    for i in 0..src.rows() {
+        for j in 0..src.cols() {
+            dst[(row + i, col + j)] = src[(i, j)];
+        }
+    }
+}
+
+/// Adds `weight * exit_i * entry_j` into `dst[(row+i, col+j)]` — the rank-one
+/// coupling `a · α` between consecutive PH blocks.
+fn outer_into(dst: &mut Matrix, exit: &[f64], entry: &[f64], row: usize, col: usize, weight: f64) {
+    if weight == 0.0 {
+        return;
+    }
+    for (i, &e) in exit.iter().enumerate() {
+        if e == 0.0 {
+            continue;
+        }
+        for (j, &al) in entry.iter().enumerate() {
+            dst[(row + i, col + j)] += weight * e * al;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp(mean: f64) -> Ph {
+        Ph::exponential(1.0 / mean).unwrap()
+    }
+
+    fn fixed_two_wave_model() -> WaveLevelModel {
+        WaveLevelModel {
+            overhead: exp(10.0),
+            shuffle: exp(5.0),
+            map_waves: vec![exp(30.0), exp(30.0)],
+            map_wave_probs: vec![0.0, 1.0],
+            reduce_waves: vec![exp(12.0)],
+            reduce_wave_probs: vec![1.0],
+        }
+    }
+
+    #[test]
+    fn effective_tasks_ceiling() {
+        assert_eq!(effective_tasks(10, 0.05), 10);
+        assert_eq!(effective_tasks(10, 0.11), 9);
+        assert_eq!(effective_tasks(1, 0.99), 1);
+        assert_eq!(effective_tasks(1, 1.0), 0);
+    }
+
+    #[test]
+    fn wave_probs_sum_to_one_without_full_drop() {
+        let tasks = DiscreteDist::around(50, 0.2, 80);
+        for theta in [0.0, 0.1, 0.2, 0.4, 0.8] {
+            let q = wave_count_probs(&tasks, theta, 20);
+            let total: f64 = q.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "theta {theta}: sum {total}");
+        }
+    }
+
+    #[test]
+    fn wave_probs_mixed_counts() {
+        // 50/50 of 15 tasks (1 wave) and 25 tasks (2 waves) on 20 slots.
+        let tasks = DiscreteDist::from_weights(&{
+            let mut w = vec![0.0; 25];
+            w[14] = 0.5;
+            w[24] = 0.5;
+            w
+        })
+        .unwrap();
+        let q = wave_count_probs(&tasks, 0.0, 20);
+        assert_eq!(q.len(), 2);
+        assert!((q[0] - 0.5).abs() < 1e-12);
+        assert!((q[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_waves_mean_adds_up() {
+        let m = fixed_two_wave_model();
+        let mean = m.mean_processing_time().unwrap();
+        assert!((mean - (10.0 + 30.0 + 30.0 + 5.0 + 12.0)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn one_wave_jobs_enter_last_block() {
+        // 1-wave jobs must pass through exactly one 30s block.
+        let mut m = fixed_two_wave_model();
+        m.map_wave_probs = vec![1.0, 0.0];
+        let mean = m.mean_processing_time().unwrap();
+        assert!((mean - (10.0 + 30.0 + 5.0 + 12.0)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn mixed_wave_count_mean_is_weighted() {
+        let mut m = fixed_two_wave_model();
+        m.map_wave_probs = vec![0.3, 0.7];
+        let mean = m.mean_processing_time().unwrap();
+        let expected = 10.0 + 0.3 * 30.0 + 0.7 * 60.0 + 5.0 + 12.0;
+        assert!((mean - expected).abs() < 1e-8, "mean {mean} vs {expected}");
+    }
+
+    #[test]
+    fn skipped_map_stage_goes_to_shuffle() {
+        let mut m = fixed_two_wave_model();
+        m.map_wave_probs = vec![0.0, 0.0]; // stage dropped entirely
+        let mean = m.mean_processing_time().unwrap();
+        assert!((mean - (10.0 + 5.0 + 12.0)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn skipped_reduce_stage_absorbs_after_shuffle() {
+        let mut m = fixed_two_wave_model();
+        m.reduce_wave_probs = vec![0.0];
+        let mean = m.mean_processing_time().unwrap();
+        assert!((mean - (10.0 + 60.0 + 5.0)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn erlang_blocks_compose() {
+        // Erlang waves exercise multi-phase blocks.
+        let m = WaveLevelModel {
+            overhead: Ph::erlang(3, 0.3).unwrap(),
+            shuffle: Ph::erlang(2, 0.4).unwrap(),
+            map_waves: vec![Ph::erlang(4, 0.1).unwrap(); 3],
+            map_wave_probs: vec![0.2, 0.3, 0.5],
+            reduce_waves: vec![Ph::erlang(2, 0.5).unwrap()],
+            reduce_wave_probs: vec![1.0],
+        };
+        let ph = m.ph().unwrap();
+        let expected_mean =
+            3.0 / 0.3 + (0.2 * 1.0 + 0.3 * 2.0 + 0.5 * 3.0) * (4.0 / 0.1) + 2.0 / 0.4 + 2.0 / 0.5;
+        assert!((ph.mean() - expected_mean).abs() < 1e-6);
+        // Order is the sum of all block orders.
+        assert_eq!(ph.order(), 3 + 3 * 4 + 2 + 2);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let mut m = fixed_two_wave_model();
+        m.map_wave_probs = vec![1.0];
+        assert!(matches!(m.ph(), Err(ModelError::BadParameter(_))));
+    }
+
+    #[test]
+    fn negative_probability_rejected() {
+        let mut m = fixed_two_wave_model();
+        m.map_wave_probs = vec![-0.1, 1.1];
+        assert!(m.ph().is_err());
+    }
+}

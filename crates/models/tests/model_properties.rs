@@ -1,0 +1,147 @@
+//! Property-based tests of the §4 models and queueing formulas.
+
+use proptest::prelude::*;
+
+use dias_models::mc::{Discipline, McQueue};
+use dias_models::priority::{mph1_waiting_ph, non_preemptive_means, ClassInput};
+use dias_models::{effective_tasks, TaskLevelModel};
+use dias_stochastic::{DiscreteDist, MarkedPoisson, Ph};
+
+fn arb_task_model() -> impl Strategy<Value = TaskLevelModel> {
+    (
+        1usize..40,   // slots
+        1usize..80,   // map tasks
+        1usize..20,   // reduce tasks
+        0.01f64..1.0, // rates
+        0.01f64..1.0,
+        0.01f64..1.0,
+        0.01f64..1.0,
+    )
+        .prop_map(|(c, m, r, ro, rm, rs, rr)| TaskLevelModel {
+            slots: c,
+            map_tasks: DiscreteDist::constant(m),
+            reduce_tasks: DiscreteDist::constant(r),
+            setup_rate: ro,
+            map_task_rate: rm,
+            shuffle_rate: rs,
+            reduce_task_rate: rr,
+            theta_map: 0.0,
+            theta_reduce: 0.0,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn task_model_mean_decreases_in_theta(model in arb_task_model(),
+                                          a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let mean_lo = model.with_drop(lo, 0.0).mean_processing_time().expect("valid");
+        let mean_hi = model.with_drop(hi, 0.0).mean_processing_time().expect("valid");
+        prop_assert!(mean_hi <= mean_lo + 1e-9);
+    }
+
+    #[test]
+    fn task_model_mean_has_closed_form(model in arb_task_model()) {
+        // For deterministic task counts the PH mean equals the stage-wise sum of
+        // expected exponential countdown times.
+        let t = model.map_tasks.max_value();
+        let u = model.reduce_tasks.max_value();
+        let c = model.slots;
+        let map: f64 = (1..=t).map(|k| 1.0 / (k.min(c) as f64 * model.map_task_rate)).sum();
+        let red: f64 = (1..=u).map(|k| 1.0 / (k.min(c) as f64 * model.reduce_task_rate)).sum();
+        let expect = 1.0 / model.setup_rate + map + 1.0 / model.shuffle_rate + red;
+        let got = model.mean_processing_time().expect("valid");
+        prop_assert!((got - expect).abs() / expect < 1e-8);
+    }
+
+    #[test]
+    fn task_model_order_formula(model in arb_task_model(), theta in 0.0f64..1.0) {
+        let ph = model.with_drop(theta, 0.0).ph().expect("valid");
+        let nm = effective_tasks(model.map_tasks.max_value(), theta);
+        let nr = model.reduce_tasks.max_value();
+        prop_assert_eq!(ph.order(), nm + nr + 2);
+    }
+
+    #[test]
+    fn mph1_waiting_atom_is_one_minus_rho(lambda in 0.01f64..0.9, mean in 0.1f64..1.0) {
+        let rho = lambda * mean;
+        prop_assume!(rho < 0.95);
+        let service = Ph::exponential(1.0 / mean).expect("valid");
+        let w = mph1_waiting_ph(lambda, &service).expect("stable");
+        prop_assert!((w.mass_at_zero() - (1.0 - rho)).abs() < 1e-9);
+        // P-K mean.
+        let pk = lambda * service.moment(2) / 2.0 / (1.0 - rho);
+        prop_assert!((w.mean() - pk).abs() / pk < 1e-8);
+    }
+
+    #[test]
+    fn cobham_unstable_iff_rho_ge_one(rho in 0.5f64..1.5) {
+        let classes = [ClassInput {
+            lambda: rho,
+            mean_service: 1.0,
+            second_moment: 2.0,
+        }];
+        let result = non_preemptive_means(&classes);
+        if rho < 1.0 {
+            prop_assert!(result.is_ok());
+        } else {
+            prop_assert!(result.is_err());
+        }
+    }
+}
+
+#[test]
+fn mc_queue_matches_cobham_within_noise() {
+    // A fixed moderately-loaded two-class configuration; MC must agree with the
+    // closed form within Monte-Carlo error.
+    let queue = McQueue {
+        arrivals: MarkedPoisson::new(vec![0.3, 0.1]).unwrap(),
+        service: vec![Ph::erlang(2, 1.6).unwrap(), Ph::exponential(1.2).unwrap()],
+        sprint: vec![None, None],
+        discipline: Discipline::NonPreemptive,
+        jobs: 80_000,
+        warmup: 8_000,
+        seed: 5,
+    };
+    let mc = queue.run().unwrap();
+    let inputs = [
+        ClassInput::from_ph(0.3, &queue.service[0]),
+        ClassInput::from_ph(0.1, &queue.service[1]),
+    ];
+    let exact = non_preemptive_means(&inputs).unwrap();
+    for (k, ex) in exact.iter().enumerate() {
+        let rel = (mc.mean_response(k) - ex.response).abs() / ex.response;
+        assert!(
+            rel < 0.04,
+            "class {k}: mc {} vs exact {}",
+            mc.mean_response(k),
+            exact[k].response
+        );
+    }
+}
+
+#[test]
+fn preemption_disciplines_order_low_class_pain() {
+    // For the low class: resume ≤ repeat-resample and repeat-identical (repeat does
+    // strictly more work); the high class is identical across preemptive variants.
+    let base = |discipline| McQueue {
+        arrivals: MarkedPoisson::new(vec![0.25, 0.08]).unwrap(),
+        service: vec![Ph::erlang(3, 1.5).unwrap(), Ph::exponential(1.0).unwrap()],
+        sprint: vec![None, None],
+        discipline,
+        jobs: 60_000,
+        warmup: 6_000,
+        seed: 11,
+    };
+    let resume = base(Discipline::PreemptiveResume).run().unwrap();
+    let repeat = base(Discipline::PreemptiveRepeatIdentical).run().unwrap();
+    let resample = base(Discipline::PreemptiveRepeatResample).run().unwrap();
+    assert!(resume.mean_response(0) < repeat.mean_response(0));
+    assert!(resume.mean_response(0) < resample.mean_response(0));
+    assert_eq!(resume.waste_fraction, 0.0);
+    assert!(repeat.waste_fraction > 0.0);
+    let rel = (repeat.mean_response(1) - resume.mean_response(1)).abs() / resume.mean_response(1);
+    assert!(rel < 0.05, "high class unaffected by low-class discipline");
+}

@@ -1,0 +1,156 @@
+//! Moment-matching fits of phase-type distributions.
+//!
+//! The paper parameterizes its wave-level model from profiled task execution times
+//! ("simple linear regressions", §1; task time samples, §4.3). Profiling yields a
+//! mean and variance per stage; these helpers turn such moment pairs into a concrete
+//! PH representation:
+//!
+//! * SCV = 1 → exponential;
+//! * SCV < 1 → mixture of two adjacent Erlangs (the classical Tijms fit), matching
+//!   both moments exactly;
+//! * SCV > 1 → balanced-means two-phase hyperexponential.
+
+use crate::Ph;
+
+/// Fits a PH distribution to a target `mean > 0` and `scv > 0`.
+///
+/// The result matches the first two moments exactly (up to floating-point error).
+///
+/// # Panics
+///
+/// Panics if `mean <= 0` or `scv <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use dias_stochastic::fit::ph_from_mean_scv;
+///
+/// let ph = ph_from_mean_scv(10.0, 0.4);
+/// assert!((ph.mean() - 10.0).abs() < 1e-9);
+/// assert!((ph.scv() - 0.4).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn ph_from_mean_scv(mean: f64, scv: f64) -> Ph {
+    assert!(mean > 0.0, "mean must be positive");
+    assert!(scv > 0.0, "scv must be positive");
+    if (scv - 1.0).abs() < 1e-9 {
+        return Ph::exponential(1.0 / mean).expect("positive rate");
+    }
+    if scv > 1.0 {
+        hyperexp_balanced(mean, scv)
+    } else {
+        erlang_mixture(mean, scv)
+    }
+}
+
+/// Balanced-means two-phase hyperexponential matching `(mean, scv)` with `scv ≥ 1`.
+fn hyperexp_balanced(mean: f64, scv: f64) -> Ph {
+    let p = 0.5 * (1.0 + ((scv - 1.0) / (scv + 1.0)).sqrt());
+    let r1 = 2.0 * p / mean;
+    let r2 = 2.0 * (1.0 - p) / mean;
+    Ph::hyperexponential(&[p, 1.0 - p], &[r1, r2]).expect("balanced fit is valid")
+}
+
+/// Tijms' mixture of Erlang-(k−1) and Erlang-k matching `(mean, scv)` with
+/// `1/k ≤ scv < 1` for the chosen `k = ceil(1/scv)`.
+fn erlang_mixture(mean: f64, scv: f64) -> Ph {
+    let k = (1.0 / scv).ceil().max(2.0) as usize;
+    let kf = k as f64;
+    // Mix Erlang(k-1, rate) with prob p and Erlang(k, rate) with prob 1-p.
+    let disc = (kf * scv - (kf * (1.0 + scv) - kf * kf * scv).sqrt()) / (1.0 + scv);
+    let p = disc.clamp(0.0, 1.0);
+    let rate = (kf - p) / mean;
+    let short = Ph::erlang(k - 1, rate).expect("valid erlang");
+    let long = Ph::erlang(k, rate).expect("valid erlang");
+    Ph::mixture(&[p, 1.0 - p], &[short, long]).expect("valid mixture")
+}
+
+/// Ordinary least-squares fit of a line `y = a + b·x`.
+///
+/// Returns `(intercept, slope)`. Used for the paper's overhead-vs-drop-ratio
+/// interpolation and size-vs-time profiling relations.
+///
+/// # Panics
+///
+/// Panics if the inputs differ in length, fewer than two points are given, or all
+/// `x` values coincide.
+#[must_use]
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "x and y must have equal length");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    assert!(sxx > 0.0, "x values must not all coincide");
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let slope = sxy / sxx;
+    (my - slope * mx, slope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_fit(mean: f64, scv: f64) {
+        let ph = ph_from_mean_scv(mean, scv);
+        assert!(
+            (ph.mean() - mean).abs() / mean < 1e-8,
+            "mean {} vs {}",
+            ph.mean(),
+            mean
+        );
+        assert!(
+            (ph.scv() - scv).abs() < 1e-6,
+            "scv {} vs {} (mean {mean})",
+            ph.scv(),
+            scv
+        );
+    }
+
+    #[test]
+    fn fits_low_variability() {
+        for scv in [0.1, 0.25, 0.33, 0.5, 0.75, 0.99] {
+            check_fit(7.0, scv);
+        }
+    }
+
+    #[test]
+    fn fits_high_variability() {
+        for scv in [1.0, 1.5, 2.0, 4.0, 16.0] {
+            check_fit(0.5, scv);
+        }
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let a = ph_from_mean_scv(3.0, 0.7);
+        let b = ph_from_mean_scv(3.0, 0.7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 + 3.0 * x).collect();
+        let (a, b) = linear_fit(&xs, &ys);
+        assert!((a - 2.0).abs() < 1e-12);
+        assert!((b - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_least_squares_on_noise() {
+        // Symmetric noise around y = 1 + x leaves the fit unchanged.
+        let xs = [0.0, 0.0, 2.0, 2.0];
+        let ys = [0.5, 1.5, 2.5, 3.5];
+        let (a, b) = linear_fit(&xs, &ys);
+        assert!((a - 1.0).abs() < 1e-12);
+        assert!((b - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "coincide")]
+    fn linear_fit_rejects_degenerate_x() {
+        let _ = linear_fit(&[1.0, 1.0], &[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,811 @@
+//! Phase-type (PH) distributions.
+//!
+//! A PH distribution is the time to absorption of a finite continuous-time Markov
+//! chain with one absorbing state. It is represented by the pair `(α, A)` where `α`
+//! is the initial distribution over the transient phases and `A` the sub-generator
+//! among them; the exit-rate vector is `a = −A·1`. The class is dense in all
+//! distributions on `[0, ∞)` and closed under convolution, mixture, minimum and
+//! maximum — the properties the paper exploits to compose task-, wave- and job-level
+//! processing times (§4).
+
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use dias_linalg::{dot, sum, Matrix};
+
+/// Errors from constructing or manipulating a PH distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhError {
+    /// The initial vector has negative mass or sums to more than 1.
+    BadInitialVector(String),
+    /// The matrix is not a valid sub-generator.
+    BadSubGenerator(String),
+    /// Dimensions of `α` and `A` differ.
+    DimensionMismatch {
+        /// Length of the initial vector.
+        alpha: usize,
+        /// Order of the sub-generator.
+        matrix: usize,
+    },
+    /// A numeric routine failed (singular matrix, no convergence).
+    Numeric(String),
+}
+
+impl fmt::Display for PhError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhError::BadInitialVector(msg) => write!(f, "invalid initial vector: {msg}"),
+            PhError::BadSubGenerator(msg) => write!(f, "invalid sub-generator: {msg}"),
+            PhError::DimensionMismatch { alpha, matrix } => {
+                write!(
+                    f,
+                    "alpha has {alpha} entries but matrix is {matrix}x{matrix}"
+                )
+            }
+            PhError::Numeric(msg) => write!(f, "numeric failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PhError {}
+
+/// A phase-type distribution `(α, A)`.
+///
+/// Construction validates the representation: `α ≥ 0`, `Σα ≤ 1` (deficient mass is an
+/// atom at zero), off-diagonal entries of `A` non-negative, row sums ≤ 0 and at least
+/// one strictly negative exit path so absorption is certain.
+///
+/// # Examples
+///
+/// ```
+/// use dias_stochastic::Ph;
+///
+/// let exp = Ph::exponential(2.0).unwrap();
+/// assert!((exp.mean() - 0.5).abs() < 1e-12);
+/// assert!((exp.cdf(0.5) - (1.0 - (-1.0f64).exp())).abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ph {
+    alpha: Vec<f64>,
+    a: Matrix,
+}
+
+impl Ph {
+    /// Builds a PH distribution from an initial vector and sub-generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PhError`] if the representation is invalid.
+    pub fn new(alpha: Vec<f64>, a: Matrix) -> Result<Self, PhError> {
+        if !a.is_square() || alpha.len() != a.rows() {
+            return Err(PhError::DimensionMismatch {
+                alpha: alpha.len(),
+                matrix: a.rows(),
+            });
+        }
+        let mass: f64 = alpha.iter().sum();
+        if alpha.iter().any(|&x| x < -1e-12) {
+            return Err(PhError::BadInitialVector("negative entry".into()));
+        }
+        if mass > 1.0 + 1e-9 {
+            return Err(PhError::BadInitialVector(format!("mass {mass} > 1")));
+        }
+        let n = a.rows();
+        for i in 0..n {
+            let mut row_sum = 0.0;
+            for j in 0..n {
+                let v = a[(i, j)];
+                if i != j && v < -1e-12 {
+                    return Err(PhError::BadSubGenerator(format!(
+                        "negative off-diagonal at ({i},{j})"
+                    )));
+                }
+                row_sum += v;
+            }
+            if row_sum > 1e-9 {
+                return Err(PhError::BadSubGenerator(format!(
+                    "row {i} sums to {row_sum} > 0"
+                )));
+            }
+            if a[(i, i)] >= 0.0 && n > 0 {
+                return Err(PhError::BadSubGenerator(format!(
+                    "diagonal entry at ({i},{i}) must be negative"
+                )));
+            }
+        }
+        Ok(Ph { alpha, a })
+    }
+
+    /// The exponential distribution with the given `rate` as a 1-phase PH.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhError::BadSubGenerator`] if `rate <= 0`.
+    pub fn exponential(rate: f64) -> Result<Self, PhError> {
+        if rate <= 0.0 {
+            return Err(PhError::BadSubGenerator(format!("rate {rate} must be > 0")));
+        }
+        Ph::new(vec![1.0], Matrix::from_rows(&[vec![-rate]]))
+    }
+
+    /// An Erlang distribution: `k` phases in series, each with `rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhError`] if `k == 0` or `rate <= 0`.
+    pub fn erlang(k: usize, rate: f64) -> Result<Self, PhError> {
+        if k == 0 {
+            return Err(PhError::BadInitialVector("erlang needs k >= 1".into()));
+        }
+        if rate <= 0.0 {
+            return Err(PhError::BadSubGenerator(format!("rate {rate} must be > 0")));
+        }
+        let mut a = Matrix::zeros(k, k);
+        for i in 0..k {
+            a[(i, i)] = -rate;
+            if i + 1 < k {
+                a[(i, i + 1)] = rate;
+            }
+        }
+        let mut alpha = vec![0.0; k];
+        alpha[0] = 1.0;
+        Ph::new(alpha, a)
+    }
+
+    /// A hyperexponential distribution: with probability `probs[i]` an exponential
+    /// of `rates[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhError`] if the vectors disagree in length, probabilities do not
+    /// sum to 1, or any rate is non-positive.
+    pub fn hyperexponential(probs: &[f64], rates: &[f64]) -> Result<Self, PhError> {
+        if probs.len() != rates.len() || probs.is_empty() {
+            return Err(PhError::BadInitialVector(
+                "probs and rates must have equal non-zero length".into(),
+            ));
+        }
+        let total: f64 = probs.iter().sum();
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(PhError::BadInitialVector(format!(
+                "probabilities sum to {total}, expected 1"
+            )));
+        }
+        let n = probs.len();
+        let mut a = Matrix::zeros(n, n);
+        for (i, &r) in rates.iter().enumerate() {
+            if r <= 0.0 {
+                return Err(PhError::BadSubGenerator(format!("rate {r} must be > 0")));
+            }
+            a[(i, i)] = -r;
+        }
+        Ph::new(probs.to_vec(), a)
+    }
+
+    /// A Coxian distribution: phases in series with rates `rates[i]` and continue
+    /// probabilities `continue_probs[i]` (length one less than `rates`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhError`] on inconsistent lengths, out-of-range probabilities or
+    /// non-positive rates.
+    pub fn coxian(rates: &[f64], continue_probs: &[f64]) -> Result<Self, PhError> {
+        if rates.is_empty() || continue_probs.len() + 1 != rates.len() {
+            return Err(PhError::BadInitialVector(
+                "need n rates and n-1 continue probabilities".into(),
+            ));
+        }
+        let n = rates.len();
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            let r = rates[i];
+            if r <= 0.0 {
+                return Err(PhError::BadSubGenerator(format!("rate {r} must be > 0")));
+            }
+            a[(i, i)] = -r;
+            if i + 1 < n {
+                let p = continue_probs[i];
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(PhError::BadInitialVector(format!(
+                        "continue probability {p} outside [0,1]"
+                    )));
+                }
+                a[(i, i + 1)] = r * p;
+            }
+        }
+        let mut alpha = vec![0.0; n];
+        alpha[0] = 1.0;
+        Ph::new(alpha, a)
+    }
+
+    /// The initial probability vector `α`.
+    #[must_use]
+    pub fn alpha(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// The sub-generator `A`.
+    #[must_use]
+    pub fn matrix(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// The exit-rate vector `a = −A·1`.
+    #[must_use]
+    pub fn exit_vector(&self) -> Vec<f64> {
+        self.a.row_sums().iter().map(|s| -s).collect()
+    }
+
+    /// Number of transient phases.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.alpha.len()
+    }
+
+    /// Probability mass at zero, `1 − Σα`.
+    #[must_use]
+    pub fn mass_at_zero(&self) -> f64 {
+        (1.0 - self.alpha.iter().sum::<f64>()).max(0.0)
+    }
+
+    /// The `k`-th raw moment, `E[X^k] = k! · α (−A)^{-k} 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sub-generator is singular, which construction rules out.
+    #[must_use]
+    pub fn moment(&self, k: u32) -> f64 {
+        let neg_a = self.a.scaled(-1.0);
+        let ones = vec![1.0; self.order()];
+        let mut v = ones;
+        let mut factorial = 1.0;
+        for i in 1..=k {
+            v = neg_a
+                .solve(&v)
+                .expect("validated sub-generator is nonsingular");
+            factorial *= f64::from(i);
+        }
+        factorial * dot(&self.alpha, &v)
+    }
+
+    /// Mean `E[X]`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.moment(1)
+    }
+
+    /// Variance.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        let m1 = self.moment(1);
+        (self.moment(2) - m1 * m1).max(0.0)
+    }
+
+    /// Squared coefficient of variation, `Var/E²`.
+    #[must_use]
+    pub fn scv(&self) -> f64 {
+        let m = self.mean();
+        if m <= 0.0 {
+            0.0
+        } else {
+            self.variance() / (m * m)
+        }
+    }
+
+    /// Survival function `P(X > t) = α e^{At} 1`, evaluated by uniformization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t < 0`.
+    #[must_use]
+    pub fn sf(&self, t: f64) -> f64 {
+        assert!(t >= 0.0, "sf requires t >= 0");
+        let v = self.a.expm_action(&self.alpha, t);
+        sum(&v).clamp(0.0, 1.0)
+    }
+
+    /// Cumulative distribution function `P(X ≤ t)`.
+    #[must_use]
+    pub fn cdf(&self, t: f64) -> f64 {
+        1.0 - self.sf(t)
+    }
+
+    /// Probability density `f(t) = α e^{At} a`.
+    #[must_use]
+    pub fn pdf(&self, t: f64) -> f64 {
+        let v = self.a.expm_action(&self.alpha, t);
+        dot(&v, &self.exit_vector()).max(0.0)
+    }
+
+    /// The `q`-quantile, located by bisection on the CDF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1)`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..1.0).contains(&q), "quantile must be in [0,1)");
+        if q <= self.mass_at_zero() {
+            return 0.0;
+        }
+        // Bracket the quantile: mean-based initial guess, doubled until covered.
+        let mut hi = self.mean().max(1e-9);
+        while self.cdf(hi) < q {
+            hi *= 2.0;
+            if hi > 1e12 {
+                return hi;
+            }
+        }
+        let mut lo = 0.0;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < q {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 1e-9 * hi.max(1.0) {
+                break;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Convolution: the distribution of the sum of two independent PH variables.
+    ///
+    /// The representation is the standard block form: mass entering the second block
+    /// through the first block's exit vector, plus any atom at zero of either operand
+    /// short-circuiting appropriately.
+    #[must_use]
+    pub fn convolve(&self, other: &Ph) -> Ph {
+        let n1 = self.order();
+        let n2 = other.order();
+        let mut a = Matrix::zeros(n1 + n2, n1 + n2);
+        for i in 0..n1 {
+            for j in 0..n1 {
+                a[(i, j)] = self.a[(i, j)];
+            }
+        }
+        let exit1 = self.exit_vector();
+        for i in 0..n1 {
+            for j in 0..n2 {
+                a[(i, n1 + j)] = exit1[i] * other.alpha[j];
+            }
+        }
+        for i in 0..n2 {
+            for j in 0..n2 {
+                a[(n1 + i, n1 + j)] = other.a[(i, j)];
+            }
+        }
+        let zero1 = self.mass_at_zero();
+        let mut alpha = Vec::with_capacity(n1 + n2);
+        alpha.extend_from_slice(&self.alpha);
+        // If the first variable is 0, the sum starts directly in the second block.
+        alpha.extend(other.alpha.iter().map(|&b| zero1 * b));
+        Ph::new(alpha, a).expect("convolution of valid PH is valid")
+    }
+
+    /// Mixture: with probability `weights[i]` draw from `components[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhError`] if inputs are empty, lengths differ, or weights do not sum
+    /// to 1.
+    pub fn mixture(weights: &[f64], components: &[Ph]) -> Result<Ph, PhError> {
+        if weights.len() != components.len() || weights.is_empty() {
+            return Err(PhError::BadInitialVector(
+                "mixture needs equal-length, non-empty weights and components".into(),
+            ));
+        }
+        let total: f64 = weights.iter().sum();
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(PhError::BadInitialVector(format!(
+                "weights sum to {total}, expected 1"
+            )));
+        }
+        let order: usize = components.iter().map(Ph::order).sum();
+        let mut a = Matrix::zeros(order, order);
+        let mut alpha = Vec::with_capacity(order);
+        let mut offset = 0;
+        for (w, c) in weights.iter().zip(components) {
+            let n = c.order();
+            for i in 0..n {
+                for j in 0..n {
+                    a[(offset + i, offset + j)] = c.a[(i, j)];
+                }
+            }
+            alpha.extend(c.alpha.iter().map(|&x| w * x));
+            offset += n;
+        }
+        Ph::new(alpha, a)
+    }
+
+    /// Rescales time by `factor`: if `X ~ (α, A)` then `factor · X ~ (α, A/factor)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor <= 0`.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Ph {
+        assert!(factor > 0.0, "scale factor must be positive");
+        Ph {
+            alpha: self.alpha.clone(),
+            a: self.a.scaled(1.0 / factor),
+        }
+    }
+
+    /// The minimum of two independent PH variables (Kronecker construction).
+    #[must_use]
+    pub fn minimum(&self, other: &Ph) -> Ph {
+        let a = self.a.kron_sum(&other.a);
+        let alpha = kron_vec(&self.alpha, &other.alpha);
+        Ph::new(alpha, a).expect("minimum of valid PH is valid")
+    }
+
+    /// The maximum of two independent PH variables.
+    ///
+    /// Uses `max(X,Y) = X + Y − min(X,Y)` on means only when exactness suffices; the
+    /// distributional construction tracks which variable is still running after the
+    /// other absorbed.
+    #[must_use]
+    pub fn maximum(&self, other: &Ph) -> Ph {
+        // State space: both running (n1*n2), only X running (n1), only Y running (n2).
+        let n1 = self.order();
+        let n2 = other.order();
+        let both = n1 * n2;
+        let total = both + n1 + n2;
+        let mut a = Matrix::zeros(total, total);
+        let joint = self.a.kron_sum(&other.a);
+        for i in 0..both {
+            for j in 0..both {
+                a[(i, j)] = joint[(i, j)];
+            }
+        }
+        let exit1 = self.exit_vector();
+        let exit2 = other.exit_vector();
+        // From (i,k): Y absorbs (rate exit2[k]) -> only X at phase i.
+        for i in 0..n1 {
+            for k in 0..n2 {
+                let row = i * n2 + k;
+                a[(row, both + i)] += exit2[k];
+                a[(row, both + n1 + k)] += exit1[i];
+            }
+        }
+        for i in 0..n1 {
+            for j in 0..n1 {
+                a[(both + i, both + j)] = self.a[(i, j)];
+            }
+        }
+        for k in 0..n2 {
+            for l in 0..n2 {
+                a[(both + n1 + k, both + n1 + l)] = other.a[(k, l)];
+            }
+        }
+        let mut alpha = vec![0.0; total];
+        for i in 0..n1 {
+            for k in 0..n2 {
+                alpha[i * n2 + k] = self.alpha[i] * other.alpha[k];
+            }
+        }
+        // If one variable has an atom at zero, the max starts in the solo block.
+        let z1 = self.mass_at_zero();
+        let z2 = other.mass_at_zero();
+        for i in 0..n1 {
+            alpha[both + i] += z2 * self.alpha[i];
+        }
+        for k in 0..n2 {
+            alpha[both + n1 + k] += z1 * other.alpha[k];
+        }
+        Ph::new(alpha, a).expect("maximum of valid PH is valid")
+    }
+
+    /// The equilibrium (stationary-excess) distribution, PH with `α_e = α(−A)^{-1}/E[X]`
+    /// and the same sub-generator. This is the residual service seen by a Poisson
+    /// arrival, the quantity that drives waiting-time formulas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution has zero mean.
+    #[must_use]
+    pub fn equilibrium(&self) -> Ph {
+        let mean = self.mean();
+        assert!(mean > 0.0, "equilibrium of a zero-mean distribution");
+        let neg_a_t = self.a.scaled(-1.0).transpose();
+        let v = neg_a_t
+            .solve(&self.alpha)
+            .expect("validated sub-generator is nonsingular");
+        let alpha_e: Vec<f64> = v.iter().map(|x| (x / mean).max(0.0)).collect();
+        Ph {
+            alpha: alpha_e,
+            a: self.a.clone(),
+        }
+    }
+
+    /// Unconditional overshoot moments `E[((X−t)^+)^k] = k!·(α e^{At})(−A)^{-k} 1`.
+    ///
+    /// Used to compute the moments of sprint-modified service times, where a job runs
+    /// at base speed until the timeout `t` and accelerated afterwards.
+    #[must_use]
+    pub fn overshoot_moment(&self, t: f64, k: u32) -> f64 {
+        let at_t = self.a.expm_action(&self.alpha, t);
+        let neg_a = self.a.scaled(-1.0);
+        let mut v = vec![1.0; self.order()];
+        let mut factorial = 1.0;
+        for i in 1..=k {
+            v = neg_a
+                .solve(&v)
+                .expect("validated sub-generator is nonsingular");
+            factorial *= f64::from(i);
+        }
+        factorial * dot(&at_t, &v)
+    }
+
+    /// Draws a sample by simulating the underlying Markov chain.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Choose initial phase (or immediate absorption for deficient mass).
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut phase = usize::MAX;
+        for (i, &p) in self.alpha.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                phase = i;
+                break;
+            }
+        }
+        if phase == usize::MAX {
+            return 0.0; // atom at zero
+        }
+        let exit = self.exit_vector();
+        let mut time = 0.0;
+        loop {
+            let rate = -self.a[(phase, phase)];
+            time += crate::sample_exp(rng, rate);
+            // Next transition: exit or another phase, proportional to rates.
+            let mut u = rng.gen::<f64>() * rate;
+            if u < exit[phase] {
+                return time;
+            }
+            u -= exit[phase];
+            let mut next = phase;
+            for j in 0..self.order() {
+                if j == phase {
+                    continue;
+                }
+                let r = self.a[(phase, j)];
+                if u < r {
+                    next = j;
+                    break;
+                }
+                u -= r;
+            }
+            phase = next;
+        }
+    }
+}
+
+impl fmt::Display for Ph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PH(order={}, mean={:.4}, scv={:.4})",
+            self.order(),
+            self.mean(),
+            self.scv()
+        )
+    }
+}
+
+/// Kronecker product of two probability vectors.
+fn kron_vec(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for &x in a {
+        for &y in b {
+            out.push(x * y);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let e = Ph::exponential(4.0).unwrap();
+        assert_close(e.mean(), 0.25, 1e-12);
+        assert_close(e.moment(2), 2.0 / 16.0, 1e-12);
+        assert_close(e.scv(), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn erlang_moments() {
+        let e = Ph::erlang(4, 8.0).unwrap();
+        assert_close(e.mean(), 0.5, 1e-12);
+        assert_close(e.variance(), 4.0 / 64.0, 1e-12);
+        assert_close(e.scv(), 0.25, 1e-12);
+    }
+
+    #[test]
+    fn hyperexponential_moments() {
+        let h = Ph::hyperexponential(&[0.4, 0.6], &[1.0, 3.0]).unwrap();
+        let mean = 0.4 / 1.0 + 0.6 / 3.0;
+        assert_close(h.mean(), mean, 1e-12);
+        assert!(h.scv() > 1.0, "hyperexponential has SCV > 1");
+    }
+
+    #[test]
+    fn coxian_reduces_to_erlang() {
+        let c = Ph::coxian(&[5.0, 5.0, 5.0], &[1.0, 1.0]).unwrap();
+        let e = Ph::erlang(3, 5.0).unwrap();
+        assert_close(c.mean(), e.mean(), 1e-12);
+        assert_close(c.moment(2), e.moment(2), 1e-12);
+        assert_close(c.cdf(0.7), e.cdf(0.7), 1e-10);
+    }
+
+    #[test]
+    fn cdf_matches_exponential_closed_form() {
+        let e = Ph::exponential(2.0).unwrap();
+        for t in [0.0, 0.1, 0.5, 1.0, 3.0] {
+            assert_close(e.cdf(t), 1.0 - (-2.0 * t).exp(), 1e-10);
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf() {
+        let p = Ph::erlang(3, 2.0).unwrap();
+        // Trapezoidal integration of the pdf up to t=2.
+        let n = 4000;
+        let h = 2.0 / n as f64;
+        let mut integral = 0.0;
+        for i in 0..n {
+            let t0 = i as f64 * h;
+            integral += 0.5 * h * (p.pdf(t0) + p.pdf(t0 + h));
+        }
+        assert_close(integral, p.cdf(2.0), 1e-5);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let p = Ph::erlang(2, 3.0).unwrap();
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let t = p.quantile(q);
+            assert_close(p.cdf(t), q, 1e-6);
+        }
+    }
+
+    #[test]
+    fn convolution_adds_moments() {
+        let a = Ph::exponential(1.0).unwrap();
+        let b = Ph::erlang(2, 4.0).unwrap();
+        let c = a.convolve(&b);
+        assert_close(c.mean(), a.mean() + b.mean(), 1e-12);
+        let var = c.variance();
+        assert_close(var, a.variance() + b.variance(), 1e-10);
+    }
+
+    #[test]
+    fn convolution_chain_is_erlang() {
+        let e = Ph::exponential(3.0).unwrap();
+        let sum3 = e.convolve(&e).convolve(&e);
+        let erl = Ph::erlang(3, 3.0).unwrap();
+        assert_close(sum3.cdf(1.0), erl.cdf(1.0), 1e-9);
+        assert_close(sum3.moment(3), erl.moment(3), 1e-9);
+    }
+
+    #[test]
+    fn mixture_weights_moments() {
+        let a = Ph::exponential(1.0).unwrap();
+        let b = Ph::exponential(10.0).unwrap();
+        let m = Ph::mixture(&[0.3, 0.7], &[a.clone(), b.clone()]).unwrap();
+        assert_close(m.mean(), 0.3 * a.mean() + 0.7 * b.mean(), 1e-12);
+        assert_close(m.moment(2), 0.3 * a.moment(2) + 0.7 * b.moment(2), 1e-12);
+    }
+
+    #[test]
+    fn scaled_shifts_mean() {
+        let p = Ph::erlang(2, 1.0).unwrap();
+        let s = p.scaled(0.4);
+        assert_close(s.mean(), 0.4 * p.mean(), 1e-12);
+        // Speeding up by 2.5x = scaling time by 0.4.
+        assert_close(s.scv(), p.scv(), 1e-12);
+    }
+
+    #[test]
+    fn minimum_of_exponentials() {
+        let a = Ph::exponential(2.0).unwrap();
+        let b = Ph::exponential(3.0).unwrap();
+        let m = a.minimum(&b);
+        assert_close(m.mean(), 1.0 / 5.0, 1e-10);
+    }
+
+    #[test]
+    fn maximum_of_exponentials() {
+        let a = Ph::exponential(2.0).unwrap();
+        let b = Ph::exponential(3.0).unwrap();
+        let m = a.maximum(&b);
+        // E[max] = 1/2 + 1/3 - 1/5
+        assert_close(m.mean(), 0.5 + 1.0 / 3.0 - 0.2, 1e-10);
+    }
+
+    #[test]
+    fn max_min_consistency() {
+        let a = Ph::erlang(2, 2.0).unwrap();
+        let b = Ph::exponential(1.5).unwrap();
+        let lhs = a.minimum(&b).mean() + a.maximum(&b).mean();
+        assert_close(lhs, a.mean() + b.mean(), 1e-9);
+    }
+
+    #[test]
+    fn equilibrium_of_exponential_is_itself() {
+        let e = Ph::exponential(2.0).unwrap();
+        let eq = e.equilibrium();
+        assert_close(eq.mean(), e.mean(), 1e-12);
+        assert_close(eq.cdf(0.3), e.cdf(0.3), 1e-10);
+    }
+
+    #[test]
+    fn equilibrium_mean_formula() {
+        // E[X_e] = E[X²] / (2 E[X]).
+        let p = Ph::erlang(3, 2.0).unwrap();
+        let eq = p.equilibrium();
+        assert_close(eq.mean(), p.moment(2) / (2.0 * p.mean()), 1e-10);
+    }
+
+    #[test]
+    fn overshoot_moment_exponential_memoryless() {
+        let e = Ph::exponential(2.0).unwrap();
+        // E[(X-t)^+] = P(X>t) * E[X] by memorylessness.
+        for t in [0.1, 0.5, 2.0] {
+            assert_close(e.overshoot_moment(t, 1), e.sf(t) * 0.5, 1e-10);
+        }
+        // t=0 recovers the raw moment.
+        assert_close(e.overshoot_moment(0.0, 2), e.moment(2), 1e-10);
+    }
+
+    #[test]
+    fn sampling_matches_moments() {
+        let p = Ph::hyperexponential(&[0.5, 0.5], &[1.0, 5.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 40_000;
+        let xs: Vec<f64> = (0..n).map(|_| p.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert_close(mean, p.mean(), 0.02);
+        let m2 = xs.iter().map(|x| x * x).sum::<f64>() / n as f64;
+        assert!((m2 - p.moment(2)).abs() / p.moment(2) < 0.05);
+    }
+
+    #[test]
+    fn invalid_representations_rejected() {
+        assert!(Ph::exponential(0.0).is_err());
+        assert!(Ph::exponential(-1.0).is_err());
+        assert!(Ph::erlang(0, 1.0).is_err());
+        assert!(Ph::hyperexponential(&[0.5, 0.6], &[1.0, 1.0]).is_err());
+        // Positive row sum rejected.
+        let bad = Matrix::from_rows(&[vec![-1.0, 2.0], vec![0.0, -1.0]]);
+        assert!(Ph::new(vec![1.0, 0.0], bad).is_err());
+        // Alpha too long.
+        assert!(Ph::new(vec![0.5, 0.5], Matrix::from_rows(&[vec![-1.0]])).is_err());
+    }
+
+    #[test]
+    fn atom_at_zero_handled() {
+        // 30% chance of zero, otherwise Exp(1).
+        let p = Ph::new(vec![0.7], Matrix::from_rows(&[vec![-1.0]])).unwrap();
+        assert_close(p.mass_at_zero(), 0.3, 1e-12);
+        assert_close(p.mean(), 0.7, 1e-12);
+        assert_close(p.cdf(0.0), 0.3, 1e-10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let zeros = (0..10_000).filter(|_| p.sample(&mut rng) == 0.0).count();
+        assert!((zeros as f64 / 10_000.0 - 0.3).abs() < 0.02);
+    }
+}

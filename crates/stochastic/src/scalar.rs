@@ -1,0 +1,405 @@
+//! Scalar distributions for task execution times and workload generation.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{sample_exp, sample_std_normal};
+
+/// A scalar, non-negative distribution with closed-form first two moments.
+///
+/// The engine simulator samples task execution times, setup overheads and shuffle
+/// durations from these; the models consume their exact moments. Keeping the enum
+/// closed lets experiment configurations be serialized and replayed.
+///
+/// # Examples
+///
+/// ```
+/// use dias_stochastic::Dist;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let d = Dist::erlang(4, 2.0);
+/// assert!((d.mean() - 2.0).abs() < 1e-12);
+/// let mut rng = StdRng::seed_from_u64(0);
+/// assert!(d.sample(&mut rng) > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Dist {
+    /// A point mass at `value`.
+    Constant {
+        /// The constant value.
+        value: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean of the distribution.
+        mean: f64,
+    },
+    /// Erlang-`k` with the given mean (sum of `k` exponentials).
+    Erlang {
+        /// Number of phases.
+        k: u32,
+        /// Mean of the distribution.
+        mean: f64,
+    },
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Lognormal parameterized by the *target* mean and squared coefficient of
+    /// variation (not the underlying normal's parameters).
+    LogNormal {
+        /// Mean of the distribution.
+        mean: f64,
+        /// Squared coefficient of variation.
+        scv: f64,
+    },
+    /// Two-branch hyperexponential parameterized by mean and SCV ≥ 1 with balanced
+    /// means, for bursty task times.
+    HyperExp {
+        /// Mean of the distribution.
+        mean: f64,
+        /// Squared coefficient of variation (must be ≥ 1).
+        scv: f64,
+    },
+}
+
+impl Dist {
+    /// A point mass.
+    #[must_use]
+    pub fn constant(value: f64) -> Self {
+        assert!(value >= 0.0, "constant must be non-negative");
+        Dist::Constant { value }
+    }
+
+    /// Exponential with the given mean.
+    #[must_use]
+    pub fn exponential(mean: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive");
+        Dist::Exponential { mean }
+    }
+
+    /// Erlang-`k` with the given mean.
+    #[must_use]
+    pub fn erlang(k: u32, mean: f64) -> Self {
+        assert!(k >= 1, "erlang needs k >= 1");
+        assert!(mean > 0.0, "mean must be positive");
+        Dist::Erlang { k, mean }
+    }
+
+    /// Uniform on `[lo, hi]`.
+    #[must_use]
+    pub fn uniform(lo: f64, hi: f64) -> Self {
+        assert!(0.0 <= lo && lo < hi, "need 0 <= lo < hi");
+        Dist::Uniform { lo, hi }
+    }
+
+    /// Lognormal with the given mean and SCV.
+    #[must_use]
+    pub fn lognormal(mean: f64, scv: f64) -> Self {
+        assert!(mean > 0.0 && scv > 0.0, "mean and scv must be positive");
+        Dist::LogNormal { mean, scv }
+    }
+
+    /// Balanced-means hyperexponential with the given mean and SCV ≥ 1.
+    #[must_use]
+    pub fn hyperexp(mean: f64, scv: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive");
+        assert!(scv >= 1.0, "hyperexponential needs scv >= 1");
+        Dist::HyperExp { mean, scv }
+    }
+
+    /// The mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Dist::Constant { value } => value,
+            Dist::Exponential { mean }
+            | Dist::Erlang { mean, .. }
+            | Dist::LogNormal { mean, .. }
+            | Dist::HyperExp { mean, .. } => mean,
+            Dist::Uniform { lo, hi } => 0.5 * (lo + hi),
+        }
+    }
+
+    /// The second raw moment `E[X²]`.
+    #[must_use]
+    pub fn second_moment(&self) -> f64 {
+        let m = self.mean();
+        match *self {
+            Dist::Constant { .. } => m * m,
+            Dist::Exponential { .. } => 2.0 * m * m,
+            Dist::Erlang { k, .. } => m * m * (1.0 + 1.0 / f64::from(k)),
+            Dist::Uniform { lo, hi } => (hi * hi + hi * lo + lo * lo) / 3.0,
+            Dist::LogNormal { scv, .. } | Dist::HyperExp { scv, .. } => m * m * (1.0 + scv),
+        }
+    }
+
+    /// Variance.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        let m = self.mean();
+        (self.second_moment() - m * m).max(0.0)
+    }
+
+    /// Squared coefficient of variation.
+    #[must_use]
+    pub fn scv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.variance() / (m * m)
+        }
+    }
+
+    /// Returns a copy with the mean multiplied by `factor` (same shape / SCV).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor <= 0`.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Dist {
+        assert!(factor > 0.0, "scale factor must be positive");
+        match *self {
+            Dist::Constant { value } => Dist::Constant {
+                value: value * factor,
+            },
+            Dist::Exponential { mean } => Dist::Exponential {
+                mean: mean * factor,
+            },
+            Dist::Erlang { k, mean } => Dist::Erlang {
+                k,
+                mean: mean * factor,
+            },
+            Dist::Uniform { lo, hi } => Dist::Uniform {
+                lo: lo * factor,
+                hi: hi * factor,
+            },
+            Dist::LogNormal { mean, scv } => Dist::LogNormal {
+                mean: mean * factor,
+                scv,
+            },
+            Dist::HyperExp { mean, scv } => Dist::HyperExp {
+                mean: mean * factor,
+                scv,
+            },
+        }
+    }
+
+    /// Draws a sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Dist::Constant { value } => value,
+            Dist::Exponential { mean } => sample_exp(rng, 1.0 / mean),
+            Dist::Erlang { k, mean } => {
+                let rate = f64::from(k) / mean;
+                (0..k).map(|_| sample_exp(rng, rate)).sum()
+            }
+            Dist::Uniform { lo, hi } => rng.gen_range(lo..hi),
+            Dist::LogNormal { mean, scv } => {
+                // If X = exp(μ + σZ): E[X] = exp(μ + σ²/2), SCV = exp(σ²) − 1.
+                let sigma2 = (1.0 + scv).ln();
+                let mu = mean.ln() - 0.5 * sigma2;
+                (mu + sigma2.sqrt() * sample_std_normal(rng)).exp()
+            }
+            Dist::HyperExp { mean, scv } => {
+                // Balanced-means 2-phase fit.
+                let p = 0.5 * (1.0 + ((scv - 1.0) / (scv + 1.0)).sqrt());
+                let (p1, r1, r2) = (p, 2.0 * p / mean, 2.0 * (1.0 - p) / mean);
+                if rng.gen::<f64>() < p1 {
+                    sample_exp(rng, r1)
+                } else {
+                    sample_exp(rng, r2)
+                }
+            }
+        }
+    }
+
+    /// Converts to an equivalent (or moment-matched) phase-type distribution.
+    ///
+    /// Constant and lognormal shapes are approximated via [`crate::fit::ph_from_mean_scv`];
+    /// exponential, Erlang and hyperexponential are exact.
+    #[must_use]
+    pub fn to_ph(&self) -> crate::Ph {
+        match *self {
+            Dist::Exponential { mean } => {
+                crate::Ph::exponential(1.0 / mean).expect("positive rate")
+            }
+            Dist::Erlang { k, mean } => {
+                crate::Ph::erlang(k as usize, f64::from(k) / mean).expect("valid erlang")
+            }
+            _ => crate::fit::ph_from_mean_scv(self.mean(), self.scv().max(1e-4)),
+        }
+    }
+}
+
+/// Samples an integer from a Zipf distribution on `{1, …, n}` with exponent `s`,
+/// via inverted CDF over precomputed weights.
+///
+/// For repeated sampling prefer [`ZipfSampler`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler for ranks `1..=n` with exponent `s > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s <= 0`.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs n >= 1");
+        assert!(s > 0.0, "zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if the sampler has no ranks (never constructed; kept for API
+    /// completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a 1-based rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf has no NaN"))
+        {
+            Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+
+    /// Probability of rank `r` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is 0 or exceeds the number of ranks.
+    #[must_use]
+    pub fn pmf(&self, r: usize) -> f64 {
+        assert!(r >= 1 && r <= self.cdf.len(), "rank out of bounds");
+        if r == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[r - 1] - self.cdf[r - 2]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical_moments(d: &Dist, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let m2 = xs.iter().map(|x| x * x).sum::<f64>() / n as f64;
+        (mean, m2)
+    }
+
+    #[test]
+    fn moments_match_samples() {
+        let cases = [Dist::constant(3.0),
+            Dist::exponential(2.0),
+            Dist::erlang(4, 2.0),
+            Dist::uniform(1.0, 5.0),
+            Dist::lognormal(2.0, 0.5),
+            Dist::hyperexp(2.0, 4.0)];
+        for (i, d) in cases.iter().enumerate() {
+            let (mean, m2) = empirical_moments(d, 60_000, 100 + i as u64);
+            assert!(
+                (mean - d.mean()).abs() / d.mean() < 0.03,
+                "{d:?}: mean {mean} vs {}",
+                d.mean()
+            );
+            assert!(
+                (m2 - d.second_moment()).abs() / d.second_moment() < 0.08,
+                "{d:?}: m2 {m2} vs {}",
+                d.second_moment()
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_preserves_scv() {
+        for d in [
+            Dist::exponential(1.0),
+            Dist::erlang(3, 2.0),
+            Dist::lognormal(1.0, 2.0),
+        ] {
+            let s = d.scaled(0.4);
+            assert!((s.mean() - 0.4 * d.mean()).abs() < 1e-12);
+            assert!((s.scv() - d.scv()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn to_ph_matches_moments() {
+        for d in [
+            Dist::exponential(2.0),
+            Dist::erlang(3, 1.5),
+            Dist::hyperexp(1.0, 3.0),
+            Dist::lognormal(2.0, 0.3),
+        ] {
+            let ph = d.to_ph();
+            assert!(
+                (ph.mean() - d.mean()).abs() / d.mean() < 1e-6,
+                "{d:?} mean {} vs {}",
+                ph.mean(),
+                d.mean()
+            );
+            assert!(
+                (ph.scv() - d.scv()).abs() < 0.02 + 1e-6,
+                "{d:?} scv {} vs {}",
+                ph.scv(),
+                d.scv()
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_is_heavy_headed() {
+        let z = ZipfSampler::new(1000, 1.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50_000;
+        let ones = (0..n).filter(|_| z.sample(&mut rng) == 1).count();
+        let expect = z.pmf(1);
+        let got = ones as f64 / n as f64;
+        assert!((got - expect).abs() < 0.01, "{got} vs {expect}");
+        // pmf sums to 1.
+        let total: f64 = (1..=1000).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "scv >= 1")]
+    fn hyperexp_requires_scv_at_least_one() {
+        let _ = Dist::hyperexp(1.0, 0.5);
+    }
+}

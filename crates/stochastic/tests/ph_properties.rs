@@ -1,0 +1,114 @@
+//! Property-based tests of the phase-type algebra.
+
+use proptest::prelude::*;
+
+use dias_stochastic::fit::ph_from_mean_scv;
+use dias_stochastic::{Dist, MarkedPoisson, Ph};
+
+/// Strategy for a small random PH distribution built from valid primitives.
+fn arb_ph() -> impl Strategy<Value = Ph> {
+    prop_oneof![
+        (0.1f64..10.0).prop_map(|r| Ph::exponential(r).expect("valid rate")),
+        (1usize..6, 0.1f64..10.0).prop_map(|(k, r)| Ph::erlang(k, r).expect("valid erlang")),
+        (0.05f64..0.95, 0.1f64..5.0, 0.1f64..5.0).prop_map(|(p, r1, r2)| {
+            Ph::hyperexponential(&[p, 1.0 - p], &[r1, r2]).expect("valid hyper")
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn moments_satisfy_cauchy_schwarz(ph in arb_ph()) {
+        // E[X²] ≥ E[X]² and E[X³] ≥ 0 for any non-negative variable.
+        let m1 = ph.moment(1);
+        let m2 = ph.moment(2);
+        prop_assert!(m1 > 0.0);
+        prop_assert!(m2 >= m1 * m1 - 1e-12);
+        prop_assert!(ph.moment(3) > 0.0);
+    }
+
+    #[test]
+    fn survival_is_monotone(ph in arb_ph(), a in 0.0f64..10.0, b in 0.0f64..10.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(ph.sf(lo) + 1e-9 >= ph.sf(hi));
+        prop_assert!(ph.sf(0.0) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn scaling_scales_moments(ph in arb_ph(), factor in 0.01f64..100.0) {
+        let scaled = ph.scaled(factor);
+        prop_assert!((scaled.mean() - factor * ph.mean()).abs() / (factor * ph.mean()) < 1e-9);
+        prop_assert!((scaled.scv() - ph.scv()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convolution_is_commutative_in_distribution(a in arb_ph(), b in arb_ph()) {
+        let ab = a.convolve(&b);
+        let ba = b.convolve(&a);
+        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+        prop_assert!((ab.moment(2) - ba.moment(2)).abs() / ab.moment(2) < 1e-9);
+        // CDFs agree at a few probe points.
+        for t in [0.5 * ab.mean(), ab.mean(), 2.0 * ab.mean()] {
+            prop_assert!((ab.cdf(t) - ba.cdf(t)).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn min_max_identity(a in arb_ph(), b in arb_ph()) {
+        // E[min] + E[max] = E[X] + E[Y].
+        let lhs = a.minimum(&b).mean() + a.maximum(&b).mean();
+        let rhs = a.mean() + b.mean();
+        prop_assert!((lhs - rhs).abs() / rhs < 1e-7);
+        // min ≤ max in expectation.
+        prop_assert!(a.minimum(&b).mean() <= a.maximum(&b).mean() + 1e-9);
+    }
+
+    #[test]
+    fn equilibrium_mean_identity(ph in arb_ph()) {
+        // E[X_e] = E[X²] / (2 E[X]).
+        let eq = ph.equilibrium();
+        let expect = ph.moment(2) / (2.0 * ph.moment(1));
+        prop_assert!((eq.mean() - expect).abs() / expect < 1e-8);
+    }
+
+    #[test]
+    fn overshoot_decreases_with_threshold(ph in arb_ph(), a in 0.0f64..5.0, b in 0.0f64..5.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(ph.overshoot_moment(hi, 1) <= ph.overshoot_moment(lo, 1) + 1e-9);
+        // At zero threshold the overshoot is the plain moment.
+        prop_assert!((ph.overshoot_moment(0.0, 1) - ph.moment(1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_then_requery_roundtrips(mean in 0.01f64..1e3, scv in 0.05f64..10.0) {
+        let ph = ph_from_mean_scv(mean, scv);
+        let refit = ph_from_mean_scv(ph.mean(), ph.scv());
+        prop_assert!((refit.mean() - ph.mean()).abs() / ph.mean() < 1e-6);
+    }
+
+    #[test]
+    fn dist_moments_nonnegative_variance(
+        mean in 0.01f64..100.0,
+        scv in 1.0f64..8.0,
+        k in 1u32..8,
+    ) {
+        for d in [
+            Dist::exponential(mean),
+            Dist::erlang(k, mean),
+            Dist::hyperexp(mean, scv),
+            Dist::lognormal(mean, scv),
+        ] {
+            prop_assert!(d.variance() >= -1e-12);
+            prop_assert!(d.second_moment() >= d.mean() * d.mean() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn marked_poisson_rates_partition(r0 in 0.001f64..10.0, r1 in 0.001f64..10.0) {
+        let mp = MarkedPoisson::new(vec![r0, r1]).expect("valid rates");
+        prop_assert!((mp.total_rate() - (r0 + r1)).abs() < 1e-12);
+        let mmap = mp.to_mmap();
+        prop_assert!((mmap.class_rate(0) - r0).abs() < 1e-9);
+        prop_assert!((mmap.class_rate(1) - r1).abs() < 1e-9);
+    }
+}

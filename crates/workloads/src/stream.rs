@@ -1,0 +1,245 @@
+//! Poisson job streams over profiles, with utilization-targeted calibration.
+
+use rand::rngs::StdRng;
+
+use dias_core::JobSource;
+use dias_des::stats::SampleSet;
+use dias_des::SeedSequence;
+use dias_engine::{ClusterSim, ClusterSpec, EngineEvent, JobInstance};
+use dias_stochastic::{sample_exp, MarkedPoisson};
+
+use crate::profiles::JobProfile;
+
+/// Mean execution time of a profile on an otherwise idle cluster — the offline
+/// profiling run the paper uses to parameterize models and arrival rates (§4.3).
+///
+/// Runs `n` independent jobs with the given per-stage `drops` and collects their
+/// execution times.
+///
+/// # Panics
+///
+/// Panics if `drops` does not match the profile's stage count.
+#[must_use]
+pub fn profile_execution(
+    profile: &JobProfile,
+    cluster: &ClusterSpec,
+    drops: &[f64],
+    n: usize,
+    seed: u64,
+) -> SampleSet {
+    let seeds = SeedSequence::new(seed);
+    let mut rng: StdRng = seeds.stream(&format!("profile/{}", profile.name));
+    let mut out = SampleSet::new();
+    for i in 0..n {
+        let spec = profile.spec(i as u64, 0);
+        let instance = JobInstance::sample(&spec, &mut rng);
+        let mut sim = ClusterSim::new(cluster.clone());
+        sim.start_job(&instance, drops)
+            .expect("idle engine accepts the job");
+        loop {
+            match sim.advance().expect("running job yields events") {
+                EngineEvent::JobFinished { metrics, .. } => {
+                    out.push(metrics.execution_secs);
+                    break;
+                }
+                _ => continue,
+            }
+        }
+    }
+    out
+}
+
+/// An endless Poisson job stream: class `k` arrives at `rates[k]` and instantiates
+/// `profiles[k]`.
+///
+/// Implements [`JobSource`] for [`dias_core::Experiment`].
+#[derive(Debug, Clone)]
+pub struct JobStream {
+    profiles: Vec<JobProfile>,
+    arrivals: MarkedPoisson,
+    rng: StdRng,
+    now: f64,
+    next_id: u64,
+}
+
+impl JobStream {
+    /// Builds a stream with explicit per-class Poisson rates (jobs/second).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if lengths mismatch or rates are invalid.
+    pub fn with_rates(
+        profiles: Vec<JobProfile>,
+        rates: Vec<f64>,
+        seed: u64,
+    ) -> Result<Self, String> {
+        if profiles.len() != rates.len() {
+            return Err(format!(
+                "{} profiles but {} rates",
+                profiles.len(),
+                rates.len()
+            ));
+        }
+        let arrivals = MarkedPoisson::new(rates)?;
+        let seeds = SeedSequence::new(seed);
+        Ok(JobStream {
+            profiles,
+            arrivals,
+            rng: seeds.stream("jobstream"),
+            now: 0.0,
+            next_id: 0,
+        })
+    }
+
+    /// Builds a stream whose total arrival rate hits `utilization` on `cluster`,
+    /// splitting arrivals across classes by `weights`.
+    ///
+    /// The per-class mean execution times are measured by engine profiling (40 jobs
+    /// per class at zero drop), then the total rate solves
+    /// `Σ weight_k · rate · E[T_k] = utilization`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are inconsistent (empty, mismatched lengths, non-positive
+    /// weights or utilization).
+    #[must_use]
+    pub fn with_target_utilization(
+        profiles: Vec<JobProfile>,
+        weights: Vec<f64>,
+        cluster: &ClusterSpec,
+        utilization: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(!profiles.is_empty(), "need at least one class");
+        assert_eq!(profiles.len(), weights.len(), "one weight per class");
+        assert!(utilization > 0.0 && utilization < 1.0, "need 0 < util < 1");
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+        let wsum: f64 = weights.iter().sum();
+        let mean_exec: Vec<f64> = profiles
+            .iter()
+            .map(|p| {
+                let drops = vec![0.0; p.stages.len()];
+                profile_execution(p, cluster, &drops, 40, seed ^ 0xCAFE).mean()
+            })
+            .collect();
+        let weighted: f64 = weights
+            .iter()
+            .zip(&mean_exec)
+            .map(|(w, m)| w / wsum * m)
+            .sum();
+        let total_rate = utilization / weighted;
+        let rates: Vec<f64> = weights.iter().map(|w| w / wsum * total_rate).collect();
+        JobStream::with_rates(profiles, rates, seed).expect("validated inputs")
+    }
+
+    /// Per-class arrival rates (jobs/second).
+    #[must_use]
+    pub fn rates(&self) -> &[f64] {
+        self.arrivals.rates()
+    }
+
+    /// The profiles, indexed by class.
+    #[must_use]
+    pub fn profiles(&self) -> &[JobProfile] {
+        &self.profiles
+    }
+}
+
+impl JobSource for JobStream {
+    fn classes(&self) -> usize {
+        self.profiles.len()
+    }
+
+    fn next_job(&mut self) -> Option<JobInstance> {
+        let arrival = self.arrivals.sample_next(&mut self.rng, self.now);
+        self.now = arrival.time;
+        let id = self.next_id;
+        self.next_id += 1;
+        let spec = self.profiles[arrival.class].spec(id, arrival.class);
+        let mut instance = JobInstance::sample(&spec, &mut self.rng);
+        instance.arrival_secs = arrival.time;
+        Some(instance)
+    }
+}
+
+/// Draws `n` exponential inter-arrival gaps with the given rate — exposed for
+/// workload tooling and tests.
+#[must_use]
+pub fn exponential_gaps(rate: f64, n: usize, seed: u64) -> Vec<f64> {
+    let mut rng: StdRng = SeedSequence::new(seed).stream("gaps");
+    (0..n).map(|_| sample_exp(&mut rng, rate)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{dataset_147, profile_473};
+
+    #[test]
+    fn stream_produces_sorted_arrivals() {
+        let mut s = JobStream::with_rates(
+            vec![dataset_147(), profile_473()],
+            vec![0.9 / 150.0, 0.1 / 150.0],
+            3,
+        )
+        .unwrap();
+        let mut last = 0.0;
+        for _ in 0..200 {
+            let j = s.next_job().unwrap();
+            assert!(j.arrival_secs >= last);
+            last = j.arrival_secs;
+            assert!(j.class() < 2);
+        }
+    }
+
+    #[test]
+    fn class_mix_matches_rates() {
+        let mut s =
+            JobStream::with_rates(vec![dataset_147(), profile_473()], vec![0.009, 0.001], 9)
+                .unwrap();
+        let n = 4000;
+        let high = (0..n)
+            .filter(|_| s.next_job().unwrap().class() == 1)
+            .count();
+        let frac = high as f64 / n as f64;
+        assert!((frac - 0.1).abs() < 0.02, "high fraction {frac}");
+    }
+
+    #[test]
+    fn utilization_targeting_hits_rho() {
+        let cluster = ClusterSpec::paper_reference();
+        let s = JobStream::with_target_utilization(
+            vec![dataset_147(), profile_473()],
+            vec![0.9, 0.1],
+            &cluster,
+            0.8,
+            11,
+        );
+        // Offered load from the calibrated rates and profiled means.
+        let mean_low = profile_execution(&dataset_147(), &cluster, &[0.0, 0.0], 40, 1).mean();
+        let mean_high = profile_execution(&profile_473(), &cluster, &[0.0, 0.0], 40, 1).mean();
+        let rho = s.rates()[0] * mean_low + s.rates()[1] * mean_high;
+        assert!((rho - 0.8).abs() < 0.05, "rho {rho}");
+    }
+
+    #[test]
+    fn mismatched_inputs_rejected() {
+        assert!(JobStream::with_rates(vec![dataset_147()], vec![0.1, 0.2], 0).is_err());
+        assert!(JobStream::with_rates(vec![dataset_147()], vec![-0.1], 0).is_err());
+    }
+
+    #[test]
+    fn profiling_is_deterministic() {
+        let cluster = ClusterSpec::paper_reference();
+        let a = profile_execution(&profile_473(), &cluster, &[0.0, 0.0], 10, 2);
+        let b = profile_execution(&profile_473(), &cluster, &[0.0, 0.0], 10, 2);
+        assert_eq!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn exponential_gaps_have_right_mean() {
+        let gaps = exponential_gaps(0.5, 20_000, 7);
+        let mean: f64 = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+}

@@ -1,0 +1,154 @@
+//! Model-guided capacity planning — the paper's §5.2.1 use case:
+//!
+//! > "a use case scenario where it is possible to tolerate a 30% accuracy loss for
+//! > low-priority jobs while maintaining the latency of high-priority jobs under a
+//! > bound with no accuracy loss. The task deflator consults the results in
+//! > Figure 6 to determine the maximum drop ratios […] and runs the DiAS model to
+//! > determine a drop ratio within the limit."
+//!
+//! The deflator searches drop-ratio combinations, scoring each with the Eq. 1
+//! task-level PH service model inside the non-preemptive priority-queue formulas;
+//! the chosen plan is then validated on the engine simulator against the same
+//! *relative* degradation target.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use dias_repro::core::{Experiment, Policy};
+use dias_repro::models::accuracy::{AccuracyCurve, SamplingErrorModel};
+use dias_repro::models::deflator::{ClassConstraints, Deflator, ThetaService};
+use dias_repro::models::priority::{non_preemptive_means, ClassInput};
+use dias_repro::models::TaskLevelModel;
+use dias_repro::stochastic::DiscreteDist;
+use dias_repro::workloads::reference_two_priority;
+
+fn main() {
+    // Per-class service models (Eq. 1 task-level models of the two datasets).
+    let low_service = TaskLevelModel {
+        slots: 20,
+        map_tasks: DiscreteDist::constant(50),
+        reduce_tasks: DiscreteDist::constant(10),
+        setup_rate: 1.0 / 12.0,
+        map_task_rate: 1.0 / 33.4,
+        shuffle_rate: 1.0 / 8.0,
+        reduce_task_rate: 1.0 / 12.0,
+        theta_map: 0.0,
+        theta_reduce: 0.0,
+    };
+    let high_service = TaskLevelModel {
+        map_task_rate: 1.0 / 27.9,
+        reduce_task_rate: 1.0 / 11.0,
+        setup_rate: 1.0 / 11.0,
+        shuffle_rate: 1.0 / 7.0,
+        ..low_service.clone()
+    };
+
+    // Accuracy curve calibrated to Fig. 6.
+    let accuracy = SamplingErrorModel::paper_fig6();
+    println!(
+        "accuracy model: err(theta) = {:.1}*sqrt(theta/(1-theta))",
+        accuracy.coefficient()
+    );
+    println!(
+        "30% error tolerance admits theta <= {:.2}\n",
+        accuracy.max_theta_for(30.0)
+    );
+
+    // Arrival rates in model units: 80% utilization, 9:1 low:high split.
+    let s_low = low_service.mean_processing_time().expect("valid model");
+    let s_high = high_service.mean_processing_time().expect("valid model");
+    let total_rate = 0.8 / (0.9 * s_low + 0.1 * s_high);
+    let rates = [0.9 * total_rate, 0.1 * total_rate];
+
+    // High-priority latency target: within 15% of its zero-drop prediction.
+    let zero = non_preemptive_means(&[
+        ClassInput::from_ph(rates[0], &low_service.service_ph(0.0).expect("valid")),
+        ClassInput::from_ph(rates[1], &high_service.service_ph(0.0).expect("valid")),
+    ])
+    .expect("stable at zero drop");
+    let degradation_target = 1.15;
+    let bound = zero[1].response * degradation_target;
+    println!(
+        "zero-drop predictions: low {:.1}s, high {:.1}s -> high bound {:.1}s",
+        zero[0].response, zero[1].response, bound
+    );
+
+    let mut deflator = Deflator::new();
+    deflator
+        .class(
+            ClassConstraints {
+                lambda: rates[0],
+                max_error_pct: 30.0,
+                mean_latency_bound: None,
+                sprint: None,
+            },
+            &low_service,
+            &accuracy,
+        )
+        .class(
+            ClassConstraints {
+                lambda: rates[1],
+                max_error_pct: 0.0,
+                mean_latency_bound: Some(bound),
+                sprint: None,
+            },
+            &high_service,
+            &accuracy,
+        );
+    let plan = deflator.plan().expect("feasible plan exists");
+
+    println!("\ndeflator plan:");
+    println!(
+        "  drop ratios: low theta = {:.2}, high theta = {:.2}",
+        plan.thetas[0], plan.thetas[1]
+    );
+    println!(
+        "  predicted: low {:.1}s ({:+.1}% vs zero-drop), high {:.1}s (bound {:.1}s)",
+        plan.predicted[0].response,
+        (plan.predicted[0].response - zero[0].response) / zero[0].response * 100.0,
+        plan.predicted[1].response,
+        bound
+    );
+    println!(
+        "  accuracy loss: low {:.1}% (tolerance 30%), high {:.1}%",
+        plan.errors[0], plan.errors[1]
+    );
+
+    // Engine validation of the *relative* target: with the planned drop ratios,
+    // high-priority degradation vs the engine's own zero-drop run must stay within
+    // the same 15%.
+    let jobs = 1500;
+    let engine_zero = Experiment::new(reference_two_priority(0.8, 11), Policy::non_preemptive(2))
+        .jobs(jobs)
+        .run()
+        .expect("valid experiment");
+    let engine_plan = Experiment::new(
+        reference_two_priority(0.8, 11),
+        Policy::differential_approximation(&plan.thetas),
+    )
+    .jobs(jobs)
+    .run()
+    .expect("valid experiment");
+    let degradation = engine_plan.mean_response(1) / engine_zero.mean_response(1);
+    println!("\nengine validation:");
+    println!(
+        "  high: zero-drop {:.1}s -> planned {:.1}s ({:+.1}%, target <= +15%): {}",
+        engine_zero.mean_response(1),
+        engine_plan.mean_response(1),
+        (degradation - 1.0) * 100.0,
+        if degradation <= degradation_target {
+            "target met"
+        } else {
+            "target missed"
+        }
+    );
+    println!(
+        "  low:  zero-drop {:.1}s -> planned {:.1}s ({:+.1}%)",
+        engine_zero.mean_response(0),
+        engine_plan.mean_response(0),
+        (engine_plan.mean_response(0) - engine_zero.mean_response(0))
+            / engine_zero.mean_response(0)
+            * 100.0,
+    );
+}

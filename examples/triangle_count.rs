@@ -1,0 +1,68 @@
+//! Graph analytics under per-stage dropping: run a *real* triangle count on a
+//! synthetic web graph and show how per-ShuffleMap-stage sampling compounds into
+//! accuracy loss, next to the latency the same ratios save in the cluster.
+//!
+//! ```sh
+//! cargo run --release --example triangle_count
+//! ```
+
+use dias_repro::core::{Experiment, Policy};
+use dias_repro::workloads::graph::{Graph, GraphConfig};
+use dias_repro::workloads::triangle_two_priority;
+
+fn main() {
+    println!("== 1. The graph and its exact triangle count ==\n");
+    let cfg = GraphConfig::google_web_scaled();
+    let graph = Graph::generate(&cfg);
+    let exact = graph.triangles();
+    println!(
+        "  R-MAT web graph: {} nodes, {} edges (Google-web shape, 1:100 scale)",
+        graph.nodes(),
+        graph.edges().len()
+    );
+    println!("  exact triangles: {exact}");
+
+    println!("\n== 2. Per-stage dropping: accuracy of the 6-stage sampled count ==\n");
+    for per_stage in [0.01f64, 0.02, 0.05, 0.10, 0.20] {
+        let effective = 1.0 - (1.0 - per_stage).powi(6);
+        let (estimate, err) = graph.approximate_triangles(per_stage, 6, 42);
+        println!(
+            "  {:>4.0}%/stage (effective {:>4.1}%): estimate {estimate:>10.0}, error {err:>5.1}%",
+            per_stage * 100.0,
+            effective * 100.0
+        );
+    }
+
+    println!("\n== 3. Latency: the same ratios on the two-priority cluster ==\n");
+    let jobs = 1200;
+    let p = Experiment::new(triangle_two_priority(0.8, 5), Policy::preemptive(2))
+        .jobs(jobs)
+        .run()
+        .expect("valid experiment");
+    println!(
+        "  P:        low {:>7.1}s, high {:>6.1}s, waste {:.1}%",
+        p.mean_response(0),
+        p.mean_response(1),
+        p.waste_fraction() * 100.0
+    );
+    for per_stage_pct in [5.0, 10.0, 20.0] {
+        let report = Experiment::new(
+            triangle_two_priority(0.8, 5),
+            Policy::da_percent_high_to_low(&[0.0, per_stage_pct]),
+        )
+        .jobs(jobs)
+        .run()
+        .expect("valid experiment");
+        println!(
+            "  DA(0,{:>2.0}): low {:>7.1}s ({:+.1}%), high {:>6.1}s ({:+.1}%)",
+            per_stage_pct,
+            report.mean_response(0),
+            (report.mean_response(0) - p.mean_response(0)) / p.mean_response(0) * 100.0,
+            report.mean_response(1),
+            (report.mean_response(1) - p.mean_response(1)) / p.mean_response(1) * 100.0,
+        );
+    }
+
+    println!("\nA few percent of dropped tasks per stage halves low-priority latency");
+    println!("while the triangle estimate stays within a few percent of exact.");
+}

@@ -1,0 +1,39 @@
+//! # dias-repro
+//!
+//! Meta-crate for the reproduction of *"Differential Approximation and Sprinting for
+//! Multi-Priority Big Data Engines"* (Birke et al., Middleware 2019).
+//!
+//! This crate re-exports every workspace crate under a single namespace so the
+//! repository-level examples and integration tests can exercise the full public API:
+//!
+//! * [`des`] — discrete-event simulation kernel and statistics.
+//! * [`linalg`] — dense linear algebra used by the stochastic models.
+//! * [`stochastic`] — phase-type distributions and marked arrival processes.
+//! * [`models`] — the paper's §4 task-/wave-level models and priority-queue analysis.
+//! * [`engine`] — the Spark-like cluster simulator substrate.
+//! * [`core`] — the DiAS controller: buffers, deflator, sprinter, policies.
+//! * [`workloads`] — text/graph analytics workloads and job-stream generators.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dias_repro::core::{Experiment, Policy};
+//! use dias_repro::workloads::reference_two_priority;
+//!
+//! // The paper's two-priority reference workload at 80% utilization.
+//! let workload = reference_two_priority(0.8, 7);
+//! let report = Experiment::new(workload, Policy::da_percent_high_to_low(&[0.0, 20.0]))
+//!     .jobs(50)
+//!     .run()
+//!     .unwrap();
+//! assert!(report.mean_response(0) > 0.0);
+//! assert_eq!(report.evictions, 0); // DiAS never evicts
+//! ```
+
+pub use dias_core as core;
+pub use dias_des as des;
+pub use dias_engine as engine;
+pub use dias_linalg as linalg;
+pub use dias_models as models;
+pub use dias_stochastic as stochastic;
+pub use dias_workloads as workloads;

@@ -1,0 +1,172 @@
+//! Property-based tests over the workspace's core invariants.
+
+use proptest::prelude::*;
+
+use dias_repro::des::stats::SampleSet;
+use dias_repro::des::{EventQueue, SimTime};
+use dias_repro::models::priority::{non_preemptive_means, preemptive_resume_means, ClassInput};
+use dias_repro::models::sprint::SprintEffect;
+use dias_repro::models::{effective_tasks, wave_count_probs};
+use dias_repro::stochastic::fit::ph_from_mean_scv;
+use dias_repro::stochastic::{DiscreteDist, Ph};
+
+proptest! {
+    #[test]
+    fn ph_fit_matches_two_moments(mean in 0.01f64..1e4, scv in 0.05f64..20.0) {
+        let ph = ph_from_mean_scv(mean, scv);
+        prop_assert!((ph.mean() - mean).abs() / mean < 1e-6);
+        prop_assert!((ph.scv() - scv).abs() / scv < 1e-4);
+    }
+
+    #[test]
+    fn ph_cdf_is_monotone_and_bounded(mean in 0.1f64..100.0, scv in 0.2f64..5.0,
+                                      t1 in 0.0f64..50.0, t2 in 0.0f64..50.0) {
+        let ph = ph_from_mean_scv(mean, scv);
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let c_lo = ph.cdf(lo);
+        let c_hi = ph.cdf(hi);
+        prop_assert!((0.0..=1.0).contains(&c_lo));
+        prop_assert!((0.0..=1.0).contains(&c_hi));
+        prop_assert!(c_lo <= c_hi + 1e-9);
+    }
+
+    #[test]
+    fn ph_convolution_adds_first_two_cumulants(
+        m1 in 0.1f64..50.0, s1 in 0.3f64..4.0,
+        m2 in 0.1f64..50.0, s2 in 0.3f64..4.0,
+    ) {
+        let a = ph_from_mean_scv(m1, s1);
+        let b = ph_from_mean_scv(m2, s2);
+        let c = a.convolve(&b);
+        prop_assert!((c.mean() - (m1 + m2)).abs() / (m1 + m2) < 1e-6);
+        let var = c.variance();
+        let expect = a.variance() + b.variance();
+        prop_assert!((var - expect).abs() / expect < 1e-4);
+    }
+
+    #[test]
+    fn ph_quantile_inverts_cdf(mean in 0.5f64..20.0, scv in 0.3f64..3.0, q in 0.05f64..0.99) {
+        let ph = ph_from_mean_scv(mean, scv);
+        let t = ph.quantile(q);
+        prop_assert!((ph.cdf(t) - q).abs() < 1e-5);
+    }
+
+    #[test]
+    fn effective_tasks_is_monotone(n in 1usize..500, a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(effective_tasks(n, hi) <= effective_tasks(n, lo));
+        prop_assert!(effective_tasks(n, 0.0) == n);
+        // Any drop below 1 keeps at least one task (early drop never empties).
+        if hi < 1.0 {
+            prop_assert!(effective_tasks(n, hi) >= 1);
+        }
+    }
+
+    #[test]
+    fn wave_probs_form_subdistribution(center in 1usize..200, spread in 0.0f64..0.4,
+                                       theta in 0.0f64..0.99, slots in 1usize..64) {
+        let tasks = DiscreteDist::around(center, spread, center * 2);
+        let q = wave_count_probs(&tasks, theta, slots);
+        let total: f64 = q.iter().sum();
+        prop_assert!(total <= 1.0 + 1e-9, "sum {total}");
+        prop_assert!(q.iter().all(|&p| p >= 0.0));
+        // With theta < 1 no mass is lost.
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_set_quantiles_bounded(values in prop::collection::vec(0.0f64..1e6, 1..200),
+                                    q in 0.0f64..1.0) {
+        let s: SampleSet = values.iter().copied().collect();
+        let quant = s.quantile(q);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(0.0f64, f64::max);
+        prop_assert!(quant >= min - 1e-9 && quant <= max + 1e-9);
+        prop_assert!(s.mean() >= min - 1e-9 && s.mean() <= max + 1e-9);
+    }
+
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0.0f64..1e6, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_secs(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    #[test]
+    fn priority_formulas_conservation_and_ordering(
+        rho_splits in prop::collection::vec(0.05f64..1.0, 2..5),
+        total_rho in 0.1f64..0.92,
+        scv in 0.3f64..4.0,
+    ) {
+        // Build K classes splitting `total_rho`. Identical service distributions:
+        // only then is per-class waiting guaranteed monotone in priority (with
+        // heterogeneous services, preemptive-resume "waiting" includes the stretch
+        // of the class's own service and need not be monotone — a property this
+        // suite originally got wrong).
+        let total: f64 = rho_splits.iter().sum();
+        let mean = 1.0;
+        let classes: Vec<ClassInput> = rho_splits
+            .iter()
+            .map(|w| {
+                let rho = w / total * total_rho;
+                ClassInput {
+                    lambda: rho / mean,
+                    mean_service: mean,
+                    second_moment: mean * mean * (1.0 + scv),
+                }
+            })
+            .collect();
+        let np = non_preemptive_means(&classes).expect("stable");
+        let pr = preemptive_resume_means(&classes).expect("stable");
+        // Higher classes wait no longer than lower classes.
+        for k in 1..classes.len() {
+            prop_assert!(np[k].waiting <= np[k - 1].waiting + 1e-9);
+            prop_assert!(pr[k].waiting <= pr[k - 1].waiting + 1e-9);
+        }
+        // Kleinrock conservation for the non-preemptive discipline.
+        let w0: f64 = classes.iter().map(|c| c.lambda * c.second_moment / 2.0).sum();
+        let lhs: f64 = classes.iter().zip(&np).map(|(c, m)| c.rho() * m.waiting).sum();
+        let rhs = total_rho * w0 / (1.0 - total_rho);
+        prop_assert!((lhs - rhs).abs() / rhs < 1e-9);
+    }
+
+    #[test]
+    fn sprint_effect_bounds(base in 0.0f64..1e4, timeout in 0.0f64..1e3, speedup in 1.01f64..8.0) {
+        let e = SprintEffect::new(timeout, speedup);
+        let out = e.apply(base);
+        prop_assert!(out <= base + 1e-9, "sprinting never slows a job");
+        prop_assert!(out >= base / speedup - 1e-9, "cannot beat full-speed execution");
+        // Piecewise identity below the timeout.
+        if base <= timeout {
+            prop_assert!((out - base).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sprinted_moments_stay_consistent(mean in 1.0f64..500.0, scv in 0.2f64..3.0,
+                                        timeout in 0.0f64..300.0, speedup in 1.1f64..4.0) {
+        let base = ph_from_mean_scv(mean, scv);
+        let (m1, m2) = dias_repro::models::sprint::sprinted_moments(
+            &base,
+            &SprintEffect::new(timeout, speedup),
+        );
+        prop_assert!(m1 > 0.0 && m1 <= base.mean() + 1e-9);
+        prop_assert!(m2 >= m1 * m1 - 1e-6, "E[X²] ≥ E[X]² must hold");
+    }
+
+    #[test]
+    fn ph_mixture_mean_is_weighted(w in 0.01f64..0.99, m1 in 0.1f64..50.0, m2 in 0.1f64..50.0) {
+        let a = Ph::exponential(1.0 / m1).expect("valid");
+        let b = Ph::exponential(1.0 / m2).expect("valid");
+        let mix = Ph::mixture(&[w, 1.0 - w], &[a, b]).expect("valid");
+        let expect = w * m1 + (1.0 - w) * m2;
+        prop_assert!((mix.mean() - expect).abs() / expect < 1e-9);
+    }
+}
