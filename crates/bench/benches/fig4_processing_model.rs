@@ -7,7 +7,7 @@
 //!
 //! Paper checkpoint: mean model errors of 11.1% and 7.8% for the two datasets.
 
-use dias_bench::{banner, compare, wave_model_for};
+use dias_bench::{banner, compare, scaled, wave_model_for};
 use dias_engine::ClusterSpec;
 use dias_workloads::{dataset_126, dataset_147, profile_execution, JobProfile};
 
@@ -23,7 +23,7 @@ fn validate(profile: &JobProfile, cluster: &ClusterSpec) -> f64 {
         let model = wave_model_for(profile, cluster, theta, 17)
             .mean_processing_time()
             .expect("valid wave model");
-        let observed = profile_execution(profile, cluster, &[theta, 0.0], 80, 23).mean();
+        let observed = profile_execution(profile, cluster, &[theta, 0.0], scaled(80), 23).mean();
         let err = (model - observed).abs() / observed * 100.0;
         total_err += err;
         println!("{theta:>8.1} {model:>12.1} {observed:>12.1} {err:>8.1}%");

@@ -8,13 +8,15 @@
 //! Paper checkpoints: ≈ 8.5% at θ = 0.1, ≈ 15% at θ = 0.2, ≈ 32% at θ = 0.4, with
 //! sub-linear growth; the paper evaluates drop ratios up to 0.8.
 
-use dias_bench::{banner, compare};
+use dias_bench::{banner, compare, scaled};
 use dias_models::accuracy::{AccuracyCurve, SamplingErrorModel};
 use dias_workloads::text::{accuracy_curve, CorpusConfig};
 
 fn main() {
     banner("Figure 6", "mean absolute percent error vs map drop ratio");
-    let cfg = CorpusConfig::paper_fig6();
+    let mut cfg = CorpusConfig::paper_fig6();
+    // DIAS_BENCH_JOBS scales the corpus (the effort knob of this harness).
+    cfg.posts_per_topic = scaled(cfg.posts_per_topic);
     let thetas = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
     let curve = accuracy_curve(&cfg, 50, &thetas, usize::MAX);
 

@@ -18,6 +18,15 @@ pub fn bench_jobs() -> usize {
         .unwrap_or(6000)
 }
 
+/// Scales a harness-specific default effort knob (engine replications, corpus
+/// size, ...) proportionally to the `DIAS_BENCH_JOBS` override, relative to
+/// the 6000-job default of [`bench_jobs`]. Keeps a floor of 3 so smoke runs
+/// (e.g. `DIAS_BENCH_JOBS=50` in CI) still exercise the full code path.
+#[must_use]
+pub fn scaled(default: usize) -> usize {
+    (default * bench_jobs() / 6000).max(3)
+}
+
 /// Prints the standard figure banner.
 pub fn banner(figure: &str, title: &str) {
     println!("==============================================================");
@@ -219,4 +228,3 @@ mod tests {
         }
     }
 }
-

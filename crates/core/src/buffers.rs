@@ -14,6 +14,14 @@ pub struct QueuedJob {
     pub instance: JobInstance,
     /// How many times the job has been evicted so far.
     pub evictions: u32,
+    /// Position of this job in the arrival sequence, when known.
+    ///
+    /// The experiment driver keys its measurement window on this index so that
+    /// every policy measures the *same set of jobs* regardless of completion
+    /// order; without it, reports from different policies would not be
+    /// directly comparable (and invariants like "DA leaves high-class
+    /// execution untouched" would not hold bit-for-bit).
+    pub arrival_seq: Option<usize>,
 }
 
 impl QueuedJob {
@@ -23,6 +31,17 @@ impl QueuedJob {
         QueuedJob {
             instance,
             evictions: 0,
+            arrival_seq: None,
+        }
+    }
+
+    /// Wraps a fresh arrival tagged with its position in the arrival sequence.
+    #[must_use]
+    pub fn with_seq(instance: JobInstance, seq: usize) -> Self {
+        QueuedJob {
+            instance,
+            evictions: 0,
+            arrival_seq: Some(seq),
         }
     }
 }

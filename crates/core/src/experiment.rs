@@ -78,6 +78,15 @@ pub enum ExperimentError {
     },
     /// The engine rejected an operation (a bug in the driving loop or the inputs).
     Engine(EngineError),
+    /// A measured job was starved: the run processed far more completions than
+    /// the measurement window and still could not finish it (the offered load
+    /// of higher classes is at or above capacity).
+    Starved {
+        /// Measured jobs that did complete.
+        measured_done: usize,
+        /// Measured jobs requested.
+        target: usize,
+    },
 }
 
 impl fmt::Display for ExperimentError {
@@ -88,6 +97,14 @@ impl fmt::Display for ExperimentError {
                 "policy has {policy} classes but the job source produces {source}"
             ),
             ExperimentError::Engine(e) => write!(f, "engine error: {e}"),
+            ExperimentError::Starved {
+                measured_done,
+                target,
+            } => write!(
+                f,
+                "measured jobs starved: {measured_done}/{target} completed within the \
+                 completion budget (higher-priority load at or above capacity?)"
+            ),
         }
     }
 }
@@ -100,8 +117,8 @@ impl From<EngineError> for ExperimentError {
     }
 }
 
-/// A configured experiment: source + policy + cluster, run for a number of
-/// completions.
+/// A configured experiment: source + policy + cluster, measuring a fixed
+/// window of the arrival sequence.
 ///
 /// See the crate-level example.
 #[derive(Debug)]
@@ -114,8 +131,8 @@ pub struct Experiment<S> {
 }
 
 impl<S: JobSource> Experiment<S> {
-    /// Creates an experiment on the paper's reference cluster, measuring 1000 jobs
-    /// after a 10% warm-up.
+    /// Creates an experiment on the paper's reference cluster, measuring 1000
+    /// jobs (by arrival order) after a 10% warm-up.
     #[must_use]
     pub fn new(source: S, policy: Policy) -> Self {
         Experiment {
@@ -127,7 +144,8 @@ impl<S: JobSource> Experiment<S> {
         }
     }
 
-    /// Sets the number of measured completions (warm-up defaults to 10% of it).
+    /// Sets the number of measured jobs — arrivals `warmup..warmup + n` —
+    /// (warm-up defaults to 10% of it).
     #[must_use]
     pub fn jobs(mut self, n: usize) -> Self {
         self.jobs = n;
@@ -135,7 +153,8 @@ impl<S: JobSource> Experiment<S> {
         self
     }
 
-    /// Overrides the warm-up completions discarded before measuring.
+    /// Overrides the warm-up: the first `n` *arrivals* are processed but not
+    /// measured.
     #[must_use]
     pub fn warmup(mut self, n: usize) -> Self {
         self.warmup = n;
@@ -149,8 +168,15 @@ impl<S: JobSource> Experiment<S> {
         self
     }
 
-    /// Runs the closed loop until `warmup + jobs` completions (or source
-    /// exhaustion) and reports the measurements.
+    /// Runs the closed loop until the measured jobs complete (or the source is
+    /// exhausted) and reports the measurements.
+    ///
+    /// Measurement is keyed on *arrival order*, not completion order: the jobs
+    /// measured are arrivals `warmup..warmup + jobs`, whatever order they
+    /// finish in. Every policy therefore measures the identical set of sampled
+    /// jobs, which makes reports directly comparable across policies (and
+    /// makes invariants like "DA never touches high-class execution" exact
+    /// rather than approximate).
     ///
     /// # Errors
     ///
@@ -178,18 +204,33 @@ impl<S: JobSource> Experiment<S> {
         let mut budget_deadline: Option<SimTime> = None;
 
         let target = self.warmup + self.jobs;
-        let mut completions = 0usize;
+        let mut arrival_seq = 0usize;
+        let mut measured_done = 0usize;
         let mut report = ExperimentReport {
             policy: self.policy.label.clone(),
             per_class: vec![ClassStats::default(); classes],
             ..Default::default()
         };
-        // Latency statistics skip the warm-up; waste, energy and utilization span
-        // the whole run, which is comparable across policies because every policy
-        // processes the identical job sequence.
+        // Latency statistics cover exactly the measured arrival window; waste,
+        // energy and utilization span the whole run (until the last measured
+        // job completes). Every policy sees the identical arrival sequence,
+        // though the horizon — and hence the number of background completions
+        // — depends on how fast the policy clears the measured window.
         let mut busy_wall = 0.0f64;
+        // Termination guard: with an infinite source and a saturating
+        // higher-priority load, a measured low-priority job can be starved
+        // forever. Cap total completions at a generous multiple of the window
+        // and report starvation instead of spinning.
+        let completion_cap = target.saturating_mul(64).saturating_add(1024);
+        let mut total_completions = 0usize;
 
-        while completions < target {
+        while measured_done < self.jobs {
+            if total_completions > completion_cap {
+                return Err(ExperimentError::Starved {
+                    measured_done,
+                    target: self.jobs,
+                });
+            }
             // Next event across the four sources; ties resolve in this order.
             let engine_t = engine.next_event_time();
             let arrival_t = next_arrival
@@ -221,8 +262,12 @@ impl<S: JobSource> Experiment<S> {
                         busy_wall += metrics.execution_secs;
                         report.total_work_secs += metrics.work_secs;
                         report.sprint_secs += metrics.sprint_secs;
-                        completions += 1;
-                        if completions > self.warmup {
+                        total_completions += 1;
+                        let measured = finished
+                            .arrival_seq
+                            .is_some_and(|seq| (self.warmup..target).contains(&seq));
+                        if measured {
+                            measured_done += 1;
                             let class = finished.instance.class();
                             let stats = &mut report.per_class[class];
                             let response = now - SimTime::ZERO - finished.instance.arrival_secs;
@@ -267,7 +312,8 @@ impl<S: JobSource> Experiment<S> {
                 let instance = next_arrival.take().expect("candidate implies presence");
                 next_arrival = self.source.next_job();
                 let arriving_class = instance.class();
-                buffers.push_arrival(QueuedJob::new(instance));
+                buffers.push_arrival(QueuedJob::with_seq(instance, arrival_seq));
+                arrival_seq += 1;
 
                 if engine.is_idle() {
                     engine.idle_until(next_t);
@@ -378,6 +424,53 @@ mod tests {
             })
             .collect();
         VecJobSource::new(jobs, 2)
+    }
+
+    /// One low-priority arrival at t=0, then an endless saturating stream of
+    /// high-priority work (5 s of service arriving every second).
+    struct SaturatingSource {
+        emitted: u64,
+    }
+
+    impl JobSource for SaturatingSource {
+        fn classes(&self) -> usize {
+            2
+        }
+
+        fn next_job(&mut self) -> Option<JobInstance> {
+            let (class, arrival) = if self.emitted == 0 {
+                (0, 0.0)
+            } else {
+                (1, self.emitted as f64)
+            };
+            let spec = JobSpec::builder(self.emitted, class)
+                .stage(StageSpec::new(StageKind::Map, 20, Dist::constant(5.0)))
+                .build();
+            let mut rng = StdRng::seed_from_u64(self.emitted);
+            let mut inst = JobInstance::sample(&spec, &mut rng);
+            inst.arrival_secs = arrival;
+            self.emitted += 1;
+            Some(inst)
+        }
+    }
+
+    #[test]
+    fn starved_measured_job_errors_instead_of_spinning() {
+        // Preemptive policy + overloaded high class: the single measured
+        // low-priority job can never run to completion. The driver must give
+        // up with `Starved` rather than loop forever.
+        let err = Experiment::new(SaturatingSource { emitted: 0 }, Policy::preemptive(2))
+            .jobs(1)
+            .warmup(0)
+            .run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ExperimentError::Starved {
+                measured_done: 0,
+                target: 1
+            }
+        ));
     }
 
     #[test]

@@ -18,6 +18,8 @@ fn job(id: u64, class: usize) -> QueuedJob {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     #[test]
     fn da_thetas_round_trip_through_label(percents in prop::collection::vec(0.0f64..100.0, 1..4)) {
         let policy = Policy::da_percent_high_to_low(&percents);

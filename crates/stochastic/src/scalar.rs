@@ -325,12 +325,14 @@ mod tests {
 
     #[test]
     fn moments_match_samples() {
-        let cases = [Dist::constant(3.0),
+        let cases = [
+            Dist::constant(3.0),
             Dist::exponential(2.0),
             Dist::erlang(4, 2.0),
             Dist::uniform(1.0, 5.0),
             Dist::lognormal(2.0, 0.5),
-            Dist::hyperexp(2.0, 4.0)];
+            Dist::hyperexp(2.0, 4.0),
+        ];
         for (i, d) in cases.iter().enumerate() {
             let (mean, m2) = empirical_moments(d, 60_000, 100 + i as u64);
             assert!(

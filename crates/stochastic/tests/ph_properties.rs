@@ -17,6 +17,8 @@ fn arb_ph() -> impl Strategy<Value = Ph> {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     #[test]
     fn moments_satisfy_cauchy_schwarz(ph in arb_ph()) {
         // E[X²] ≥ E[X]² and E[X³] ≥ 0 for any non-negative variable.

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Runs the criterion micro benches and writes BENCH_baseline.json at the repo
+# root — the performance baseline future PRs diff against.
+#
+# Usage: scripts/bench_baseline.sh [output-path]
+#
+# Environment:
+#   DIAS_BENCH_SAMPLES  per-benchmark sample count (default: harness default, 30)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+out="${1:-$repo_root/BENCH_baseline.json}"
+
+echo "running micro benches (this builds the bench profile first)..."
+DIAS_BENCH_JSON="$out" cargo bench -q --manifest-path "$repo_root/Cargo.toml" --bench micro
+
+echo
+echo "baseline written to $out:"
+cat "$out"

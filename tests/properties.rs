@@ -11,6 +11,8 @@ use dias_repro::stochastic::fit::ph_from_mean_scv;
 use dias_repro::stochastic::{DiscreteDist, Ph};
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     #[test]
     fn ph_fit_matches_two_moments(mean in 0.01f64..1e4, scv in 0.05f64..20.0) {
         let ph = ph_from_mean_scv(mean, scv);

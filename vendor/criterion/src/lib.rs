@@ -1,0 +1,248 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no crates.io access, so this crate implements the
+//! subset of the criterion API the workspace's `micro` bench uses —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`criterion_group!`]/[`criterion_main!`] — on top of a
+//! plain wall-clock measurement loop (per-sample medians over a calibrated
+//! batch size; no bootstrap statistics, plots, or baselines).
+//!
+//! Two environment variables tune it:
+//!
+//! * `DIAS_BENCH_JSON` — if set, the final summary is also written to this
+//!   path as a JSON array of `{name, mean_ns, samples}` objects (used by
+//!   `scripts/bench_baseline.sh` to seed `BENCH_baseline.json`).
+//! * `DIAS_BENCH_SAMPLES` — overrides the per-benchmark sample count
+//!   (default 30; `BenchmarkGroup::sample_size` also sets it).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLES: usize = 30;
+/// Target wall-clock time for one measured sample.
+const TARGET_SAMPLE_SECS: f64 = 0.01;
+
+/// Renders a nanosecond figure with a human-friendly unit.
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn env_samples() -> Option<usize> {
+    std::env::var("DIAS_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id (`group/name` for grouped benches).
+    pub name: String,
+    /// Median of per-sample mean iteration times, in nanoseconds.
+    pub mean_ns: f64,
+    /// Number of samples measured.
+    pub samples: usize,
+}
+
+/// Top-level bench harness; collects results and prints/export a summary.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Measures `f` under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = env_samples().unwrap_or(DEFAULT_SAMPLES);
+        self.run_one(name.to_owned(), samples, f);
+        self
+    }
+
+    /// Opens a named group; benchmark ids become `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.to_owned(),
+            samples: env_samples().unwrap_or(DEFAULT_SAMPLES),
+        }
+    }
+
+    fn run_one<F>(&mut self, name: String, samples: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples,
+            mean_ns: 0.0,
+        };
+        f(&mut bencher);
+        println!("{:<44} time: {}", name, format_ns(bencher.mean_ns));
+        self.results.push(BenchResult {
+            name,
+            mean_ns: bencher.mean_ns,
+            samples,
+        });
+    }
+
+    /// Prints the run's results and, when `DIAS_BENCH_JSON` is set, writes
+    /// them to that path as JSON. Called by [`criterion_main!`].
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("DIAS_BENCH_JSON") {
+            if !path.is_empty() {
+                match std::fs::write(&path, self.to_json()) {
+                    Ok(()) => println!("wrote {} results to {path}", self.results.len()),
+                    Err(e) => eprintln!("failed to write {path}: {e}"),
+                }
+            }
+        }
+    }
+
+    /// Serializes results as a JSON array (hand-rolled; no serde formats in
+    /// the offline build).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 == self.results.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "  {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"samples\": {}}}{comma}",
+                r.name.replace('"', "\\\""),
+                r.mean_ns,
+                r.samples
+            );
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        // An explicit override from the environment still wins: it is how the
+        // smoke/CI path caps bench cost globally.
+        if env_samples().is_none() {
+            self.samples = samples;
+        }
+        self
+    }
+
+    /// Measures `f` under `prefix/name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name);
+        let samples = self.samples;
+        self.criterion.run_one(full, samples, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`: calibrates a batch size targeting ~10 ms per sample, then
+    /// records the median per-iteration time over the configured samples.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm up and calibrate the batch size on a single run.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().as_secs_f64().max(1e-9);
+        let batch = (TARGET_SAMPLE_SECS / once).clamp(1.0, 1e7) as u64;
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            per_iter.push(start.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.mean_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's macro of the same
+/// name: `criterion_group!(benches, bench_a, bench_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares `fn main` running the listed groups and printing the summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        c.bench_function("sum_1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].mean_ns > 0.0);
+        let json = c.to_json();
+        assert!(json.contains("\"name\": \"sum_1k\""));
+        assert!(json.trim_start().starts_with('['));
+    }
+
+    #[test]
+    fn group_prefixes_names() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(5);
+        g.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+        assert_eq!(c.results[0].name, "grp/inner");
+    }
+}

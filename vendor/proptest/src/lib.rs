@@ -1,0 +1,214 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The build environment has no crates.io access, so this crate implements the
+//! subset of proptest the workspace's property suites use: the [`proptest!`]
+//! macro, range/tuple/vec/`prop_map`/`prop_oneof!` strategies, `any::<T>()`,
+//! and the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from the real crate, on purpose:
+//!
+//! * **Deterministic by construction.** Case inputs derive from a fixed hash
+//!   of `module_path!()::test_name` and the case index — no OS entropy, no
+//!   failure persistence files. A failing case always reproduces.
+//! * **No shrinking.** A failure reports the case index and message; inputs
+//!   are already small because the suites bound their strategies tightly.
+//! * **Case counts** default to [`DEFAULT_CASES`] and can be overridden per
+//!   suite via `ProptestConfig::with_cases` or globally with the
+//!   `PROPTEST_CASES` environment variable.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+
+/// RNG driving all strategy sampling.
+pub type TestRng = StdRng;
+
+/// Cases per property when neither the suite nor the environment overrides it.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Per-suite test-runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running exactly `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// Honors `PROPTEST_CASES`, falling back to [`DEFAULT_CASES`].
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES);
+        ProptestConfig { cases }
+    }
+}
+
+/// Builds the deterministic RNG for one test case.
+///
+/// Keyed by the fully-qualified test name and the case index so that every
+/// property sees an independent, reproducible stream and adding a property to
+/// a suite never perturbs its neighbours.
+#[must_use]
+pub fn test_rng(test_name: &str, case: u32) -> TestRng {
+    // FNV-1a over the name, then fold in the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in test_name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(h ^ (u64::from(case) << 32 | u64::from(case)))
+}
+
+/// Everything a property suite needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig,
+    };
+
+    /// Mirror of the real prelude's `prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn p(x in strat) { ... } }`.
+///
+/// Bodies behave like the real crate's: `prop_assert*!`/`prop_assume!` work,
+/// and `return Ok(());` exits a case early.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_rng(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), ::std::string::String> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__msg) = __outcome {
+                        panic!(
+                            "{} failed at case {}/{}: {}",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that fails the current case instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(__l == __r) {
+                    return ::std::result::Result::Err(::std::format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        __l,
+                        __r
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(__l != __r) {
+                    return ::std::result::Result::Err(::std::format!(
+                        "assertion failed: `{} != {}`\n  both: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        __l
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+///
+/// The stand-in counts a skipped case as passed rather than resampling.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}

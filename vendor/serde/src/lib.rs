@@ -1,0 +1,58 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The build environment has no crates.io access, so this crate provides just
+//! enough API for `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` to compile: marker traits that are
+//! blanket-implemented for every type, and derive macros that expand to
+//! nothing. No serialization format ships with the workspace today; when one
+//! is needed, this crate is the seam where the real serde plugs back in.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; satisfied by every type.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`; satisfied by every type.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Namespace mirror of `serde::de`.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Namespace mirror of `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(test)]
+mod tests {
+    #[derive(crate::Serialize, crate::Deserialize, Debug, PartialEq)]
+    struct Demo<T> {
+        #[serde(rename = "value")]
+        inner: T,
+        n: usize,
+    }
+
+    #[test]
+    fn derives_parse_and_traits_hold() {
+        fn assert_traits<T: crate::Serialize + for<'de> crate::Deserialize<'de>>(_: &T) {}
+        let d = Demo {
+            inner: 1.5f64,
+            n: 3,
+        };
+        assert_traits(&d);
+        assert_eq!(d, Demo { inner: 1.5, n: 3 });
+    }
+}

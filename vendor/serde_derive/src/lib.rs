@@ -1,0 +1,22 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde stand-in.
+//!
+//! The vendored [`serde`](../serde) crate blanket-implements its marker traits
+//! for every type, so these derives only need to make `#[derive(Serialize,
+//! Deserialize)]` (and `#[serde(...)]` helper attributes) parse — they expand
+//! to nothing.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
