@@ -17,7 +17,7 @@
 //! (limited/unlimited) growing to ≈ 18.3%/21.6% (limited) and 28.2%/31%
 //! (unlimited) for DiAS(0,10)/DiAS(0,20).
 
-use dias_bench::{banner, bench_jobs, compare, pct, print_relative_table, rel, run_policy};
+use dias_bench::{banner, bench_jobs, compare, pct, print_relative_table, rel, run_policies};
 use dias_core::{Policy, SprintBudget, SprintPolicy};
 use dias_engine::ClusterSpec;
 use dias_workloads::triangle_two_priority;
@@ -40,25 +40,29 @@ fn main() {
     let seed = 42;
     let stream = || triangle_two_priority(0.8, seed);
 
-    let p = run_policy(stream, Policy::preemptive(2), jobs);
+    // All seven policy points share one identically-seeded stream each and
+    // are independent: a single parallel sweep covers (a) and (b).
+    let mut reports = run_policies(
+        stream,
+        vec![
+            Policy::preemptive(2),
+            Policy::non_preemptive(2).with_sprint(limited_sprint()),
+            Policy::da_percent_high_to_low(&[0.0, 10.0]).with_sprint(limited_sprint()),
+            Policy::da_percent_high_to_low(&[0.0, 20.0]).with_sprint(limited_sprint()),
+            Policy::non_preemptive(2).with_sprint(unlimited_sprint()),
+            Policy::da_percent_high_to_low(&[0.0, 10.0]).with_sprint(unlimited_sprint()),
+            Policy::da_percent_high_to_low(&[0.0, 20.0]).with_sprint(unlimited_sprint()),
+        ],
+        jobs,
+    )
+    .into_iter();
+    let mut next = || reports.next().expect("7 reports");
+    let p = next();
+    let (nps_lim, dias10_lim, dias20_lim) = (next(), next(), next());
+    let (nps_unl, dias10_unl, dias20_unl) = (next(), next(), next());
 
     println!();
     println!("--- (a) latency: limited sprinting (22 kJ, sprint after 65 s) ---");
-    let nps_lim = run_policy(
-        stream,
-        Policy::non_preemptive(2).with_sprint(limited_sprint()),
-        jobs,
-    );
-    let dias10_lim = run_policy(
-        stream,
-        Policy::da_percent_high_to_low(&[0.0, 10.0]).with_sprint(limited_sprint()),
-        jobs,
-    );
-    let dias20_lim = run_policy(
-        stream,
-        Policy::da_percent_high_to_low(&[0.0, 20.0]).with_sprint(limited_sprint()),
-        jobs,
-    );
     print_relative_table(
         &p,
         &[nps_lim.clone(), dias10_lim.clone(), dias20_lim.clone()],
@@ -67,21 +71,6 @@ fn main() {
 
     println!();
     println!("--- (b) latency: unlimited sprinting (sprint from dispatch) ---");
-    let nps_unl = run_policy(
-        stream,
-        Policy::non_preemptive(2).with_sprint(unlimited_sprint()),
-        jobs,
-    );
-    let dias10_unl = run_policy(
-        stream,
-        Policy::da_percent_high_to_low(&[0.0, 10.0]).with_sprint(unlimited_sprint()),
-        jobs,
-    );
-    let dias20_unl = run_policy(
-        stream,
-        Policy::da_percent_high_to_low(&[0.0, 20.0]).with_sprint(unlimited_sprint()),
-        jobs,
-    );
     print_relative_table(
         &p,
         &[nps_unl.clone(), dias10_unl.clone(), dias20_unl.clone()],

@@ -12,7 +12,7 @@
 //!   mean latency;
 //! * resource waste under `P` ≈ 4%, zero for every non-preemptive policy.
 
-use dias_bench::{banner, bench_jobs, compare, pct, print_relative_table, rel, run_policy};
+use dias_bench::{banner, bench_jobs, compare, pct, print_relative_table, rel, run_policies};
 use dias_core::Policy;
 use dias_workloads::reference_two_priority;
 
@@ -25,10 +25,24 @@ fn main() {
     let seed = 42;
     let stream = || reference_two_priority(0.8, seed);
 
-    let p = run_policy(stream, Policy::preemptive(2), jobs);
-    let np = run_policy(stream, Policy::non_preemptive(2), jobs);
-    let da10 = run_policy(stream, Policy::da_percent_high_to_low(&[0.0, 10.0]), jobs);
-    let da20 = run_policy(stream, Policy::da_percent_high_to_low(&[0.0, 20.0]), jobs);
+    // All four policy points are independent: fan them across cores.
+    let mut reports = run_policies(
+        stream,
+        vec![
+            Policy::preemptive(2),
+            Policy::non_preemptive(2),
+            Policy::da_percent_high_to_low(&[0.0, 10.0]),
+            Policy::da_percent_high_to_low(&[0.0, 20.0]),
+        ],
+        jobs,
+    )
+    .into_iter();
+    let (p, np, da10, da20) = (
+        reports.next().expect("4 reports"),
+        reports.next().expect("4 reports"),
+        reports.next().expect("4 reports"),
+        reports.next().expect("4 reports"),
+    );
 
     print_relative_table(&p, &[np.clone(), da10, da20.clone()], &["low", "high"]);
 

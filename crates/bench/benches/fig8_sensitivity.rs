@@ -10,7 +10,7 @@
 //! * **(c) 50% load** — paper: P ≈ NP (the engine is rarely busy on arrival), and
 //!   DA(0,20)'s gain comes from processing-time reduction rather than queueing.
 
-use dias_bench::{banner, bench_jobs, compare, pct, print_relative_table, rel, run_policy};
+use dias_bench::{banner, bench_jobs, compare, pct, print_relative_table, rel, run_policies};
 use dias_core::Policy;
 use dias_workloads::{
     equal_size_two_priority, inverted_ratio_two_priority, reference_two_priority,
@@ -23,16 +23,19 @@ where
     println!();
     println!("--- {title} ---");
     let jobs = bench_jobs();
-    let p = run_policy(make, Policy::preemptive(2), jobs);
-    let np = run_policy(make, Policy::non_preemptive(2), jobs);
-    let da10 = run_policy(make, Policy::da_percent_high_to_low(&[0.0, 10.0]), jobs);
-    let da20 = run_policy(make, Policy::da_percent_high_to_low(&[0.0, 20.0]), jobs);
-    print_relative_table(
-        &p,
-        &[np.clone(), da10.clone(), da20.clone()],
-        &["low", "high"],
+    // One sweep per scenario: the four policy points run in parallel.
+    let reports = run_policies(
+        make,
+        vec![
+            Policy::preemptive(2),
+            Policy::non_preemptive(2),
+            Policy::da_percent_high_to_low(&[0.0, 10.0]),
+            Policy::da_percent_high_to_low(&[0.0, 20.0]),
+        ],
+        jobs,
     );
-    vec![p, np, da10, da20]
+    print_relative_table(&reports[0], &reports[1..], &["low", "high"]);
+    reports
 }
 
 fn main() {

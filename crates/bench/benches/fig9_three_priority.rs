@@ -9,7 +9,7 @@
 //! larger for low than for medium priority; high-priority mean latency slightly
 //! increases.
 
-use dias_bench::{banner, bench_jobs, compare, pct, print_relative_table, rel, run_policy};
+use dias_bench::{banner, bench_jobs, compare, pct, print_relative_table, rel, run_policies};
 use dias_core::Policy;
 use dias_workloads::three_priority_stream;
 
@@ -22,17 +22,23 @@ fn main() {
     let seed = 42;
     let stream = || three_priority_stream(seed);
 
-    let p = run_policy(stream, Policy::preemptive(3), jobs);
-    let np = run_policy(stream, Policy::non_preemptive(3), jobs);
-    let da12 = run_policy(
+    // The four policy points are independent: one parallel sweep.
+    let mut reports = run_policies(
         stream,
-        Policy::da_percent_high_to_low(&[0.0, 10.0, 20.0]),
+        vec![
+            Policy::preemptive(3),
+            Policy::non_preemptive(3),
+            Policy::da_percent_high_to_low(&[0.0, 10.0, 20.0]),
+            Policy::da_percent_high_to_low(&[0.0, 20.0, 40.0]),
+        ],
         jobs,
-    );
-    let da24 = run_policy(
-        stream,
-        Policy::da_percent_high_to_low(&[0.0, 20.0, 40.0]),
-        jobs,
+    )
+    .into_iter();
+    let (p, np, da12, da24) = (
+        reports.next().expect("4 reports"),
+        reports.next().expect("4 reports"),
+        reports.next().expect("4 reports"),
+        reports.next().expect("4 reports"),
     );
 
     print_relative_table(

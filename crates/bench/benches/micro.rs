@@ -9,10 +9,11 @@ use std::hint::black_box;
 
 use dias_des::{EventQueue, SimTime};
 use dias_engine::{ClusterSim, ClusterSpec, EngineEvent, JobInstance};
+use dias_linalg::{sum, Uniformized};
 use dias_models::mc::{Discipline, McQueue};
 use dias_models::priority::{mph1_waiting_ph, non_preemptive_means, ClassInput};
 use dias_models::TaskLevelModel;
-use dias_stochastic::{DiscreteDist, MarkedPoisson, Ph};
+use dias_stochastic::{DiscreteDist, MarkedPoisson, Ph, PhSampler};
 
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("event_queue/push_pop_1k", |b| {
@@ -43,6 +44,153 @@ fn bench_ph(c: &mut Criterion) {
     c.bench_function("ph/moments_order10", |b| {
         b.iter(|| black_box(job.moment(2)));
     });
+}
+
+/// The pre-`PhEvaluator` quantile: mean-based doubling bracket plus
+/// bisection, with every CDF probe paying a full uncached `expm_action`.
+/// Kept here as the "before" side of the `ph/quantile_order10` comparison.
+fn quantile_uncached(ph: &Ph, q: f64) -> f64 {
+    let uncached_cdf = |t: f64| 1.0 - sum(&ph.matrix().expm_action(ph.alpha(), t)).clamp(0.0, 1.0);
+    let mut hi = ph.mean().max(1e-9);
+    while uncached_cdf(hi) < q {
+        hi *= 2.0;
+        if hi > 1e12 {
+            return hi;
+        }
+    }
+    let mut lo = 0.0;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if uncached_cdf(mid) < q {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-9 * hi.max(1.0) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+fn bench_uniformization_cache(c: &mut Criterion) {
+    let erl = Ph::erlang(8, 2.0).unwrap();
+    let hyper = Ph::hyperexponential(&[0.4, 0.6], &[1.0, 5.0]).unwrap();
+    let job = erl.convolve(&hyper);
+
+    // expm_action: rebuild P per call vs the precomputed operator.
+    c.bench_function("ph/expm_action_order10_uncached", |b| {
+        b.iter(|| black_box(job.matrix().expm_action(job.alpha(), black_box(3.0))));
+    });
+    let mut op = Uniformized::new(job.matrix());
+    let mut out = vec![0.0; job.order()];
+    c.bench_function("ph/expm_action_order10_cached", |b| {
+        b.iter(|| {
+            op.apply_into(job.alpha(), black_box(3.0), &mut out);
+            black_box(out[0])
+        });
+    });
+
+    // Quantile: the repeated-CDF path the deflators and figures lean on.
+    c.bench_function("ph/quantile_order10_uncached", |b| {
+        b.iter(|| black_box(quantile_uncached(&job, black_box(0.95))));
+    });
+    c.bench_function("ph/quantile_order10", |b| {
+        b.iter(|| black_box(job.quantile(black_box(0.95))));
+    });
+
+    // Grid evaluation from one shared cache.
+    let grid: Vec<f64> = (1..=20).map(|i| 0.5 * f64::from(i)).collect();
+    let mut ev = job.evaluator();
+    c.bench_function("ph/sf_grid_20pts_order10", |b| {
+        b.iter(|| black_box(ev.sf_grid(black_box(&grid))));
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let ph = Ph::erlang(3, 3.0 / 147.0).unwrap();
+
+    // The pre-`PhSampler` walk: exit vector reallocated on every draw and the
+    // sub-generator indexed per transition.
+    c.bench_function("ph/sample_walk_alloc", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| {
+            let u: f64 = rng.gen();
+            let mut acc = 0.0;
+            let mut phase = usize::MAX;
+            for (i, &p) in ph.alpha().iter().enumerate() {
+                acc += p;
+                if u < acc {
+                    phase = i;
+                    break;
+                }
+            }
+            if phase == usize::MAX {
+                return black_box(0.0);
+            }
+            let exit = ph.exit_vector(); // the per-draw allocation
+            let a = ph.matrix();
+            let mut time = 0.0;
+            loop {
+                let rate = -a[(phase, phase)];
+                time += dias_stochastic::sample_exp(&mut rng, rate);
+                let mut u = rng.gen::<f64>() * rate;
+                if u < exit[phase] {
+                    return black_box(time);
+                }
+                u -= exit[phase];
+                let mut next = phase;
+                for j in 0..ph.order() {
+                    if j == phase {
+                        continue;
+                    }
+                    let r = a[(phase, j)];
+                    if u < r {
+                        next = j;
+                        break;
+                    }
+                    u -= r;
+                }
+                phase = next;
+            }
+        });
+    });
+    let sampler = PhSampler::new(&ph);
+    c.bench_function("ph/sample_sampler", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| black_box(sampler.sample(&mut rng)));
+    });
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let point = |seed: u64| McQueue {
+        arrivals: MarkedPoisson::new(vec![0.0045, 0.0005]).unwrap(),
+        service: vec![
+            Ph::erlang(3, 3.0 / 147.0).unwrap(),
+            Ph::erlang(3, 3.0 / 126.0).unwrap(),
+        ],
+        sprint: vec![None, None],
+        discipline: Discipline::NonPreemptive,
+        jobs: 300,
+        warmup: 50,
+        seed,
+    };
+    let mut group = c.benchmark_group("sweep/mc_4pts");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_function(&format!("{threads}t"), |b| {
+            b.iter(|| {
+                let points: Vec<McQueue> = (0..4).map(&point).collect();
+                black_box(dias_core::run_parallel(points, threads, |_, q| {
+                    q.run().expect("stable configuration").mean_response(0)
+                }))
+            });
+        });
+    }
+    group.finish();
 }
 
 fn bench_task_level_model(c: &mut Criterion) {
@@ -131,9 +279,12 @@ criterion_group!(
     benches,
     bench_event_queue,
     bench_ph,
+    bench_uniformization_cache,
+    bench_sampling,
     bench_task_level_model,
     bench_priority_solvers,
     bench_mc_queue,
+    bench_sweep,
     bench_engine
 );
 criterion_main!(benches);

@@ -109,6 +109,31 @@ where
         .expect("experiment configuration is valid")
 }
 
+/// Runs one experiment per policy — each over an identically-seeded fresh
+/// stream — fanned across cores by [`dias_core::sweep`]. Reports come back in
+/// policy order and are bitwise-identical to running [`run_policy`] per
+/// policy sequentially.
+pub fn run_policies<S, F>(
+    make_stream: F,
+    policies: Vec<dias_core::Policy>,
+    jobs: usize,
+) -> Vec<ExperimentReport>
+where
+    S: JobSource + Send,
+    F: Fn() -> S,
+{
+    // Streams are built eagerly on the caller's thread; only the specs cross
+    // threads, so `F` needs no `Sync`.
+    let specs = policies
+        .into_iter()
+        .map(|p| dias_core::ExperimentSpec::new(make_stream(), p).jobs(jobs))
+        .collect();
+    dias_core::run_experiments(specs, dias_core::sweep::default_threads())
+        .into_iter()
+        .map(|r| r.expect("experiment configuration is valid"))
+        .collect()
+}
+
 /// Prints a `paper vs measured` comparison line.
 pub fn compare(label: &str, paper: &str, measured: &str) {
     println!("  {label:<44} paper: {paper:<18} measured: {measured}");

@@ -61,9 +61,11 @@ mod experiment;
 mod metrics;
 mod policy;
 mod sprinter;
+pub mod sweep;
 
 pub use buffers::{PriorityBuffers, QueuedJob};
-pub use experiment::{Experiment, JobSource, VecJobSource};
+pub use experiment::{Experiment, ExperimentError, JobSource, VecJobSource};
 pub use metrics::{ClassStats, ExperimentReport};
 pub use policy::{ClassPolicy, Policy, Scheduling};
 pub use sprinter::{SprintBudget, SprintPolicy, Sprinter};
+pub use sweep::{run_experiments, run_parallel, ExperimentSpec};

@@ -1,0 +1,233 @@
+//! Parallel experiment sweeps: fan independent scenario points across cores.
+//!
+//! Every evaluation figure runs the *same* closed loop over a handful of
+//! independent configurations — one per policy, drop ratio, or load point.
+//! Those runs share nothing (each owns its job source, seeded up front), so
+//! they parallelize embarrassingly. This module provides:
+//!
+//! * [`run_parallel`] — the generic primitive: a work-stealing map over a
+//!   `Vec` of items on `std::thread::scope` (no extra dependencies), with
+//!   results collected **in input order**. Each item's computation depends
+//!   only on the item and its index, never on which thread ran it or when, so
+//!   results are bitwise-deterministic regardless of the thread count.
+//! * [`ExperimentSpec`] + [`run_experiments`] — the concrete sweep over
+//!   [`Experiment`] configurations used by the fig7/fig8/fig9/fig11 bench
+//!   harnesses.
+//! * [`replica_seeds`] — deterministic per-replication master seeds derived
+//!   with [`SeedSequence::child`], so replicated experiments stay reproducible
+//!   under any parallelism.
+//!
+//! # Examples
+//!
+//! ```
+//! use dias_core::sweep::run_parallel;
+//!
+//! let squares = run_parallel((0..8u64).collect(), 4, |i, x| (i as u64) + x * x);
+//! assert_eq!(squares[3], 3 + 9);
+//! ```
+
+use std::sync::Mutex;
+
+use dias_des::SeedSequence;
+use dias_engine::ClusterSpec;
+
+use crate::{Experiment, ExperimentError, ExperimentReport, JobSource, Policy};
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism (1 when it cannot be determined).
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Maps `f` over `items` on up to `threads` scoped worker threads, returning
+/// the results in input order.
+///
+/// Work is pulled from a shared queue, so long and short items mix freely;
+/// `f(i, item)` receives the item's input index. Because every result is keyed
+/// by that index and each computation is independent, the output is
+/// bitwise-identical whatever `threads` is — `1` reproduces the sequential
+/// loop exactly.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker once all threads have been joined.
+pub fn run_parallel<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.max(1).min(n);
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect();
+    }
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // Take the lock only to pop; run `f` unlocked.
+                let next = queue
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .next();
+                let Some((i, item)) = next else { break };
+                let result = f(i, item);
+                *slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every input index was processed")
+        })
+        .collect()
+}
+
+/// Deterministic master seeds for `n` replications of a seeded experiment:
+/// child `i` of [`SeedSequence::new(master)`](SeedSequence::new).
+///
+/// The derivation depends only on `(master, i)`, so replication `i` sees the
+/// same seed whether the sweep runs on one thread or many, and adding
+/// replications never perturbs existing ones.
+#[must_use]
+pub fn replica_seeds(master: u64, n: usize) -> Vec<u64> {
+    let seq = SeedSequence::new(master);
+    (0..n).map(|i| seq.child(i as u64).master()).collect()
+}
+
+/// One point of an experiment sweep: a job source (already seeded), a policy,
+/// and the measurement window, mirroring the [`Experiment`] builder.
+#[derive(Debug)]
+pub struct ExperimentSpec<S> {
+    source: S,
+    policy: Policy,
+    jobs: usize,
+    warmup: Option<usize>,
+    cluster: Option<ClusterSpec>,
+}
+
+impl<S: JobSource> ExperimentSpec<S> {
+    /// Creates a spec measuring 1000 jobs on the paper's reference cluster.
+    #[must_use]
+    pub fn new(source: S, policy: Policy) -> Self {
+        ExperimentSpec {
+            source,
+            policy,
+            jobs: 1000,
+            warmup: None,
+            cluster: None,
+        }
+    }
+
+    /// Sets the number of measured jobs (warm-up defaults to 10% of it).
+    #[must_use]
+    pub fn jobs(mut self, n: usize) -> Self {
+        self.jobs = n;
+        self
+    }
+
+    /// Overrides the warm-up window (in arrivals).
+    #[must_use]
+    pub fn warmup(mut self, n: usize) -> Self {
+        self.warmup = Some(n);
+        self
+    }
+
+    /// Overrides the cluster specification.
+    #[must_use]
+    pub fn cluster(mut self, spec: ClusterSpec) -> Self {
+        self.cluster = Some(spec);
+        self
+    }
+
+    /// Runs this spec's experiment to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExperimentError`] from [`Experiment::run`].
+    pub fn run(self) -> Result<ExperimentReport, ExperimentError> {
+        let mut experiment = Experiment::new(self.source, self.policy).jobs(self.jobs);
+        if let Some(w) = self.warmup {
+            experiment = experiment.warmup(w);
+        }
+        if let Some(c) = self.cluster {
+            experiment = experiment.cluster(c);
+        }
+        experiment.run()
+    }
+}
+
+/// Runs every spec to completion across up to `threads` cores, reports in
+/// input order. Results are identical to running the specs sequentially.
+pub fn run_experiments<S>(
+    specs: Vec<ExperimentSpec<S>>,
+    threads: usize,
+) -> Vec<Result<ExperimentReport, ExperimentError>>
+where
+    S: JobSource + Send,
+{
+    run_parallel(specs, threads, |_, spec| spec.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_results_at_any_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 4, 16] {
+            let got = run_parallel(items.clone(), threads, |_, x| x * x + 1);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn index_reaches_the_callback() {
+        let got = run_parallel(vec!["a", "b", "c"], 2, |i, s| format!("{i}{s}"));
+        assert_eq!(got, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let got: Vec<u64> = run_parallel(Vec::<u64>::new(), 8, |_, x| x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn replica_seeds_are_stable_and_distinct() {
+        let a = replica_seeds(42, 8);
+        let b = replica_seeds(42, 8);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8, "seeds must be distinct");
+        // Prefix-stability: growing the replication count keeps old seeds.
+        assert_eq!(&replica_seeds(42, 12)[..8], &a[..]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            run_parallel(vec![1, 2, 3], 2, |_, x| {
+                assert!(x != 2, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Determinism tests of the parallel sweep runner: fanning experiments across
+//! threads must reproduce the sequential loop bit for bit, in input order.
+
+use dias_core::sweep::{replica_seeds, run_experiments, run_parallel};
+use dias_core::{ExperimentSpec, Policy, VecJobSource};
+use dias_engine::{JobInstance, JobSpec, StageKind, StageSpec};
+use dias_stochastic::Dist;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Two-class workload with exponential task times; every 8th job is high
+/// priority.
+fn workload(seed: u64, n: u64, gap: f64) -> VecJobSource {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let jobs = (0..n)
+        .map(|i| {
+            let class = usize::from(i % 8 == 0);
+            let spec = JobSpec::builder(i, class)
+                .setup(Dist::constant(1.0))
+                .shuffle(Dist::constant(0.5))
+                .stage(StageSpec::new(StageKind::Map, 30, Dist::exponential(2.0)))
+                .stage(StageSpec::new(StageKind::Reduce, 6, Dist::constant(1.0)))
+                .build();
+            let mut inst = JobInstance::sample(&spec, &mut rng);
+            inst.arrival_secs = i as f64 * gap;
+            inst
+        })
+        .collect();
+    VecJobSource::new(jobs, 2)
+}
+
+fn specs() -> Vec<ExperimentSpec<VecJobSource>> {
+    let seeds = replica_seeds(7, 3);
+    let mut specs: Vec<ExperimentSpec<VecJobSource>> = seeds
+        .iter()
+        .map(|&s| ExperimentSpec::new(workload(s, 120, 7.0), Policy::non_preemptive(2)).jobs(90))
+        .collect();
+    specs.push(ExperimentSpec::new(workload(seeds[0], 120, 7.0), Policy::preemptive(2)).jobs(90));
+    specs.push(
+        ExperimentSpec::new(
+            workload(seeds[0], 120, 7.0),
+            Policy::da_percent_high_to_low(&[0.0, 20.0]),
+        )
+        .jobs(90),
+    );
+    specs
+}
+
+#[test]
+fn parallel_sweep_is_bitwise_identical_to_sequential() {
+    let sequential: Vec<_> = specs()
+        .into_iter()
+        .map(|s| s.run().expect("valid spec"))
+        .collect();
+    for threads in [1, 2, 4] {
+        let swept = run_experiments(specs(), threads);
+        assert_eq!(swept.len(), sequential.len());
+        for (i, (got, want)) in swept.iter().zip(&sequential).enumerate() {
+            let got = got.as_ref().expect("valid spec");
+            assert_eq!(
+                got, want,
+                "spec {i} diverged from the sequential run at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_preserves_input_order_even_with_errors() {
+    // The middle spec fails (policy classes ≠ source classes); its error must
+    // land at its own index, leaving the neighbors intact.
+    let mk = |policy| ExperimentSpec::new(workload(3, 60, 8.0), policy).jobs(40);
+    let specs = vec![
+        mk(Policy::non_preemptive(2)),
+        mk(Policy::non_preemptive(3)),
+        mk(Policy::preemptive(2)),
+    ];
+    let results = run_experiments(specs, 2);
+    assert!(results[0].is_ok());
+    assert!(results[1].is_err());
+    assert!(results[2].is_ok());
+    assert_eq!(results[0].as_ref().unwrap().policy, "NP");
+}
+
+#[test]
+fn run_parallel_matches_sequential_for_heavier_closures() {
+    // A non-experiment workload with uneven item costs: results must still be
+    // ordered and identical at every thread count.
+    let items: Vec<u64> = (0..24).collect();
+    let work = |_: usize, x: u64| -> u64 {
+        let mut acc = x;
+        for i in 0..(x % 7) * 1000 {
+            acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+        }
+        acc
+    };
+    let expect: Vec<u64> = items.iter().map(|&x| work(0, x)).collect();
+    for threads in [2, 3, 8] {
+        assert_eq!(run_parallel(items.clone(), threads, work), expect);
+    }
+}

@@ -109,8 +109,6 @@ impl Welford {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SampleSet {
     samples: Vec<f64>,
-    sum: f64,
-    sum_sq: f64,
 }
 
 impl SampleSet {
@@ -118,6 +116,15 @@ impl SampleSet {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty sample set with room for `n` observations, so hot
+    /// recording loops with a known sample budget never reallocate.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        SampleSet {
+            samples: Vec::with_capacity(n),
+        }
     }
 
     /// Adds an observation.
@@ -128,8 +135,6 @@ impl SampleSet {
     pub fn push(&mut self, x: f64) {
         assert!(!x.is_nan(), "sample cannot be NaN");
         self.samples.push(x);
-        self.sum += x;
-        self.sum_sq += x * x;
     }
 
     /// Number of observations.
@@ -145,12 +150,16 @@ impl SampleSet {
     }
 
     /// Sample mean; 0 when empty.
+    ///
+    /// Computed on demand (left-to-right over the recorded samples, the same
+    /// order an eager accumulator would produce): recording is the hot path,
+    /// querying is not.
     #[must_use]
     pub fn mean(&self) -> f64 {
         if self.samples.is_empty() {
             0.0
         } else {
-            self.sum / self.samples.len() as f64
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
         }
     }
 
@@ -160,7 +169,7 @@ impl SampleSet {
         if self.samples.is_empty() {
             0.0
         } else {
-            self.sum_sq / self.samples.len() as f64
+            self.samples.iter().map(|x| x * x).sum::<f64>() / self.samples.len() as f64
         }
     }
 
@@ -218,8 +227,6 @@ impl SampleSet {
     /// Appends all samples from `other`.
     pub fn merge(&mut self, other: &SampleSet) {
         self.samples.extend_from_slice(&other.samples);
-        self.sum += other.sum;
-        self.sum_sq += other.sum_sq;
     }
 }
 

@@ -21,9 +21,11 @@
 
 mod markov;
 mod matrix;
+mod uniformized;
 
 pub use markov::{dtmc_stationary, stationary_distribution};
 pub use matrix::{LinalgError, Matrix};
+pub use uniformized::{poisson_truncation, Uniformized, POISSON_TAIL};
 
 /// Dot product of two equal-length slices.
 ///
@@ -60,6 +62,20 @@ pub fn axpy(a: &[f64], s: f64, b: &[f64]) -> Vec<f64> {
     a.iter().zip(b).map(|(x, y)| x + s * y).collect()
 }
 
+/// In-place scaled add: `a += s * b`, element-wise.
+///
+/// The allocation-free companion of [`axpy`] for hot accumulation loops.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy_in_place(a: &mut [f64], s: f64, b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "axpy of unequal lengths");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += s * y;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +96,12 @@ mod tests {
         let mut v = vec![1.0, -2.0];
         scale_in_place(&mut v, 3.0);
         assert_eq!(v, vec![3.0, -6.0]);
+    }
+
+    #[test]
+    fn axpy_in_place_matches_axpy() {
+        let mut v = vec![1.0, 1.0];
+        axpy_in_place(&mut v, 2.0, &[3.0, 4.0]);
+        assert_eq!(v, axpy(&[1.0, 1.0], 2.0, &[3.0, 4.0]));
     }
 }

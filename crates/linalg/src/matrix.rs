@@ -192,6 +192,29 @@ impl Matrix {
         out
     }
 
+    /// Row-vector times matrix into a preallocated buffer: `out = v · self`.
+    ///
+    /// The allocation-free core of [`Matrix::vec_mul`]; identical arithmetic,
+    /// for hot loops that reuse `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.rows()` or `out.len() != self.cols()`.
+    pub fn vec_mul_into(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.rows, "vec_mul length mismatch");
+        assert_eq!(out.len(), self.cols, "vec_mul output length mismatch");
+        out.fill(0.0);
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            let row = self.row(i);
+            for (o, &r) in out.iter_mut().zip(row) {
+                *o += vi * r;
+            }
+        }
+    }
+
     /// Matrix times column-vector: `self · v`.
     ///
     /// # Panics
@@ -358,48 +381,17 @@ impl Matrix {
     /// stochastic matrix `P = I + self/λ`; all terms are non-negative, so there is no
     /// cancellation and probabilities stay probabilities.
     ///
+    /// Rebuilds `P` on every call. When the same generator is applied many
+    /// times (CDF bisection, time grids), build a [`crate::Uniformized`]
+    /// operator once instead — it caches `P`, `λ` and the scratch buffers and
+    /// produces identical results.
+    ///
     /// # Panics
     ///
     /// Panics if `t < 0` or `v.len() != self.rows()`.
     #[must_use]
     pub fn expm_action(&self, v: &[f64], t: f64) -> Vec<f64> {
-        assert!(self.is_square(), "expm_action requires a square matrix");
-        assert!(t >= 0.0, "time must be non-negative");
-        assert_eq!(v.len(), self.rows, "vector length mismatch");
-        if t == 0.0 {
-            return v.to_vec();
-        }
-        let lambda = (0..self.rows)
-            .map(|i| self[(i, i)].abs())
-            .fold(0.0, f64::max)
-            .max(1e-12);
-        // P = I + A/λ (entrywise non-negative for a sub-generator).
-        let mut p = self.scaled(1.0 / lambda);
-        for i in 0..self.rows {
-            p[(i, i)] += 1.0;
-        }
-        let lt = lambda * t;
-        // Poisson weights exp(-lt) (lt)^k / k!, accumulated until mass ~ 1.
-        let mut weight = (-lt).exp();
-        let mut acc: Vec<f64> = v.iter().map(|x| x * weight).collect();
-        let mut vk = v.to_vec();
-        let mut cum = weight;
-        // Conservative truncation point: mean + 12 std devs.
-        let kmax = (lt + 12.0 * lt.sqrt() + 30.0).ceil() as usize;
-        for k in 1..=kmax {
-            vk = p.vec_mul(&vk);
-            weight *= lt / k as f64;
-            if weight > 0.0 {
-                for (a, x) in acc.iter_mut().zip(&vk) {
-                    *a += weight * x;
-                }
-                cum += weight;
-            }
-            if 1.0 - cum < 1e-14 {
-                break;
-            }
-        }
-        acc
+        crate::Uniformized::new(self).apply(v, t)
     }
 
     /// Kronecker product `self ⊗ other`.
@@ -681,6 +673,15 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         assert_eq!(a.vec_mul(&[1.0, 1.0]), vec![4.0, 6.0]);
         assert_eq!(a.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn vec_mul_into_matches_vec_mul() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 4.0]]);
+        let v = [0.5, -1.5];
+        let mut out = [9.0, 9.0]; // stale contents must be overwritten
+        a.vec_mul_into(&v, &mut out);
+        assert_eq!(out.to_vec(), a.vec_mul(&v));
     }
 
     #[test]

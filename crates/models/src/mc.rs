@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use dias_des::stats::SampleSet;
 use dias_des::SeedSequence;
-use dias_stochastic::{MarkedPoisson, Ph};
+use dias_stochastic::{MarkedPoisson, Ph, PhSampler};
 
 use crate::sprint::SprintEffect;
 use crate::ModelError;
@@ -114,8 +114,6 @@ struct Job {
     total: f64,
     /// Remaining service of the current attempt.
     remaining: f64,
-    /// Service delivered to evicted attempts (wasted work).
-    wasted: f64,
 }
 
 impl McQueue {
@@ -152,36 +150,45 @@ impl McQueue {
         let mut arr_rng: StdRng = seeds.stream("mc/arrivals");
         let mut svc_rng: StdRng = seeds.stream("mc/service");
 
-        let mut queues: Vec<VecDeque<Job>> = (0..k).map(|_| VecDeque::new()).collect();
+        // Cached samplers: each draw is allocation-free and the streams are
+        // bit-identical to sampling `Ph` / `MarkedPoisson` directly.
+        let samplers: Vec<&PhSampler> = self.service.iter().map(Ph::sampler).collect();
+        let arrival_sampler = self.arrivals.sampler();
+
+        let mut queues: Vec<VecDeque<Job>> = (0..k).map(|_| VecDeque::with_capacity(64)).collect();
         let mut in_service: Option<Job> = None;
         let mut service_started = 0.0f64;
+        // Completion time of the running job; +∞ while the server is idle, so
+        // the event race below is a single float compare.
+        let mut next_completion = f64::INFINITY;
 
         let mut now = 0.0f64;
-        let mut next_arrival = self.arrivals.sample_next(&mut arr_rng, now);
+        let mut next_arrival = arrival_sampler.sample_next(&mut arr_rng, now);
         let mut completed = 0usize;
         let mut busy_time = 0.0f64;
         let mut wasted_time = 0.0f64;
         let mut delivered_time = 0.0f64;
 
+        // `vec![set; k]` would clone away the reservation (Vec::clone does
+        // not preserve capacity), so build each set explicitly.
+        let reserved = |n: usize| {
+            (0..n)
+                .map(|_| SampleSet::with_capacity(self.jobs))
+                .collect()
+        };
         let mut result = McResult {
-            response: vec![SampleSet::new(); k],
-            waiting: vec![SampleSet::new(); k],
-            execution: vec![SampleSet::new(); k],
+            response: reserved(k),
+            waiting: reserved(k),
+            execution: reserved(k),
             ..Default::default()
         };
 
         let target = self.warmup + self.jobs;
         while completed < target {
-            let completion_time = in_service.as_ref().map(|j| service_started + j.remaining);
-            let next_is_arrival = match completion_time {
-                None => true,
-                Some(ct) => next_arrival.time < ct,
-            };
-
-            if next_is_arrival {
+            if next_arrival.time < next_completion {
                 now = next_arrival.time;
                 let class = next_arrival.class;
-                let base = self.service[class].sample(&mut svc_rng);
+                let base = samplers[class].sample(&mut svc_rng);
                 let total = match &self.sprint[class] {
                     Some(e) => e.apply(base),
                     None => base,
@@ -191,12 +198,12 @@ impl McQueue {
                     arrived: now,
                     total,
                     remaining: total,
-                    wasted: 0.0,
                 };
-                next_arrival = self.arrivals.sample_next(&mut arr_rng, now);
+                next_arrival = arrival_sampler.sample_next(&mut arr_rng, now);
 
                 match &mut in_service {
                     None => {
+                        next_completion = now + job.remaining;
                         in_service = Some(job);
                         service_started = now;
                     }
@@ -211,14 +218,12 @@ impl McQueue {
                                 evicted.remaining -= done;
                             }
                             Discipline::PreemptiveRepeatIdentical => {
-                                evicted.wasted += done;
                                 wasted_time += done;
                                 evicted.remaining = evicted.total;
                             }
                             Discipline::PreemptiveRepeatResample => {
-                                evicted.wasted += done;
                                 wasted_time += done;
-                                let base = self.service[evicted.class].sample(&mut svc_rng);
+                                let base = samplers[evicted.class].sample(&mut svc_rng);
                                 evicted.total = match &self.sprint[evicted.class] {
                                     Some(e) => e.apply(base),
                                     None => base,
@@ -228,6 +233,7 @@ impl McQueue {
                             Discipline::NonPreemptive => unreachable!("checked above"),
                         }
                         queues[evicted.class].push_front(evicted);
+                        next_completion = now + job.remaining;
                         in_service = Some(job);
                         service_started = now;
                     }
@@ -235,7 +241,7 @@ impl McQueue {
                 }
             } else {
                 // Completion.
-                now = completion_time.expect("branch requires a running job");
+                now = next_completion;
                 let job = in_service.take().expect("branch requires a running job");
                 let done = now - service_started;
                 busy_time += done;
@@ -248,8 +254,10 @@ impl McQueue {
                     result.waiting[job.class].push((response - job.total).max(0.0));
                 }
                 // Next job: head of the highest-priority non-empty buffer.
+                next_completion = f64::INFINITY;
                 for q in queues.iter_mut().rev() {
                     if let Some(next) = q.pop_front() {
+                        next_completion = now + next.remaining;
                         in_service = Some(next);
                         service_started = now;
                         break;

@@ -36,13 +36,15 @@
 #![warn(missing_docs)]
 
 mod discrete;
+mod evaluator;
 pub mod fit;
 mod mmap;
 mod ph;
 mod scalar;
 
 pub use discrete::DiscreteDist;
-pub use mmap::{MarkedArrival, MarkedPoisson, Mmap, MmapSampler};
+pub use evaluator::{PhEvaluator, PhSampler, QUANTILE_SATURATION};
+pub use mmap::{MarkedArrival, MarkedPoisson, MarkedPoissonSampler, Mmap, MmapSampler};
 pub use ph::{Ph, PhError};
 pub use scalar::{Dist, ZipfSampler};
 

@@ -111,6 +111,16 @@ impl MarkedPoisson {
         out
     }
 
+    /// A reusable sampler caching the aggregate rate, for hot simulation
+    /// loops. Its streams are bit-identical to [`MarkedPoisson::sample_next`].
+    #[must_use]
+    pub fn sampler(&self) -> MarkedPoissonSampler<'_> {
+        MarkedPoissonSampler {
+            rates: &self.rates,
+            total: self.total_rate(),
+        }
+    }
+
     /// The equivalent [`Mmap`] representation (one phase).
     #[must_use]
     pub fn to_mmap(&self) -> Mmap {
@@ -122,6 +132,37 @@ impl MarkedPoisson {
             .map(|&r| Matrix::from_rows(&[vec![r]]))
             .collect();
         Mmap::new(d0, dks).expect("marked Poisson is a valid MMAP")
+    }
+}
+
+/// Borrowed view of a [`MarkedPoisson`] with the aggregate rate precomputed,
+/// so per-arrival sampling does not re-sum the class rates.
+///
+/// Produced by [`MarkedPoisson::sampler`]; the arithmetic is exactly that of
+/// [`MarkedPoisson::sample_next`], so streams are bit-identical.
+#[derive(Debug, Clone, Copy)]
+pub struct MarkedPoissonSampler<'a> {
+    rates: &'a [f64],
+    total: f64,
+}
+
+impl MarkedPoissonSampler<'_> {
+    /// Samples the next arrival strictly after `now`.
+    pub fn sample_next<R: Rng + ?Sized>(&self, rng: &mut R, now: f64) -> MarkedArrival {
+        let dt = sample_exp(rng, self.total);
+        let mut u = rng.gen::<f64>() * self.total;
+        let mut class = self.rates.len() - 1;
+        for (k, &r) in self.rates.iter().enumerate() {
+            if u < r {
+                class = k;
+                break;
+            }
+            u -= r;
+        }
+        MarkedArrival {
+            time: now + dt,
+            class,
+        }
     }
 }
 

@@ -9,11 +9,14 @@
 //! processing times (§4).
 
 use std::fmt;
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use dias_linalg::{dot, sum, Matrix};
+use dias_linalg::{dot, Matrix};
+
+use crate::evaluator::{PhEvaluator, PhSampler};
 
 /// Errors from constructing or manipulating a PH distribution.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,13 +69,68 @@ impl std::error::Error for PhError {}
 /// assert!((exp.mean() - 0.5).abs() < 1e-12);
 /// assert!((exp.cdf(0.5) - (1.0 - (-1.0f64).exp())).abs() < 1e-10);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Ph {
     alpha: Vec<f64>,
     a: Matrix,
+    /// Lazily built shared evaluator backing `sf`/`cdf`/`pdf`/`quantile`/
+    /// `overshoot_moment`; see [`PhEvaluator`].
+    evaluator: OnceLock<Mutex<PhEvaluator>>,
+    /// Lazily built sampler backing `sample`; see [`PhSampler`].
+    sampler: OnceLock<PhSampler>,
+}
+
+/// Equality is over the representation `(α, A)`; the lazy caches are derived
+/// state and do not participate.
+impl PartialEq for Ph {
+    fn eq(&self, other: &Ph) -> bool {
+        self.alpha == other.alpha && self.a == other.a
+    }
+}
+
+/// Cloning copies the representation; the clone starts with cold caches.
+impl Clone for Ph {
+    fn clone(&self) -> Ph {
+        Ph::raw(self.alpha.clone(), self.a.clone())
+    }
 }
 
 impl Ph {
+    /// Internal constructor for representations already known to be valid
+    /// (or deliberately unvalidated, as in `scaled`/`equilibrium`).
+    pub(crate) fn raw(alpha: Vec<f64>, a: Matrix) -> Ph {
+        Ph {
+            alpha,
+            a,
+            evaluator: OnceLock::new(),
+            sampler: OnceLock::new(),
+        }
+    }
+
+    /// Runs `f` against the lazily built, internally shared evaluator.
+    fn with_evaluator<T>(&self, f: impl FnOnce(&mut PhEvaluator) -> T) -> T {
+        let cache = self
+            .evaluator
+            .get_or_init(|| Mutex::new(PhEvaluator::new(self)));
+        let mut guard = cache.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut guard)
+    }
+
+    /// A fresh, privately owned [`PhEvaluator`] for this distribution.
+    ///
+    /// [`Ph::sf`] and friends already share a lazily built evaluator behind a
+    /// lock; hot loops issuing many queries should hold their own instance to
+    /// skip the synchronization.
+    #[must_use]
+    pub fn evaluator(&self) -> PhEvaluator {
+        PhEvaluator::new(self)
+    }
+
+    /// The lazily built, cached [`PhSampler`] for this distribution.
+    #[must_use]
+    pub fn sampler(&self) -> &PhSampler {
+        self.sampler.get_or_init(|| PhSampler::new(self))
+    }
     /// Builds a PH distribution from an initial vector and sub-generator.
     ///
     /// # Errors
@@ -115,7 +173,7 @@ impl Ph {
                 )));
             }
         }
-        Ok(Ph { alpha, a })
+        Ok(Ph::raw(alpha, a))
     }
 
     /// The exponential distribution with the given `rate` as a 1-phase PH.
@@ -294,7 +352,8 @@ impl Ph {
         }
     }
 
-    /// Survival function `P(X > t) = α e^{At} 1`, evaluated by uniformization.
+    /// Survival function `P(X > t) = α e^{At} 1`, evaluated by uniformization
+    /// against the lazily built shared [`PhEvaluator`] cache.
     ///
     /// # Panics
     ///
@@ -302,8 +361,7 @@ impl Ph {
     #[must_use]
     pub fn sf(&self, t: f64) -> f64 {
         assert!(t >= 0.0, "sf requires t >= 0");
-        let v = self.a.expm_action(&self.alpha, t);
-        sum(&v).clamp(0.0, 1.0)
+        self.with_evaluator(|ev| ev.sf(t))
     }
 
     /// Cumulative distribution function `P(X ≤ t)`.
@@ -315,11 +373,17 @@ impl Ph {
     /// Probability density `f(t) = α e^{At} a`.
     #[must_use]
     pub fn pdf(&self, t: f64) -> f64 {
-        let v = self.a.expm_action(&self.alpha, t);
-        dot(&v, &self.exit_vector()).max(0.0)
+        assert!(t >= 0.0, "pdf requires t >= 0");
+        self.with_evaluator(|ev| ev.pdf(t))
     }
 
-    /// The `q`-quantile, located by bisection on the CDF.
+    /// The `q`-quantile: log-space bracketing then bisection on the cached
+    /// CDF (see [`PhEvaluator::quantile`]).
+    ///
+    /// Saturates at [`crate::QUANTILE_SATURATION`] when the CDF never reaches
+    /// `q` within that horizon (distributions of extreme scale or numerically
+    /// defective representations) and returns the saturation point in that
+    /// case.
     ///
     /// # Panics
     ///
@@ -327,30 +391,7 @@ impl Ph {
     #[must_use]
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..1.0).contains(&q), "quantile must be in [0,1)");
-        if q <= self.mass_at_zero() {
-            return 0.0;
-        }
-        // Bracket the quantile: mean-based initial guess, doubled until covered.
-        let mut hi = self.mean().max(1e-9);
-        while self.cdf(hi) < q {
-            hi *= 2.0;
-            if hi > 1e12 {
-                return hi;
-            }
-        }
-        let mut lo = 0.0;
-        for _ in 0..200 {
-            let mid = 0.5 * (lo + hi);
-            if self.cdf(mid) < q {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-            if hi - lo < 1e-9 * hi.max(1.0) {
-                break;
-            }
-        }
-        0.5 * (lo + hi)
+        self.with_evaluator(|ev| ev.quantile(q))
     }
 
     /// Convolution: the distribution of the sum of two independent PH variables.
@@ -430,10 +471,7 @@ impl Ph {
     #[must_use]
     pub fn scaled(&self, factor: f64) -> Ph {
         assert!(factor > 0.0, "scale factor must be positive");
-        Ph {
-            alpha: self.alpha.clone(),
-            a: self.a.scaled(1.0 / factor),
-        }
+        Ph::raw(self.alpha.clone(), self.a.scaled(1.0 / factor))
     }
 
     /// The minimum of two independent PH variables (Kronecker construction).
@@ -517,72 +555,25 @@ impl Ph {
             .solve(&self.alpha)
             .expect("validated sub-generator is nonsingular");
         let alpha_e: Vec<f64> = v.iter().map(|x| (x / mean).max(0.0)).collect();
-        Ph {
-            alpha: alpha_e,
-            a: self.a.clone(),
-        }
+        Ph::raw(alpha_e, self.a.clone())
     }
 
-    /// Unconditional overshoot moments `E[((X−t)^+)^k] = k!·(α e^{At})(−A)^{-k} 1`.
+    /// Unconditional overshoot moments `E[((X−t)^+)^k] = k!·(α e^{At})(−A)^{-k} 1`,
+    /// with the solve vectors cached across calls in the shared evaluator.
     ///
     /// Used to compute the moments of sprint-modified service times, where a job runs
     /// at base speed until the timeout `t` and accelerated afterwards.
     #[must_use]
     pub fn overshoot_moment(&self, t: f64, k: u32) -> f64 {
-        let at_t = self.a.expm_action(&self.alpha, t);
-        let neg_a = self.a.scaled(-1.0);
-        let mut v = vec![1.0; self.order()];
-        let mut factorial = 1.0;
-        for i in 1..=k {
-            v = neg_a
-                .solve(&v)
-                .expect("validated sub-generator is nonsingular");
-            factorial *= f64::from(i);
-        }
-        factorial * dot(&at_t, &v)
+        assert!(t >= 0.0, "overshoot requires t >= 0");
+        self.with_evaluator(|ev| ev.overshoot_moment(t, k))
     }
 
-    /// Draws a sample by simulating the underlying Markov chain.
+    /// Draws a sample by simulating the underlying Markov chain, through the
+    /// lazily built cached [`PhSampler`] (allocation-free per draw; streams
+    /// are bit-identical to the direct chain walk).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        // Choose initial phase (or immediate absorption for deficient mass).
-        let u: f64 = rng.gen();
-        let mut acc = 0.0;
-        let mut phase = usize::MAX;
-        for (i, &p) in self.alpha.iter().enumerate() {
-            acc += p;
-            if u < acc {
-                phase = i;
-                break;
-            }
-        }
-        if phase == usize::MAX {
-            return 0.0; // atom at zero
-        }
-        let exit = self.exit_vector();
-        let mut time = 0.0;
-        loop {
-            let rate = -self.a[(phase, phase)];
-            time += crate::sample_exp(rng, rate);
-            // Next transition: exit or another phase, proportional to rates.
-            let mut u = rng.gen::<f64>() * rate;
-            if u < exit[phase] {
-                return time;
-            }
-            u -= exit[phase];
-            let mut next = phase;
-            for j in 0..self.order() {
-                if j == phase {
-                    continue;
-                }
-                let r = self.a[(phase, j)];
-                if u < r {
-                    next = j;
-                    break;
-                }
-                u -= r;
-            }
-            phase = next;
-        }
+        self.sampler().sample(rng)
     }
 }
 

@@ -1,0 +1,126 @@
+//! Golden-value regression tests pinning the numeric behavior of `Ph` across
+//! refactors of its evaluation and sampling internals.
+//!
+//! The sample values below were captured from the pre-`PhSampler` chain walk
+//! (which allocated the exit vector on every draw); `Ph::sample` is required
+//! to reproduce them **bit-identically** so that every seeded simulation in
+//! the workspace keeps its exact result history. The analytic values were
+//! captured from the pre-`PhEvaluator` term-by-term uniformization; the cached
+//! scalar-coefficient path reorders floating-point sums, so those are pinned
+//! to 1e-12 rather than bitwise.
+
+use dias_linalg::Matrix;
+use dias_stochastic::{Ph, PhSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 0xD1A5;
+
+fn golden_cases() -> Vec<(&'static str, Ph, [f64; 6])> {
+    vec![
+        (
+            "coxian",
+            Ph::coxian(&[3.0, 1.5, 0.8], &[0.7, 0.4]).unwrap(),
+            [
+                2.244845936872754,
+                0.16126736288215254,
+                0.5410953177526903,
+                0.2992690112169548,
+                0.27676032373214277,
+                0.16333573752069913,
+            ],
+        ),
+        (
+            "hyper",
+            Ph::hyperexponential(&[0.35, 0.65], &[0.9, 4.0]).unwrap(),
+            [
+                0.6939074357153889,
+                3.027417285058921,
+                0.5220725374744654,
+                0.09563057560455211,
+                0.03558631005826492,
+                0.09754051180911978,
+            ],
+        ),
+        (
+            "erlang",
+            Ph::erlang(4, 2.5).unwrap(),
+            [
+                2.5594053470617366,
+                0.7551075230345574,
+                2.198981423047848,
+                1.9174620772119229,
+                3.329106136766001,
+                2.649202005847967,
+            ],
+        ),
+        (
+            "atom-at-zero",
+            Ph::new(
+                vec![0.6, 0.2],
+                Matrix::from_rows(&[vec![-2.0, 1.0], vec![0.3, -1.1]]),
+            )
+            .unwrap(),
+            [
+                3.0895406726512027,
+                0.24190104432322881,
+                0.1878430770224939,
+                0.7586365139350755,
+                1.0638321220272147,
+                0.2450036062810487,
+            ],
+        ),
+    ]
+}
+
+#[test]
+fn ph_sample_streams_are_bit_identical_to_pre_sampler_code() {
+    for (name, ph, expect) in golden_cases() {
+        let mut rng = StdRng::seed_from_u64(SEED);
+        for (i, &e) in expect.iter().enumerate() {
+            let got = ph.sample(&mut rng);
+            assert!(
+                got == e,
+                "{name}[{i}]: {got:?} != golden {e:?} — sample stream diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn standalone_sampler_matches_golden_streams_too() {
+    for (name, ph, expect) in golden_cases() {
+        let sampler = PhSampler::new(&ph);
+        let mut rng = StdRng::seed_from_u64(SEED);
+        for (i, &e) in expect.iter().enumerate() {
+            let got = sampler.sample(&mut rng);
+            assert!(got == e, "{name}[{i}]: {got:?} != golden {e:?}");
+        }
+    }
+}
+
+#[test]
+fn analytic_path_matches_pre_evaluator_values() {
+    let erl = Ph::erlang(8, 2.0).unwrap();
+    let hyper = Ph::hyperexponential(&[0.4, 0.6], &[1.0, 5.0]).unwrap();
+    let job = erl.convolve(&hyper);
+    let golden = [
+        (0.1, 0.9999999999980448, 1.719286622706655e-10),
+        (0.7, 0.9999763160420695, 0.0002578339355518987),
+        (3.0, 0.8347651143416419, 0.21116080315197241),
+        (9.0, 0.012021431886908655, 0.011463734374698631),
+    ];
+    for (t, sf, pdf) in golden {
+        assert!((job.sf(t) - sf).abs() < 1e-12, "sf({t}) = {:?}", job.sf(t));
+        assert!(
+            (job.pdf(t) - pdf).abs() < 1e-12,
+            "pdf({t}) = {:?}",
+            job.pdf(t)
+        );
+    }
+    // Quantiles pin to the bisection tolerance, not bitwise: the bracket is
+    // tighter than the pre-refactor one.
+    assert!((job.quantile(0.5) - 4.314638680052013).abs() < 1e-7);
+    assert!((job.quantile(0.95) - 7.455337289925664).abs() < 1e-7);
+    assert!((job.overshoot_moment(2.0, 1) - 2.527527662228535).abs() < 1e-12);
+}

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Runs the criterion micro benches, writes a fresh result file (default
+# BENCH_pr2.json at the repo root), and prints a per-benchmark delta table
+# against the committed baseline. Exits non-zero when any benchmark present
+# in the baseline regressed by more than the threshold.
+#
+# Usage: scripts/bench_compare.sh [output-path]
+#
+# Environment:
+#   DIAS_BENCH_BASELINE        baseline file (default: BENCH_baseline.json)
+#   DIAS_BENCH_MAX_REGRESSION  allowed slowdown fraction (default: 0.25)
+#   DIAS_BENCH_SAMPLES         per-benchmark sample count (harness default 30)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+out="${1:-$repo_root/BENCH_pr2.json}"
+baseline="${DIAS_BENCH_BASELINE:-$repo_root/BENCH_baseline.json}"
+threshold="${DIAS_BENCH_MAX_REGRESSION:-0.25}"
+
+echo "running micro benches (this builds the bench profile first)..."
+DIAS_BENCH_JSON="$out" cargo bench -q --manifest-path "$repo_root/Cargo.toml" --bench micro
+
+echo
+python3 - "$baseline" "$out" "$threshold" <<'PY'
+import json, sys
+
+baseline_path, current_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+baseline = {r["name"]: r["mean_ns"] for r in json.load(open(baseline_path))}
+current = {r["name"]: r["mean_ns"] for r in json.load(open(current_path))}
+
+print(f"{'benchmark':<36} {'baseline':>12} {'current':>12} {'delta':>9}  verdict")
+print("-" * 80)
+
+def fmt(ns):
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f} us"
+    return f"{ns:.1f} ns"
+
+regressions = []
+# Absolute noise floor: timer + scheduling jitter on sub-100ns benches easily
+# exceeds 25% relative; require the regression to also be visible in absolute
+# terms before failing.
+NOISE_FLOOR_NS = 50.0
+for name, base_ns in baseline.items():
+    now = current.get(name)
+    if now is None:
+        print(f"{name:<36} {fmt(base_ns):>12} {'missing':>12} {'—':>9}  MISSING")
+        regressions.append((name, "missing from current run"))
+        continue
+    delta = (now - base_ns) / base_ns
+    if delta > threshold and now - base_ns > NOISE_FLOOR_NS:
+        verdict = f"REGRESSED (> {threshold:.0%})"
+        regressions.append((name, f"{delta:+.1%}"))
+    elif delta < -0.05:
+        verdict = f"improved {base_ns / now:.2f}x"
+    else:
+        verdict = "ok"
+    print(f"{name:<36} {fmt(base_ns):>12} {fmt(now):>12} {delta:>+8.1%}  {verdict}")
+
+for name, now in sorted(current.items()):
+    if name not in baseline:
+        print(f"{name:<36} {'—':>12} {fmt(now):>12} {'—':>9}  new")
+
+print("-" * 80)
+if regressions:
+    print(f"FAIL: {len(regressions)} benchmark(s) regressed beyond {threshold:.0%}:")
+    for name, detail in regressions:
+        print(f"  {name}: {detail}")
+    sys.exit(1)
+print(f"OK: no baseline benchmark regressed beyond {threshold:.0%}")
+PY

@@ -20,12 +20,14 @@ pub trait RngCore {
     fn next_u64(&mut self) -> u64;
 
     /// Returns the next 32 random bits (upper half of [`RngCore::next_u64`]).
+    #[inline]
     fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
     }
 }
 
 impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         (**self).next_u64()
     }

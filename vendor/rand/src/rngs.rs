@@ -23,6 +23,7 @@ impl SeedableRng for StdRng {
 }
 
 impl RngCore for StdRng {
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
         finalize(self.state)
@@ -30,6 +31,7 @@ impl RngCore for StdRng {
 }
 
 /// SplitMix64 finalizer: bijective avalanche of the counter state.
+#[inline]
 fn finalize(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
