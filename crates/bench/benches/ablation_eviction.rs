@@ -14,6 +14,7 @@
 //!    sweep shows the low-class execution gain of DA(0,20) across task-time SCVs.
 
 use dias_bench::{banner, bench_jobs, pct, rel};
+use dias_core::sweep::{default_threads, run_mc_replicated};
 use dias_core::{Experiment, Policy};
 use dias_engine::ClusterSpec;
 use dias_models::mc::{Discipline, McQueue};
@@ -34,6 +35,7 @@ fn eviction_semantics() {
         ],
         sprint: vec![None, None],
         discipline,
+        servers: 1,
         jobs: 60_000,
         warmup: 6_000,
         seed: 3,
@@ -50,7 +52,10 @@ fn eviction_semantics() {
             Discipline::PreemptiveRepeatResample,
         ),
     ] {
-        let r = base(d).run().expect("stable configuration");
+        // Four deterministic replications fanned across whatever cores the
+        // machine has: the replica split is fixed, so the printed numbers are
+        // identical at any thread count (and on a single core).
+        let r = run_mc_replicated(&base(d), 4, default_threads()).expect("stable configuration");
         println!(
             "{:<26} {:>9.1}s {:>9.1}s {:>7.1}%",
             label,

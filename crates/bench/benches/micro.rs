@@ -15,12 +15,152 @@ use dias_models::priority::{mph1_waiting_ph, non_preemptive_means, ClassInput};
 use dias_models::TaskLevelModel;
 use dias_stochastic::{DiscreteDist, MarkedPoisson, Ph, PhSampler};
 
+/// The pre-PR3 event queue: a `BinaryHeap` plus a `HashSet` of live seqs,
+/// cancelling by tombstone and skipping stale entries on pop. Kept as the
+/// "before" side of the `event_queue/*_tombstone` comparisons.
+mod tombstone {
+    use dias_des::SimTime;
+    use std::cmp::Ordering;
+    use std::collections::{BinaryHeap, HashSet};
+
+    struct Entry<E> {
+        time: SimTime,
+        seq: u64,
+        payload: E,
+    }
+
+    impl<E> PartialEq for Entry<E> {
+        fn eq(&self, other: &Self) -> bool {
+            self.time == other.time && self.seq == other.seq
+        }
+    }
+    impl<E> Eq for Entry<E> {}
+    impl<E> PartialOrd for Entry<E> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<E> Ord for Entry<E> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .time
+                .cmp(&self.time)
+                .then_with(|| other.seq.cmp(&self.seq))
+        }
+    }
+
+    pub struct TombstoneQueue<E> {
+        heap: BinaryHeap<Entry<E>>,
+        next_seq: u64,
+        pending: HashSet<u64>,
+    }
+
+    impl<E> TombstoneQueue<E> {
+        pub fn new() -> Self {
+            TombstoneQueue {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                pending: HashSet::new(),
+            }
+        }
+
+        pub fn push(&mut self, time: SimTime, payload: E) -> u64 {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Entry { time, seq, payload });
+            self.pending.insert(seq);
+            seq
+        }
+
+        pub fn cancel(&mut self, handle: u64) -> bool {
+            self.pending.remove(&handle)
+        }
+
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            while let Some(entry) = self.heap.pop() {
+                if self.pending.remove(&entry.seq) {
+                    return Some((entry.time, entry.payload));
+                }
+            }
+            None
+        }
+    }
+}
+
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("event_queue/push_pop_1k", |b| {
         b.iter(|| {
             let mut q = EventQueue::new();
             for i in 0..1000u64 {
                 q.push(SimTime::from_secs((i % 97) as f64), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        });
+    });
+    c.bench_function("event_queue/push_pop_1k_tombstone", |b| {
+        b.iter(|| {
+            let mut q = tombstone::TombstoneQueue::new();
+            for i in 0..1000u64 {
+                q.push(SimTime::from_secs((i % 97) as f64), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        });
+    });
+
+    // Cancel-heavy churn: the engine's eviction/DVFS pattern — every other
+    // event is cancelled before it can fire.
+    c.bench_function("event_queue/push_pop_cancel50_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let handles: Vec<_> = (0..1000u64)
+                .map(|i| q.push(SimTime::from_secs((i % 97) as f64), i))
+                .collect();
+            for h in handles.iter().step_by(2) {
+                q.cancel(*h);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        });
+    });
+    c.bench_function("event_queue/push_pop_cancel50_1k_tombstone", |b| {
+        b.iter(|| {
+            let mut q = tombstone::TombstoneQueue::new();
+            let handles: Vec<_> = (0..1000u64)
+                .map(|i| q.push(SimTime::from_secs((i % 97) as f64), i))
+                .collect();
+            for h in handles.iter().step_by(2) {
+                q.cancel(*h);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        });
+    });
+
+    // Decrease/increase-key churn: every pending event is rescheduled once
+    // (the DVFS rescale pattern, where the tombstone queue had to cancel and
+    // re-push).
+    c.bench_function("event_queue/reschedule_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let handles: Vec<_> = (0..1000u64)
+                .map(|i| q.push(SimTime::from_secs((i % 97) as f64), i))
+                .collect();
+            for (i, h) in handles.iter().enumerate() {
+                q.reschedule(*h, SimTime::from_secs(((i as u64 * 31) % 113) as f64));
             }
             let mut sum = 0u64;
             while let Some((_, v)) = q.pop() {
@@ -174,6 +314,7 @@ fn bench_sweep(c: &mut Criterion) {
         ],
         sprint: vec![None, None],
         discipline: Discipline::NonPreemptive,
+        servers: 1,
         jobs: 300,
         warmup: 50,
         seed,
@@ -233,22 +374,47 @@ fn bench_priority_solvers(c: &mut Criterion) {
 }
 
 fn bench_mc_queue(c: &mut Criterion) {
-    let queue = McQueue {
-        arrivals: MarkedPoisson::new(vec![0.0045, 0.0005]).unwrap(),
+    // Arrival rates scale with the server count so every configuration runs
+    // at the same per-server load (rho ≈ 0.72).
+    let queue = |servers: usize| McQueue {
+        arrivals: MarkedPoisson::new(vec![0.0045 * servers as f64, 0.0005 * servers as f64])
+            .unwrap(),
         service: vec![
             Ph::erlang(3, 3.0 / 147.0).unwrap(),
             Ph::erlang(3, 3.0 / 126.0).unwrap(),
         ],
         sprint: vec![None, None],
         discipline: Discipline::NonPreemptive,
+        servers,
         jobs: 2000,
         warmup: 200,
         seed: 1,
     };
     let mut group = c.benchmark_group("models/mc_queue");
     group.sample_size(10);
+    let one = queue(1);
     group.bench_function("2k_jobs", |b| {
-        b.iter(|| black_box(queue.run().unwrap()));
+        b.iter(|| black_box(one.run().unwrap()));
+    });
+    for servers in [2usize, 4] {
+        let q = queue(servers);
+        group.bench_function(&format!("2k_jobs_{servers}srv"), |b| {
+            b.iter(|| black_box(q.run().unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_wave_fit(c: &mut Criterion) {
+    use dias_workloads::dataset_147;
+    // The fig4/fig5 setup cost: 3000-rep list-scheduling fits per stage,
+    // now driven by a min-heap slot tracker instead of a per-task scan.
+    let profile = dataset_147();
+    let cluster = ClusterSpec::paper_reference();
+    let mut group = c.benchmark_group("models/wave_fit");
+    group.sample_size(10);
+    group.bench_function("dataset147", |b| {
+        b.iter(|| black_box(dias_bench::wave_model_for(&profile, &cluster, 0.2, 7)));
     });
     group.finish();
 }
@@ -284,6 +450,7 @@ criterion_group!(
     bench_task_level_model,
     bench_priority_solvers,
     bench_mc_queue,
+    bench_wave_fit,
     bench_sweep,
     bench_engine
 );

@@ -178,23 +178,51 @@ pub fn wave_model_for(
     // Stage-makespan profiling: list-schedule `n` sampled task times on `slots`
     // slots (greedy, work-conserving — the engine's wave scheduler) and fit the
     // makespan's first two moments.
+    //
+    // The earliest-available slot is tracked with a min-heap, so one rep costs
+    // O(n log C) instead of the O(n·C) full scan per task the pre-PR3 fit
+    // paid. Which of several *tied* slots takes a task is irrelevant: the
+    // multiset of slot end times (and hence the makespan and the RNG stream)
+    // is identical, so fitted models are unchanged bit for bit.
     let mut rng: rand::rngs::StdRng = dias_des::SeedSequence::new(seed).stream("wave-fit");
     let mut stage_fit = |n_tasks: usize, task: &dias_stochastic::Dist| -> (f64, f64) {
+        use std::cmp::Reverse;
+
+        /// Slot end time with the total order finite simulation times have.
+        #[derive(PartialEq)]
+        struct SlotEnd(f64);
+        impl Eq for SlotEnd {}
+        impl PartialOrd for SlotEnd {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for SlotEnd {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0
+                    .partial_cmp(&other.0)
+                    .expect("slot end times are finite")
+            }
+        }
+
         let reps = 3000;
-        let mut stats = dias_des::stats::SampleSet::new();
-        let mut slot_end = vec![0.0f64; slots];
+        let mut stats = dias_des::stats::SampleSet::with_capacity(reps);
+        let mut slot_end: std::collections::BinaryHeap<Reverse<SlotEnd>> =
+            std::collections::BinaryHeap::with_capacity(slots);
         for _ in 0..reps {
-            slot_end.iter_mut().for_each(|x| *x = 0.0);
+            slot_end.clear();
+            for _ in 0..slots {
+                slot_end.push(Reverse(SlotEnd(0.0)));
+            }
             for _ in 0..n_tasks {
                 // Earliest-available slot takes the next task.
-                let (idx, _) = slot_end
-                    .iter()
-                    .enumerate()
-                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
-                    .expect("at least one slot");
-                slot_end[idx] += task.sample(&mut rng);
+                let Reverse(SlotEnd(end)) = slot_end.pop().expect("at least one slot");
+                slot_end.push(Reverse(SlotEnd(end + task.sample(&mut rng))));
             }
-            let makespan = slot_end.iter().copied().fold(0.0, f64::max);
+            let makespan = slot_end
+                .iter()
+                .map(|Reverse(SlotEnd(end))| *end)
+                .fold(0.0, f64::max);
             stats.push(makespan);
         }
         let mean = stats.mean();

@@ -16,6 +16,10 @@
 //! * [`replica_seeds`] — deterministic per-replication master seeds derived
 //!   with [`SeedSequence::child`], so replicated experiments stay reproducible
 //!   under any parallelism.
+//! * [`run_mc_replicated`] — one Monte-Carlo queue point split into
+//!   independently seeded sub-runs and merged exactly, so a single
+//!   `McQueue` evaluation scales across cores without losing bitwise
+//!   determinism.
 //!
 //! # Examples
 //!
@@ -30,6 +34,8 @@ use std::sync::Mutex;
 
 use dias_des::SeedSequence;
 use dias_engine::ClusterSpec;
+use dias_models::mc::{McQueue, McResult};
+use dias_models::ModelError;
 
 use crate::{Experiment, ExperimentError, ExperimentReport, JobSource, Policy};
 
@@ -105,6 +111,36 @@ where
 pub fn replica_seeds(master: u64, n: usize) -> Vec<u64> {
     let seq = SeedSequence::new(master);
     (0..n).map(|i| seq.child(i as u64).master()).collect()
+}
+
+/// Evaluates one Monte-Carlo queue point as `replications` independently
+/// seeded sub-runs fanned across up to `threads` cores, merging their
+/// [`McResult`]s exactly in replica order.
+///
+/// The sub-runs come from [`McQueue::replicas`], whose seeds equal
+/// [`replica_seeds`]`(queue.seed, replications)`, and the merge
+/// ([`dias_models::mc::McResult::merge`]) concatenates sample buffers and
+/// re-weights ratio metrics — so for a fixed `replications` the result is
+/// **bitwise identical for any `threads`**. Note that every replica (even
+/// with `replications == 1`) draws from its replica-indexed child seed, so
+/// changing `replications` changes the streams — deliberately, as replica
+/// `i`'s seed must not depend on how many replicas run beside it.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from validation or any sub-run.
+pub fn run_mc_replicated(
+    queue: &McQueue,
+    replications: usize,
+    threads: usize,
+) -> Result<McResult, ModelError> {
+    let subs = queue.replicas(replications)?;
+    let results = run_parallel(subs, threads, |_, sub| sub.run());
+    let mut merged = McResult::default();
+    for result in results {
+        merged.merge(&result?);
+    }
+    Ok(merged)
 }
 
 /// One point of an experiment sweep: a job source (already seeded), a policy,

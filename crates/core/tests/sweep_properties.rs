@@ -82,6 +82,80 @@ fn sweep_preserves_input_order_even_with_errors() {
     assert_eq!(results[0].as_ref().unwrap().policy, "NP");
 }
 
+mod mc_replication {
+    use dias_core::sweep::{replica_seeds, run_mc_replicated};
+    use dias_models::mc::{Discipline, McQueue};
+    use dias_stochastic::{MarkedPoisson, Ph};
+
+    fn point(servers: usize) -> McQueue {
+        McQueue {
+            arrivals: MarkedPoisson::new(vec![0.0045 * servers as f64, 0.0005 * servers as f64])
+                .unwrap(),
+            service: vec![
+                Ph::erlang(3, 3.0 / 147.0).unwrap(),
+                Ph::erlang(3, 3.0 / 126.0).unwrap(),
+            ],
+            sprint: vec![None, None],
+            discipline: Discipline::PreemptiveRepeatIdentical,
+            servers,
+            jobs: 4_000,
+            warmup: 400,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn replica_seeds_agree_with_mcqueue_replicas() {
+        let q = point(1);
+        let seeds: Vec<u64> = q.replicas(6).unwrap().iter().map(|s| s.seed).collect();
+        assert_eq!(seeds, replica_seeds(q.seed, 6));
+    }
+
+    #[test]
+    fn replicated_mc_is_bitwise_deterministic_for_any_thread_count() {
+        for servers in [1usize, 2] {
+            let q = point(servers);
+            let reference = run_mc_replicated(&q, 4, 1).unwrap();
+            for threads in [2, 3, 8] {
+                let got = run_mc_replicated(&q, 4, threads).unwrap();
+                for k in 0..2 {
+                    // Sample buffers merge in replica order, so the raw
+                    // sample sequences — not just summaries — must be
+                    // identical bit for bit.
+                    assert_eq!(
+                        got.response[k].samples(),
+                        reference.response[k].samples(),
+                        "servers {servers}, class {k}, {threads} threads"
+                    );
+                    assert_eq!(got.waiting[k].samples(), reference.waiting[k].samples());
+                    assert_eq!(got.execution[k].samples(), reference.execution[k].samples());
+                }
+                assert_eq!(got.waste_fraction, reference.waste_fraction);
+                assert_eq!(got.utilization, reference.utilization);
+            }
+        }
+    }
+
+    #[test]
+    fn one_replication_reproduces_its_single_sub_run() {
+        // Merging a lone replica into the empty result must be the identity:
+        // the fan-out machinery adds nothing beyond the sub-run itself.
+        let q = point(1);
+        let sub = q.replicas(1).unwrap().remove(0);
+        assert_eq!(sub.seed, replica_seeds(q.seed, 1)[0]);
+        let plain = sub.run().unwrap();
+        let replicated = run_mc_replicated(&q, 1, 4).unwrap();
+        for k in 0..2 {
+            assert_eq!(
+                replicated.response[k].samples(),
+                plain.response[k].samples()
+            );
+        }
+        assert_eq!(replicated.utilization, plain.utilization);
+        assert_eq!(replicated.waste_fraction, plain.waste_fraction);
+    }
+}
+
 #[test]
 fn run_parallel_matches_sequential_for_heavier_closures() {
     // A non-experiment workload with uneven item costs: results must still be

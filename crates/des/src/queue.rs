@@ -1,53 +1,81 @@
-//! A cancellable event queue with deterministic FIFO tie-breaking.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//! An indexed, truly-cancellable event calendar with deterministic FIFO
+//! tie-breaking.
+//!
+//! The queue is a hand-rolled binary min-heap over `(time, seq)` stored in a
+//! `Vec`, plus a handle → heap-slot index, so [`EventQueue::cancel`] and
+//! [`EventQueue::reschedule`] remove or move the *actual* entry in O(log n)
+//! instead of tombstoning it for a later pop to skip. There are never stale
+//! entries in the heap, which is what makes [`EventQueue::peek_time`] a plain
+//! `&self` read.
 
 use crate::SimTime;
 
-/// Identifies an event scheduled in an [`EventQueue`] so it can be cancelled later.
+/// Identifies an event scheduled in an [`EventQueue`] so it can be cancelled
+/// or rescheduled later.
 ///
-/// Handles are cheap to copy and remain valid (as "already fired / already cancelled")
-/// after the event leaves the queue.
+/// Handles are cheap to copy and remain valid (as "already fired / already
+/// cancelled", rejected by [`EventQueue::cancel`] and
+/// [`EventQueue::reschedule`]) after the event leaves the queue. Internally a
+/// handle packs a reusable slot key with a per-slot generation counter; a
+/// stale handle aliases a live event only after its slot's generation wraps
+/// around `u32`, i.e. after ~4 billion reuses of one slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventHandle(u64);
+
+impl EventHandle {
+    fn new(key: u32, generation: u32) -> Self {
+        EventHandle((u64::from(generation) << 32) | u64::from(key))
+    }
+
+    fn key(self) -> u32 {
+        (self.0 & 0xffff_ffff) as u32
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 #[derive(Debug)]
 struct Entry<E> {
     time: SimTime,
     seq: u64,
+    key: u32,
     payload: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl<E> Entry<E> {
+    /// Min-heap priority: earlier time first, insertion order among ties.
+    ///
+    /// Hand-rolled on the raw seconds (`SimTime` construction already rejects
+    /// NaN) so the per-level comparison in the sifts is two branch-predictable
+    /// float/int compares, not an `Ordering` chain.
+    #[inline]
+    fn before(&self, other: &Self) -> bool {
+        let (a, b) = (self.time.as_secs(), other.time.as_secs());
+        a < b || (a == b && self.seq < other.seq)
     }
 }
 
-impl<E> Eq for Entry<E> {}
+/// Slot `pos` value marking a handle whose event is no longer queued.
+const VACANT: u32 = u32::MAX;
 
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// Index of the slot's entry in the heap, or [`VACANT`].
+    pos: u32,
+    /// Bumped every time the slot's event leaves the queue, so old handles
+    /// never alias a later event reusing the slot.
+    generation: u32,
 }
 
 /// A priority queue of timed events.
 ///
-/// Events with equal timestamps pop in insertion order, which keeps simulations
-/// deterministic. Cancellation is O(1): cancelled entries are skipped lazily when
-/// popped.
+/// Events with equal timestamps pop in insertion order, which keeps
+/// simulations deterministic. [`EventQueue::cancel`] removes the entry from
+/// the heap immediately (O(log n)) and [`EventQueue::reschedule`] moves a
+/// pending event to a new timestamp in place — the operations the engine's
+/// eviction and DVFS paths hammer.
 ///
 /// # Examples
 ///
@@ -58,15 +86,16 @@ impl<E> Ord for Entry<E> {
 /// let h = q.push(SimTime::from_secs(2.0), "late");
 /// q.push(SimTime::from_secs(1.0), "early");
 /// q.cancel(h);
+/// assert_eq!(q.peek_time(), Some(SimTime::from_secs(1.0)));
 /// assert_eq!(q.pop(), Some((SimTime::from_secs(1.0), "early")));
 /// assert_eq!(q.pop(), None);
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: Vec<Entry<E>>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
     next_seq: u64,
-    /// Seqs currently in the heap that have not been cancelled or fired.
-    pending: std::collections::HashSet<u64>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -80,66 +109,221 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
-            pending: std::collections::HashSet::new(),
         }
     }
 
-    /// Schedules `payload` to fire at `time` and returns a handle for cancellation.
+    /// Creates an empty queue with room for `n` concurrent events.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        EventQueue {
+            heap: Vec::with_capacity(n),
+            slots: Vec::with_capacity(n),
+            free: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time` and returns a handle for later
+    /// cancellation or rescheduling.
+    #[inline]
     pub fn push(&mut self, time: SimTime, payload: E) -> EventHandle {
+        let key = match self.free.pop() {
+            Some(key) => key,
+            None => {
+                let key = u32::try_from(self.slots.len()).expect("fewer than 2^32 live events");
+                self.slots.push(Slot {
+                    pos: VACANT,
+                    generation: 0,
+                });
+                key
+            }
+        };
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, payload });
-        self.pending.insert(seq);
-        EventHandle(seq)
+        let pos = self.heap.len();
+        self.heap.push(Entry {
+            time,
+            seq,
+            key,
+            payload,
+        });
+        self.sift_up(pos);
+        EventHandle::new(key, self.slots[key as usize].generation)
     }
 
-    /// Cancels a scheduled event.
+    /// Cancels a scheduled event, removing its entry from the calendar in
+    /// O(log n).
     ///
-    /// Returns `true` if the event was still pending; `false` if it had already fired
-    /// or been cancelled.
+    /// Returns `true` if the event was still pending; `false` if it had
+    /// already fired or been cancelled (stale handles are always rejected).
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        self.pending.remove(&handle.0)
+        match self.resolve(handle) {
+            Some(pos) => {
+                self.remove_at(pos);
+                true
+            }
+            None => false,
+        }
     }
 
-    /// Removes and returns the earliest live event, skipping cancelled entries.
+    /// Moves a pending event to `new_time` in place (decrease- or
+    /// increase-key, O(log n)); the handle stays valid.
+    ///
+    /// For FIFO tie-breaking the rescheduled event behaves as if it had been
+    /// newly pushed — among events with equal timestamps it fires *after*
+    /// every event already scheduled — so `reschedule(h, t)` is a drop-in,
+    /// single-sift replacement for `cancel(h)` + `push(t, payload)`.
+    ///
+    /// Returns `true` if the event was still pending; `false` (no-op) if it
+    /// had already fired or been cancelled.
+    pub fn reschedule(&mut self, handle: EventHandle, new_time: SimTime) -> bool {
+        let Some(pos) = self.resolve(handle) else {
+            return false;
+        };
+        let entry = &mut self.heap[pos];
+        entry.time = new_time;
+        entry.seq = self.next_seq;
+        self.next_seq += 1;
+        // A fresh seq can only move the entry down among equal times, but the
+        // new time itself may move it either way.
+        let settled = self.sift_down(pos);
+        self.sift_up(settled);
+        true
+    }
+
+    /// Removes and returns the earliest event.
+    #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.pending.remove(&entry.seq) {
-                return Some((entry.time, entry.payload));
-            }
-        }
-        None
+        self.pop_with_handle().map(|(t, _, payload)| (t, payload))
     }
 
-    /// Returns the timestamp of the earliest live event without removing it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(entry) = self.heap.peek() {
-            if self.pending.contains(&entry.seq) {
-                return Some(entry.time);
-            }
-            self.heap.pop();
+    /// Removes and returns the earliest event along with the (now fired)
+    /// handle it was scheduled under, so callers tracking handles can match
+    /// the event back to their own records.
+    #[inline]
+    pub fn pop_with_handle(&mut self) -> Option<(SimTime, EventHandle, E)> {
+        if self.heap.is_empty() {
+            return None;
         }
-        None
+        let entry = self.remove_at(0);
+        // `remove_at` bumped the slot's generation; the fired event was
+        // scheduled under the previous one.
+        let fired_generation = self.slots[entry.key as usize].generation.wrapping_sub(1);
+        let handle = EventHandle::new(entry.key, fired_generation);
+        Some((entry.time, handle, entry.payload))
     }
 
-    /// Number of live (non-cancelled) events in the queue.
+    /// Returns the timestamp of the earliest event without removing it.
+    ///
+    /// Cancelled events are gone from the calendar, so this is a plain
+    /// borrow — no `&mut self` lazy cleanup.
+    #[must_use]
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.first().map(|e| e.time)
+    }
+
+    /// Number of pending events in the queue.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.heap.len()
     }
 
-    /// Returns `true` if no live events remain.
+    /// Returns `true` if no pending events remain.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.heap.is_empty()
     }
 
-    /// Removes every pending event.
+    /// Removes every pending event, invalidating their handles.
     pub fn clear(&mut self) {
-        self.heap.clear();
-        self.pending.clear();
+        for entry in self.heap.drain(..) {
+            let slot = &mut self.slots[entry.key as usize];
+            slot.pos = VACANT;
+            slot.generation = slot.generation.wrapping_add(1);
+            self.free.push(entry.key);
+        }
+    }
+
+    /// Heap position of `handle`'s entry, or `None` for fired/cancelled/stale
+    /// handles.
+    #[inline]
+    fn resolve(&self, handle: EventHandle) -> Option<usize> {
+        let slot = self.slots.get(handle.key() as usize)?;
+        if slot.generation != handle.generation() || slot.pos == VACANT {
+            return None;
+        }
+        Some(slot.pos as usize)
+    }
+
+    /// Removes and returns the entry at heap position `pos`, freeing its slot
+    /// and restoring the heap invariant.
+    #[inline]
+    fn remove_at(&mut self, pos: usize) -> Entry<E> {
+        let last = self.heap.len() - 1;
+        if pos != last {
+            self.heap.swap(pos, last);
+        }
+        let entry = self.heap.pop().expect("pos < len implies non-empty");
+        let slot = &mut self.slots[entry.key as usize];
+        slot.pos = VACANT;
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(entry.key);
+        if pos < self.heap.len() {
+            // The displaced tail entry may belong above or below `pos`.
+            let settled = self.sift_down(pos);
+            self.sift_up(settled);
+        }
+        entry
+    }
+
+    /// Moves the entry at `pos` up until its parent is not after it; returns
+    /// its final position. Requires `pos < self.heap.len()`.
+    ///
+    /// Only the entries displaced downwards get their slot updated per level;
+    /// the moving entry's slot is written once at its final position.
+    fn sift_up(&mut self, mut pos: usize) -> usize {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if !self.heap[pos].before(&self.heap[parent]) {
+                break;
+            }
+            self.heap.swap(pos, parent);
+            self.slots[self.heap[pos].key as usize].pos = pos as u32;
+            pos = parent;
+        }
+        self.slots[self.heap[pos].key as usize].pos = pos as u32;
+        pos
+    }
+
+    /// Moves the entry at `pos` down below any earlier child; returns its
+    /// final position. Requires `pos < self.heap.len()`.
+    fn sift_down(&mut self, mut pos: usize) -> usize {
+        let len = self.heap.len();
+        loop {
+            let left = 2 * pos + 1;
+            if left >= len {
+                break;
+            }
+            let right = left + 1;
+            let child = if right < len && self.heap[right].before(&self.heap[left]) {
+                right
+            } else {
+                left
+            };
+            if !self.heap[child].before(&self.heap[pos]) {
+                break;
+            }
+            self.heap.swap(pos, child);
+            self.slots[self.heap[pos].key as usize].pos = pos as u32;
+            pos = child;
+        }
+        self.slots[self.heap[pos].key as usize].pos = pos as u32;
+        pos
     }
 }
 
@@ -191,12 +375,13 @@ mod tests {
     }
 
     #[test]
-    fn peek_time_skips_cancelled() {
+    fn peek_time_is_borrow_only_and_live() {
         let mut q = EventQueue::new();
         let h = q.push(SimTime::from_secs(1.0), "x");
         q.push(SimTime::from_secs(4.0), "y");
         q.cancel(h);
-        assert_eq!(q.peek_time(), Some(SimTime::from_secs(4.0)));
+        let shared: &EventQueue<&str> = &q;
+        assert_eq!(shared.peek_time(), Some(SimTime::from_secs(4.0)));
     }
 
     #[test]
@@ -213,18 +398,103 @@ mod tests {
     }
 
     #[test]
-    fn clear_empties_queue() {
+    fn clear_empties_queue_and_invalidates_handles() {
         let mut q = EventQueue::new();
-        q.push(SimTime::ZERO, 1);
+        let h = q.push(SimTime::ZERO, 1);
         q.push(SimTime::from_secs(1.0), 2);
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+        assert!(!q.cancel(h));
+        assert!(!q.reschedule(h, SimTime::from_secs(9.0)));
     }
 
     #[test]
     fn bogus_handle_rejected() {
         let mut q: EventQueue<u8> = EventQueue::new();
-        assert!(!q.cancel(EventHandle(99)));
+        assert!(!q.cancel(EventHandle::new(99, 0)));
+    }
+
+    #[test]
+    fn slot_reuse_rejects_stale_handles() {
+        let mut q = EventQueue::new();
+        let h1 = q.push(SimTime::from_secs(1.0), "a");
+        q.pop();
+        // The slot is reused by the next push with a bumped generation.
+        let h2 = q.push(SimTime::from_secs(2.0), "b");
+        assert_ne!(h1, h2);
+        assert!(!q.cancel(h1), "stale handle must not cancel the new event");
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(h2));
+    }
+
+    #[test]
+    fn reschedule_moves_event_both_directions() {
+        let mut q = EventQueue::new();
+        let h = q.push(SimTime::from_secs(5.0), "move");
+        q.push(SimTime::from_secs(3.0), "fixed");
+        // Decrease-key: now earliest.
+        assert!(q.reschedule(h, SimTime::from_secs(1.0)));
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1.0)));
+        // Increase-key: now latest.
+        assert!(q.reschedule(h, SimTime::from_secs(9.0)));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("fixed"));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(9.0), "move")));
+    }
+
+    #[test]
+    fn reschedule_ties_fire_after_existing_events() {
+        let mut q = EventQueue::new();
+        let h = q.push(SimTime::from_secs(1.0), "rescheduled");
+        q.push(SimTime::from_secs(5.0), "earlier-pushed");
+        // Same timestamp: the rescheduled event behaves as freshly pushed.
+        assert!(q.reschedule(h, SimTime::from_secs(5.0)));
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["earlier-pushed", "rescheduled"]);
+    }
+
+    #[test]
+    fn reschedule_after_fire_or_cancel_is_noop() {
+        let mut q = EventQueue::new();
+        let h = q.push(SimTime::from_secs(1.0), 1);
+        q.pop();
+        assert!(!q.reschedule(h, SimTime::from_secs(2.0)));
+        let h2 = q.push(SimTime::from_secs(1.0), 2);
+        q.cancel(h2);
+        assert!(!q.reschedule(h2, SimTime::from_secs(2.0)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_with_handle_matches_push_handle() {
+        let mut q = EventQueue::new();
+        let h1 = q.push(SimTime::from_secs(2.0), "b");
+        let h2 = q.push(SimTime::from_secs(1.0), "a");
+        let (t, h, payload) = q.pop_with_handle().unwrap();
+        assert_eq!((t, h, payload), (SimTime::from_secs(1.0), h2, "a"));
+        let (_, h, _) = q.pop_with_handle().unwrap();
+        assert_eq!(h, h1);
+    }
+
+    #[test]
+    fn interleaved_cancel_keeps_heap_order() {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = (0..100)
+            .map(|i| q.push(SimTime::from_secs(f64::from((i * 37) % 100)), i))
+            .collect();
+        for (i, h) in handles.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(q.cancel(*h));
+            }
+        }
+        let mut last = SimTime::ZERO;
+        let mut n = 0;
+        while let Some((t, i)) = q.pop() {
+            assert!(t >= last);
+            assert!(i % 3 != 0, "cancelled event {i} must not fire");
+            last = t;
+            n += 1;
+        }
+        assert_eq!(n, 66);
     }
 }

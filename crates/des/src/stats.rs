@@ -224,7 +224,16 @@ impl SampleSet {
         &self.samples
     }
 
-    /// Appends all samples from `other`.
+    /// Merges `other` into this set by appending its quantile buffer.
+    ///
+    /// Because the set retains every observation, the merge is *exact*: the
+    /// count is the sum of counts, and every moment and every quantile of
+    /// the merged set equals the statistic computed over the pooled
+    /// observations — there is no sketch error to track. Merging is
+    /// associative, the empty set is a neutral element, and merging the same
+    /// parts in the same order always yields bitwise-identical statistics,
+    /// which is what lets parallel Monte-Carlo replications fan out and
+    /// recombine deterministically.
     pub fn merge(&mut self, other: &SampleSet) {
         self.samples.extend_from_slice(&other.samples);
     }
@@ -469,6 +478,51 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.len(), 4);
         assert_eq!(a.mean(), 2.5);
+    }
+
+    #[test]
+    fn sampleset_merge_is_exact_for_moments_and_quantiles() {
+        // Split a skewed sample three ways; the merge of the parts must agree
+        // with the pooled set on count, moments, and every probed quantile —
+        // bitwise, not approximately.
+        let xs: Vec<f64> = (0..997).map(|i| ((i * 97) % 251) as f64 * 0.37).collect();
+        let pooled: SampleSet = xs.iter().copied().collect();
+        let mut merged = SampleSet::new();
+        for chunk in xs.chunks(310) {
+            let part: SampleSet = chunk.iter().copied().collect();
+            merged.merge(&part);
+        }
+        assert_eq!(merged.len(), pooled.len());
+        assert_eq!(merged.mean(), pooled.mean());
+        assert_eq!(merged.mean_sq(), pooled.mean_sq());
+        assert_eq!(merged.variance(), pooled.variance());
+        assert_eq!(merged.max(), pooled.max());
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.999, 1.0] {
+            assert_eq!(merged.quantile(q), pooled.quantile(q), "quantile {q}");
+        }
+    }
+
+    #[test]
+    fn sampleset_merge_empty_is_neutral_and_associative() {
+        let a: SampleSet = [5.0, 1.0, 3.0].into_iter().collect();
+        let b: SampleSet = [2.0, 4.0].into_iter().collect();
+        let c: SampleSet = [9.0].into_iter().collect();
+        // Neutral element on both sides.
+        let mut left = SampleSet::new();
+        left.merge(&a);
+        assert_eq!(left, a);
+        let mut right = a.clone();
+        right.merge(&SampleSet::new());
+        assert_eq!(right, a);
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c): same retained sequence either way.
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
     }
 
     #[test]

@@ -104,7 +104,6 @@ pub struct EvictedWork {
 
 #[derive(Debug, Clone)]
 struct RunningTask {
-    stage: usize,
     work_left: f64,
     since: SimTime,
     handle: EventHandle,
@@ -235,6 +234,12 @@ impl ClusterSim {
         self.time = now;
     }
 
+    /// Number of events pending in the engine's internal calendar.
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Dispatches `instance` with per-stage drop ratios `drops` at the current time.
     ///
     /// Stage `i` keeps its first `⌈n_i(1−drops[i])⌉` tasks; task order within an
@@ -313,7 +318,12 @@ impl ClusterSim {
     }
 
     /// Timestamp of the next internal event, if a job is running.
-    pub fn next_event_time(&mut self) -> Option<SimTime> {
+    ///
+    /// The indexed calendar never holds cancelled entries, so this is a plain
+    /// borrow (the pre-PR3 tombstoning queue needed `&mut self` to skim stale
+    /// events here).
+    #[must_use]
+    pub fn next_event_time(&self) -> Option<SimTime> {
         self.queue.peek_time()
     }
 
@@ -323,11 +333,11 @@ impl ClusterSim {
     ///
     /// Returns [`EngineError::Idle`] when no job is running.
     pub fn advance(&mut self) -> Result<EngineEvent, EngineError> {
-        let (t, ev) = self.queue.pop().ok_or(EngineError::Idle)?;
+        let (t, handle, ev) = self.queue.pop_with_handle().ok_or(EngineError::Idle)?;
         self.time = t;
         match ev {
             Internal::SerialDone => self.finish_serial(),
-            Internal::TaskDone { stage } => self.finish_task(stage),
+            Internal::TaskDone { stage } => self.finish_task(stage, handle),
         }
     }
 
@@ -354,6 +364,9 @@ impl ClusterSim {
                 }
             }
         }
+        // Cancel every pending completion of the evicted job outright: the
+        // indexed calendar removes the entries immediately rather than
+        // leaving tombstones for later pops to skip.
         self.queue.clear();
         let sprint_secs = run.sprint_secs + self.current_sprint_tail();
         if self.freq == FreqLevel::Sprint {
@@ -368,6 +381,12 @@ impl ClusterSim {
     }
 
     /// Switches the cluster frequency, rescaling all in-flight activities.
+    ///
+    /// Every in-flight activity's completion is *rescheduled* in place
+    /// (decrease/increase-key on the indexed calendar) rather than cancelled
+    /// and re-pushed; the handles stay valid and the FIFO tie-breaking is
+    /// identical to the old cancel+repush (a rescheduled event ties as if
+    /// newly pushed).
     pub fn set_frequency(&mut self, freq: FreqLevel) {
         if freq == self.freq {
             return;
@@ -394,10 +413,7 @@ impl ClusterSim {
                     run.work_done += done;
                     *work_left -= done;
                     *since = now;
-                    self.queue.cancel(*handle);
-                    *handle = self
-                        .queue
-                        .push(now + *work_left / new_speed, Internal::SerialDone);
+                    self.queue.reschedule(*handle, now + *work_left / new_speed);
                 }
                 Phase::Stage { running, .. } => {
                     for task in running.iter_mut() {
@@ -405,11 +421,8 @@ impl ClusterSim {
                         run.work_done += done;
                         task.work_left -= done;
                         task.since = now;
-                        self.queue.cancel(task.handle);
-                        task.handle = self.queue.push(
-                            now + task.work_left / new_speed,
-                            Internal::TaskDone { stage: task.stage },
-                        );
+                        self.queue
+                            .reschedule(task.handle, now + task.work_left / new_speed);
                     }
                 }
             }
@@ -469,7 +482,11 @@ impl ClusterSim {
         }
     }
 
-    fn finish_task(&mut self, stage: usize) -> Result<EngineEvent, EngineError> {
+    fn finish_task(
+        &mut self,
+        stage: usize,
+        fired: EventHandle,
+    ) -> Result<EngineEvent, EngineError> {
         let speed = self.spec.speed_at(self.freq);
         let time = self.time;
         let run = self.run.as_mut().ok_or(EngineError::Idle)?;
@@ -480,11 +497,13 @@ impl ClusterSim {
                 queue,
                 running,
             } if *idx == stage => {
-                // Remove the task whose finish time is now (work_left exhausted).
+                // Remove exactly the task whose completion event fired,
+                // matched by handle (the pre-PR3 engine matched by residual
+                // work within an epsilon, which is ambiguous under ties).
                 let pos = running
                     .iter()
-                    .position(|t| (t.work_left - (time - t.since) * speed).abs() < 1e-6)
-                    .unwrap_or(0);
+                    .position(|t| t.handle == fired)
+                    .expect("fired completion matches a running task");
                 let done = running.swap_remove(pos);
                 run.work_done += done.work_left;
                 run.tasks_run += 1;
@@ -494,7 +513,6 @@ impl ClusterSim {
                         .queue
                         .push(time + work / speed, Internal::TaskDone { stage });
                     running.push(RunningTask {
-                        stage,
                         work_left: work,
                         since: time,
                         handle,
@@ -576,7 +594,6 @@ impl ClusterSim {
                 .queue
                 .push(time + work / speed, Internal::TaskDone { stage: idx });
             running.push(RunningTask {
-                stage: idx,
                 work_left: work,
                 since: time,
                 handle,

@@ -1,0 +1,174 @@
+//! Golden event trace pinning `ClusterSim` semantics across refactors.
+//!
+//! The trace below was captured from the PR 2 engine (tombstoning
+//! `BinaryHeap` event queue, cancel+repush on every DVFS switch) and every
+//! line — event times, event kinds and payloads, and the energy meter —
+//! is compared *textually at full float precision*, so the indexed-calendar
+//! engine must reproduce the old behaviour bit for bit. Same discipline as
+//! `stochastic/tests/golden_streams.rs`.
+//!
+//! The scenario deliberately crosses every rescheduling path: variable task
+//! times (out-of-order completions), a mid-stage sprint and a later return
+//! to base frequency (in-flight work rescaling), an eviction mid-wave
+//! (outright cancellation of all pending completions), and a second job
+//! driven to completion while sprinting.
+//!
+//! To re-capture after an *intentional* semantic change, run
+//! `DIAS_GOLDEN_PRINT=1 cargo test -p dias-engine --test golden_trace -- --nocapture`
+//! and replace `EXPECTED` with the printed literals.
+
+use dias_engine::{ClusterSim, ClusterSpec, FreqLevel, JobInstance, JobSpec, StageKind, StageSpec};
+use dias_stochastic::Dist;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn variable_job(id: u64, seed: u64) -> JobInstance {
+    let spec = JobSpec::builder(id, 0)
+        .input_mb(473.0)
+        .setup(Dist::uniform(8.0, 12.0))
+        .shuffle(Dist::uniform(4.0, 6.0))
+        .stage(StageSpec::new(StageKind::Map, 23, Dist::uniform(5.0, 20.0)))
+        .stage(StageSpec::new(
+            StageKind::Reduce,
+            6,
+            Dist::uniform(3.0, 9.0),
+        ))
+        .build();
+    let mut rng = StdRng::seed_from_u64(seed);
+    JobInstance::sample(&spec, &mut rng)
+}
+
+/// Drives the scenario and renders one line per observation.
+fn drive() -> Vec<String> {
+    let mut sim = ClusterSim::new(ClusterSpec::paper_reference());
+    let mut log = Vec::new();
+    fn record(log: &mut Vec<String>, tag: &str, sim: &ClusterSim) {
+        log.push(format!(
+            "{tag} t={:?} e={:?}",
+            sim.now().as_secs(),
+            sim.energy_joules()
+        ));
+    }
+
+    sim.start_job(&variable_job(1, 11), &[0.1, 0.0]).unwrap();
+    record(&mut log, "start1", &sim);
+
+    // Advance with a sprint window [step 5, step 17) and evict at step 23.
+    for step in 0..23 {
+        if step == 5 {
+            sim.set_frequency(FreqLevel::Sprint);
+            record(&mut log, "sprint-on", &sim);
+        }
+        if step == 17 {
+            sim.set_frequency(FreqLevel::Base);
+            record(&mut log, "sprint-off", &sim);
+        }
+        let ev = sim.advance().unwrap();
+        log.push(format!("ev {:?} e={:?}", ev, sim.energy_joules()));
+    }
+    let evicted = sim.evict().unwrap();
+    log.push(format!(
+        "evicted wall={:?} work={:?} sprint={:?} e={:?}",
+        evicted.wall_secs,
+        evicted.work_secs,
+        evicted.sprint_secs,
+        sim.energy_joules()
+    ));
+
+    // Second job runs entirely at sprint frequency to completion.
+    sim.set_frequency(FreqLevel::Sprint);
+    record(&mut log, "sprint-on-2", &sim);
+    sim.start_job(&variable_job(2, 12), &[0.0, 0.5]).unwrap();
+    record(&mut log, "start2", &sim);
+    loop {
+        let ev = sim.advance().unwrap();
+        let done = matches!(ev, dias_engine::EngineEvent::JobFinished { .. });
+        log.push(format!("ev {:?} e={:?}", ev, sim.energy_joules()));
+        if done {
+            break;
+        }
+    }
+    record(&mut log, "end", &sim);
+    log
+}
+
+#[test]
+fn cluster_sim_trace_is_bit_identical_to_pr2_engine() {
+    let lines = drive();
+    if std::env::var("DIAS_GOLDEN_PRINT").is_ok() {
+        for l in &lines {
+            println!("    {l:?},");
+        }
+    }
+    assert_eq!(
+        lines.len(),
+        EXPECTED.len(),
+        "trace length changed: got {} lines, expected {}",
+        lines.len(),
+        EXPECTED.len()
+    );
+    for (i, (got, want)) in lines.iter().zip(EXPECTED).enumerate() {
+        assert_eq!(got, want, "trace diverges at line {i}");
+    }
+}
+
+const EXPECTED: &[&str] = &[
+    "start1 t=0.0 e=0.0",
+    "ev SetupFinished { job: JobId(1) } e=7979.111051788222",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 20 } e=18331.65138614626",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 19 } e=20717.865523930177",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 18 } e=21431.075554743995",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 17 } e=23404.666133020724",
+    "sprint-on t=17.081123595311826 e=23404.666133020724",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 16 } e=23634.30696270637",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 15 } e=23804.955289176978",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 14 } e=25054.086543499106",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 13 } e=26425.976342565995",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 12 } e=26543.971044116435",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 11 } e=27274.07162728742",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 10 } e=28139.834770816113",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 9 } e=28720.96032684103",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 8 } e=28933.084432487874",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 7 } e=29184.73287344183",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 6 } e=29467.75593501705",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 5 } e=29817.06510530748",
+    "sprint-off t=20.352465384469273 e=29817.06510530748",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 4 } e=30459.69384816355",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 3 } e=30686.68340530325",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 2 } e=30707.119193212682",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 1 } e=31396.766212142593",
+    "ev StageFinished { job: JobId(1), stage: 0 } e=31600.11026436263",
+    "ev ShuffleFinished { job: JobId(1), next_stage: 1 } e=36788.64077867759",
+    "evicted wall=27.55591169459153 work=285.6748465345884 sprint=3.2713417891574466 e=36788.64077867759",
+    "sprint-on-2 t=27.55591169459153 e=36788.64077867759",
+    "start2 t=27.55591169459153 e=36788.64077867759",
+    "ev SetupFinished { job: JobId(2) } e=41108.965405297284",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 22 } e=46830.318249192685",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 21 } e=47044.33694837683",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 20 } e=47494.179097094086",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 19 } e=48222.44892487449",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 18 } e=48909.798797554766",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 17 } e=49392.798541134776",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 16 } e=49652.023995874304",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 15 } e=52052.514758208985",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 14 } e=52418.94670777875",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 13 } e=52770.63390414031",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 12 } e=53168.70076801987",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 11 } e=53684.93215255015",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 10 } e=53969.12004163696",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 9 } e=54008.0644328488",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 8 } e=54404.202127342876",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 7 } e=54770.87616721479",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 6 } e=55772.207526872604",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 5 } e=56426.992603785875",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 4 } e=57077.93465040494",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 3 } e=57087.86041353559",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 2 } e=57721.53465310252",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 1 } e=59658.19296851458",
+    "ev StageFinished { job: JobId(2), stage: 0 } e=59733.329199763066",
+    "ev ShuffleFinished { job: JobId(2), next_stage: 1 } e=61821.288749086816",
+    "ev TaskFinished { job: JobId(2), stage: 1, tasks_left: 2 } e=63590.50198765181",
+    "ev TaskFinished { job: JobId(2), stage: 1, tasks_left: 1 } e=63689.52547741921",
+    "ev JobFinished { job: JobId(2), metrics: JobRunMetrics { execution_secs: 17.737863164511275, work_secs: 304.35586269874386, sprint_secs: 17.737863164511275, tasks_run: 26, tasks_dropped: 3 } } e=63709.52868389253",
+    "end t=45.293774859102804 e=63709.52868389253",
+];

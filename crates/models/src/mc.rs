@@ -1,16 +1,28 @@
-//! Monte-Carlo evaluation of the MMAP[K]/PH[K]/1 priority queue.
+//! Monte-Carlo evaluation of the MMAP[K]/PH[K]/c priority queue.
 //!
 //! The paper uses Horváth's matrix-analytic method to obtain per-class response-time
 //! *distributions*. This module evaluates exactly the same stochastic model —
-//! marked arrivals, PH service per class, single server, priority scheduling —
-//! numerically: it simulates the queue (not the cluster) and reports per-class
-//! response/waiting sample sets from which any percentile follows. Means are
-//! cross-checked against the exact formulas in [`crate::priority`] in the tests.
+//! marked arrivals, PH service per class, priority scheduling — numerically: it
+//! simulates the queue (not the cluster) and reports per-class response/waiting
+//! sample sets from which any percentile follows. Means are cross-checked against
+//! the exact formulas in [`crate::priority`] in the tests.
 //!
-//! Beyond the disciplines the exact formulas cover, the evaluator also supports
-//! *preemptive-repeat* — eviction that re-executes jobs from scratch, the behaviour
-//! production preemption actually exhibits and the source of the paper's "resource
-//! waste" metric.
+//! Beyond the paper's single-server validation, the evaluator generalizes along
+//! two axes:
+//!
+//! * **`servers`** — an M/PH[K]/c configuration sharing one central calendar
+//!   (the [`dias_des::EventQueue`] the engine runs on): completions are truly
+//!   cancellable events, so eviction under preemption cancels the victim's
+//!   completion outright instead of tracking a hand-rolled scalar.
+//! * **replications** — [`McQueue::replicas`] splits one run's job budget into
+//!   independently seeded sub-runs whose [`McResult`]s merge exactly
+//!   ([`McResult::merge`]), the building block
+//!   [`dias_core::sweep::run_mc_replicated`] fans across cores
+//!   deterministically.
+//!
+//! The evaluator also supports *preemptive-repeat* — eviction that re-executes
+//! jobs from scratch, the behaviour production preemption actually exhibits and
+//! the source of the paper's "resource waste" metric.
 
 use std::collections::VecDeque;
 
@@ -18,7 +30,7 @@ use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
 use dias_des::stats::SampleSet;
-use dias_des::SeedSequence;
+use dias_des::{EventHandle, EventQueue, SeedSequence, SimTime};
 use dias_stochastic::{MarkedPoisson, Ph, PhSampler};
 
 use crate::sprint::SprintEffect;
@@ -60,6 +72,9 @@ pub struct McQueue {
     pub sprint: Vec<Option<SprintEffect>>,
     /// Scheduling discipline.
     pub discipline: Discipline,
+    /// Number of parallel servers (`c` of M/PH[K]/c). The paper validates at
+    /// `1`; larger values open multi-server scenarios.
+    pub servers: usize,
     /// Number of completed jobs to record after warm-up.
     pub jobs: usize,
     /// Completed jobs discarded before recording statistics.
@@ -80,8 +95,18 @@ pub struct McResult {
     pub execution: Vec<SampleSet>,
     /// Fraction of delivered service time that was wasted on evicted attempts.
     pub waste_fraction: f64,
-    /// Server busy fraction over the run horizon.
+    /// Busy fraction of the server pool over the run horizon.
     pub utilization: f64,
+    /// Service seconds delivered (the denominator of `waste_fraction`), kept
+    /// so merges can reweight exactly.
+    pub delivered_secs: f64,
+    /// Service seconds destroyed by evictions.
+    pub wasted_secs: f64,
+    /// Server-seconds spent busy across the pool.
+    pub busy_secs: f64,
+    /// Server-seconds available over the horizon (`horizon × servers`), the
+    /// denominator of `utilization`.
+    pub capacity_secs: f64,
 }
 
 impl McResult {
@@ -104,6 +129,58 @@ impl McResult {
     pub fn p95_response(&self, k: usize) -> f64 {
         self.response[k].p95()
     }
+
+    /// Merges another run's outcomes into this one *exactly*: per-class
+    /// sample buffers concatenate (so counts, moments and quantiles of the
+    /// merge equal those of the pooled samples), and the ratio metrics are
+    /// recomputed from the summed second-level totals rather than averaged.
+    ///
+    /// Merging is associative and, applied in replica index order, the basis
+    /// of the deterministic parallel replication in
+    /// `dias_core::sweep::run_mc_replicated`. An empty (default) result is a
+    /// neutral element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both results are non-empty with different class counts.
+    pub fn merge(&mut self, other: &McResult) {
+        if other.response.is_empty() && other.capacity_secs == 0.0 {
+            return;
+        }
+        if self.response.is_empty() {
+            self.response = vec![SampleSet::new(); other.response.len()];
+            self.waiting = vec![SampleSet::new(); other.waiting.len()];
+            self.execution = vec![SampleSet::new(); other.execution.len()];
+        }
+        assert_eq!(
+            self.response.len(),
+            other.response.len(),
+            "cannot merge results with different class counts"
+        );
+        for (mine, theirs) in self.response.iter_mut().zip(&other.response) {
+            mine.merge(theirs);
+        }
+        for (mine, theirs) in self.waiting.iter_mut().zip(&other.waiting) {
+            mine.merge(theirs);
+        }
+        for (mine, theirs) in self.execution.iter_mut().zip(&other.execution) {
+            mine.merge(theirs);
+        }
+        self.delivered_secs += other.delivered_secs;
+        self.wasted_secs += other.wasted_secs;
+        self.busy_secs += other.busy_secs;
+        self.capacity_secs += other.capacity_secs;
+        self.waste_fraction = if self.delivered_secs > 0.0 {
+            self.wasted_secs / self.delivered_secs
+        } else {
+            0.0
+        };
+        self.utilization = if self.capacity_secs > 0.0 {
+            self.busy_secs / self.capacity_secs
+        } else {
+            0.0
+        };
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -116,17 +193,35 @@ struct Job {
     remaining: f64,
 }
 
+/// A job occupying one server, with the calendar handle of its completion so
+/// eviction can cancel it outright.
+#[derive(Debug)]
+struct InService {
+    job: Job,
+    started: f64,
+    completion: EventHandle,
+}
+
+/// Seats `job` on server `s` at time `now`: schedules its completion on the
+/// shared calendar and records the in-service state. The single definition of
+/// "service starts" used by the idle-server, eviction, and completion paths.
+fn seat(
+    calendar: &mut EventQueue<u32>,
+    servers: &mut [Option<InService>],
+    s: usize,
+    job: Job,
+    now: f64,
+) {
+    let completion = calendar.push(SimTime::from_secs(now + job.remaining), s as u32);
+    servers[s] = Some(InService {
+        job,
+        started: now,
+        completion,
+    });
+}
+
 impl McQueue {
-    /// Runs the simulation.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ModelError::BadParameter`] if the class counts of `arrivals`,
-    /// `service` and `sprint` disagree or `jobs == 0`. An unstable configuration is
-    /// not an error — the run simply reports very large responses — but
-    /// [`ModelError::Unstable`] is returned when a *repeat* discipline is driven at
-    /// base utilization ≥ 1, where the simulation could not terminate.
-    pub fn run(&self) -> Result<McResult, ModelError> {
+    fn validate(&self) -> Result<(), ModelError> {
         let k = self.arrivals.classes();
         if self.service.len() != k || self.sprint.len() != k {
             return Err(ModelError::BadParameter(format!(
@@ -139,28 +234,95 @@ impl McQueue {
         if self.jobs == 0 {
             return Err(ModelError::BadParameter("jobs must be positive".into()));
         }
+        if self.servers == 0 {
+            return Err(ModelError::BadParameter("need at least one server".into()));
+        }
         let rho: f64 = (0..k)
             .map(|c| self.arrivals.rates()[c] * self.service[c].mean())
             .sum();
-        if rho >= 1.0 && self.discipline.is_preemptive() {
+        if rho >= self.servers as f64 && self.discipline.is_preemptive() {
             return Err(ModelError::Unstable { utilization: rho });
         }
+        Ok(())
+    }
+
+    /// Splits this run's job budget into `n` independently seeded sub-runs.
+    ///
+    /// Replica `i` measures `jobs/n` jobs (the first `jobs % n` replicas one
+    /// more) under master seed `SeedSequence::new(seed).child(i)` — the same
+    /// derivation as `dias_core::sweep::replica_seeds`, so sweeps and direct
+    /// callers agree on which streams replica `i` draws. Each replica keeps
+    /// the full warm-up window (every sub-run must reach steady state on its
+    /// own). Replicas that would measure zero jobs are dropped.
+    ///
+    /// Merging the replicas' results in index order with [`McResult::merge`]
+    /// is exact and independent of how the sub-runs were scheduled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadParameter`] when `n == 0`, and propagates
+    /// this configuration's own validation errors.
+    pub fn replicas(&self, n: usize) -> Result<Vec<McQueue>, ModelError> {
+        if n == 0 {
+            return Err(ModelError::BadParameter(
+                "need at least one replication".into(),
+            ));
+        }
+        self.validate()?;
+        let seq = SeedSequence::new(self.seed);
+        Ok((0..n)
+            .map(|i| {
+                let jobs = self.jobs / n + usize::from(i < self.jobs % n);
+                let mut sub = self.clone();
+                sub.jobs = jobs;
+                sub.seed = seq.child(i as u64).master();
+                sub
+            })
+            .filter(|sub| sub.jobs > 0)
+            .collect())
+    }
+
+    /// Runs the simulation.
+    ///
+    /// All completion events live on a shared [`EventQueue`] calendar — the
+    /// same indexed structure the cluster engine runs on — so an eviction
+    /// cancels the victim's completion in O(log c) instead of tracking a
+    /// hand-rolled "next completion" scalar, and any number of servers race
+    /// arrivals through one code path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadParameter`] if the class counts of `arrivals`,
+    /// `service` and `sprint` disagree, `jobs == 0`, or `servers == 0`. An
+    /// unstable configuration is not an error — the run simply reports very
+    /// large responses — but [`ModelError::Unstable`] is returned when a
+    /// preemptive discipline is driven at base utilization ≥ `servers`, where
+    /// the simulation could not terminate.
+    pub fn run(&self) -> Result<McResult, ModelError> {
+        self.validate()?;
+        let k = self.arrivals.classes();
 
         let seeds = SeedSequence::new(self.seed);
         let mut arr_rng: StdRng = seeds.stream("mc/arrivals");
         let mut svc_rng: StdRng = seeds.stream("mc/service");
 
-        // Cached samplers: each draw is allocation-free and the streams are
-        // bit-identical to sampling `Ph` / `MarkedPoisson` directly.
+        // Cached samplers; service uses the distribution-exact fast path
+        // (Erlang chains collapse to one `ln` per draw).
         let samplers: Vec<&PhSampler> = self.service.iter().map(Ph::sampler).collect();
         let arrival_sampler = self.arrivals.sampler();
+        let draw_service = |class: usize, svc_rng: &mut StdRng| -> f64 {
+            let base = samplers[class].sample_fast(svc_rng);
+            match &self.sprint[class] {
+                Some(e) => e.apply(base),
+                None => base,
+            }
+        };
 
         let mut queues: Vec<VecDeque<Job>> = (0..k).map(|_| VecDeque::with_capacity(64)).collect();
-        let mut in_service: Option<Job> = None;
-        let mut service_started = 0.0f64;
-        // Completion time of the running job; +∞ while the server is idle, so
-        // the event race below is a single float compare.
-        let mut next_completion = f64::INFINITY;
+        // One slot per server plus the shared completion calendar. Payloads
+        // are server indices; `calendar.peek_time()` drives the event race.
+        let mut servers: Vec<Option<InService>> = (0..self.servers).map(|_| None).collect();
+        let mut calendar: EventQueue<u32> = EventQueue::with_capacity(self.servers);
 
         let mut now = 0.0f64;
         let mut next_arrival = arrival_sampler.sample_next(&mut arr_rng, now);
@@ -185,14 +347,11 @@ impl McQueue {
 
         let target = self.warmup + self.jobs;
         while completed < target {
+            let next_completion = calendar.peek_time().map_or(f64::INFINITY, SimTime::as_secs);
             if next_arrival.time < next_completion {
                 now = next_arrival.time;
                 let class = next_arrival.class;
-                let base = samplers[class].sample(&mut svc_rng);
-                let total = match &self.sprint[class] {
-                    Some(e) => e.apply(base),
-                    None => base,
-                };
+                let total = draw_service(class, &mut svc_rng);
                 let job = Job {
                     class,
                     arrived: now,
@@ -201,77 +360,100 @@ impl McQueue {
                 };
                 next_arrival = arrival_sampler.sample_next(&mut arr_rng, now);
 
-                match &mut in_service {
-                    None => {
-                        next_completion = now + job.remaining;
-                        in_service = Some(job);
-                        service_started = now;
-                    }
-                    Some(current) if self.discipline.is_preemptive() && class > current.class => {
-                        // Evict the running job back to the head of its buffer.
-                        let mut evicted = in_service.take().expect("checked above");
-                        let done = now - service_started;
-                        busy_time += done;
-                        delivered_time += done;
-                        match self.discipline {
-                            Discipline::PreemptiveResume => {
-                                evicted.remaining -= done;
-                            }
-                            Discipline::PreemptiveRepeatIdentical => {
-                                wasted_time += done;
-                                evicted.remaining = evicted.total;
-                            }
-                            Discipline::PreemptiveRepeatResample => {
-                                wasted_time += done;
-                                let base = samplers[evicted.class].sample(&mut svc_rng);
-                                evicted.total = match &self.sprint[evicted.class] {
-                                    Some(e) => e.apply(base),
-                                    None => base,
-                                };
-                                evicted.remaining = evicted.total;
-                            }
-                            Discipline::NonPreemptive => unreachable!("checked above"),
+                // Lowest-index idle server, else (under preemption) the
+                // server running the lowest-priority job strictly below the
+                // arrival's class — lowest index among ties, so placement is
+                // deterministic.
+                let idle = servers.iter().position(Option::is_none);
+                let victim = if idle.is_none() && self.discipline.is_preemptive() {
+                    let (pos, lowest) = servers
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| {
+                            let s = s.as_ref().expect("no idle server in this branch");
+                            (i, s.job.class)
+                        })
+                        .min_by_key(|&(i, class)| (class, i))
+                        .expect("at least one server");
+                    (lowest < class).then_some(pos)
+                } else {
+                    None
+                };
+
+                if let Some(s) = idle {
+                    seat(&mut calendar, &mut servers, s, job, now);
+                } else if let Some(s) = victim {
+                    // Evict: cancel the victim's completion outright and put
+                    // it back at the head of its class buffer.
+                    let outgoing = servers[s].take().expect("victim server is busy");
+                    calendar.cancel(outgoing.completion);
+                    let mut evicted = outgoing.job;
+                    let done = now - outgoing.started;
+                    busy_time += done;
+                    delivered_time += done;
+                    match self.discipline {
+                        Discipline::PreemptiveResume => {
+                            evicted.remaining -= done;
                         }
-                        queues[evicted.class].push_front(evicted);
-                        next_completion = now + job.remaining;
-                        in_service = Some(job);
-                        service_started = now;
+                        Discipline::PreemptiveRepeatIdentical => {
+                            wasted_time += done;
+                            evicted.remaining = evicted.total;
+                        }
+                        Discipline::PreemptiveRepeatResample => {
+                            wasted_time += done;
+                            evicted.total = draw_service(evicted.class, &mut svc_rng);
+                            evicted.remaining = evicted.total;
+                        }
+                        Discipline::NonPreemptive => unreachable!("victims need preemption"),
                     }
-                    Some(_) => queues[class].push_back(job),
+                    queues[evicted.class].push_front(evicted);
+                    seat(&mut calendar, &mut servers, s, job, now);
+                } else {
+                    queues[class].push_back(job);
                 }
             } else {
-                // Completion.
-                now = next_completion;
-                let job = in_service.take().expect("branch requires a running job");
-                let done = now - service_started;
+                // Completion on server `s`.
+                let (t, s) = calendar.pop().expect("completion precedes next arrival");
+                now = t.as_secs();
+                let s = s as usize;
+                let finished = servers[s]
+                    .take()
+                    .expect("completion fired on a busy server");
+                let done = now - finished.started;
                 busy_time += done;
                 delivered_time += done;
                 completed += 1;
                 if completed > self.warmup {
+                    let job = &finished.job;
                     let response = now - job.arrived;
                     result.response[job.class].push(response);
                     result.execution[job.class].push(job.total);
                     result.waiting[job.class].push((response - job.total).max(0.0));
                 }
                 // Next job: head of the highest-priority non-empty buffer.
-                next_completion = f64::INFINITY;
                 for q in queues.iter_mut().rev() {
                     if let Some(next) = q.pop_front() {
-                        next_completion = now + next.remaining;
-                        in_service = Some(next);
-                        service_started = now;
+                        seat(&mut calendar, &mut servers, s, next, now);
                         break;
                     }
                 }
             }
         }
 
+        result.delivered_secs = delivered_time;
+        result.wasted_secs = wasted_time;
+        result.busy_secs = busy_time;
+        result.capacity_secs = now * self.servers as f64;
         result.waste_fraction = if delivered_time > 0.0 {
             wasted_time / delivered_time
         } else {
             0.0
         };
-        result.utilization = if now > 0.0 { busy_time / now } else { 0.0 };
+        result.utilization = if result.capacity_secs > 0.0 {
+            busy_time / result.capacity_secs
+        } else {
+            0.0
+        };
         Ok(result)
     }
 }
@@ -290,6 +472,7 @@ mod tests {
             ],
             sprint: vec![None, None],
             discipline,
+            servers: 1,
             jobs: 60_000,
             warmup: 5_000,
             seed: 42,
@@ -412,6 +595,204 @@ mod tests {
         let mut q = two_class_queue(Discipline::NonPreemptive);
         q.jobs = 0;
         assert!(q.run().is_err());
+        let mut q = two_class_queue(Discipline::NonPreemptive);
+        q.servers = 0;
+        assert!(q.run().is_err());
+        assert!(q.replicas(0).is_err());
+    }
+
+    /// Exact M/M/c mean response via the Erlang-C formula.
+    fn mmc_mean_response(lambda: f64, mu: f64, c: usize) -> f64 {
+        let a = lambda / mu;
+        let rho = a / c as f64;
+        assert!(rho < 1.0, "stable configurations only");
+        let factorial = |n: usize| (1..=n).map(|i| i as f64).product::<f64>();
+        let tail = a.powi(c as i32) / (factorial(c) * (1.0 - rho));
+        let head: f64 = (0..c).map(|k| a.powi(k as i32) / factorial(k)).sum();
+        let p_wait = tail / (head + tail);
+        p_wait / (c as f64 * mu - lambda) + 1.0 / mu
+    }
+
+    #[test]
+    fn two_servers_match_erlang_c() {
+        // Single class M/M/2 at rho = 0.75 per server: the multi-server
+        // calendar must reproduce the closed form within Monte-Carlo noise.
+        let q = McQueue {
+            arrivals: MarkedPoisson::new(vec![1.5]).unwrap(),
+            service: vec![Ph::exponential(1.0).unwrap()],
+            sprint: vec![None],
+            discipline: Discipline::NonPreemptive,
+            servers: 2,
+            jobs: 80_000,
+            warmup: 8_000,
+            seed: 17,
+        };
+        let result = q.run().unwrap();
+        let exact = mmc_mean_response(1.5, 1.0, 2);
+        let rel = (result.mean_response(0) - exact).abs() / exact;
+        assert!(
+            rel < 0.05,
+            "M/M/2: MC {} vs Erlang-C {exact}",
+            result.mean_response(0)
+        );
+        // Pool utilization = a / c.
+        assert!((result.utilization - 0.75).abs() < 0.03);
+    }
+
+    #[test]
+    fn single_server_special_case_matches_mm1() {
+        // The c = 1 instance of the same formula is the M/M/1 sanity check
+        // required of the `servers` knob.
+        let q = McQueue {
+            arrivals: MarkedPoisson::new(vec![0.6]).unwrap(),
+            service: vec![Ph::exponential(1.0).unwrap()],
+            sprint: vec![None],
+            discipline: Discipline::NonPreemptive,
+            servers: 1,
+            jobs: 80_000,
+            warmup: 8_000,
+            seed: 29,
+        };
+        let result = q.run().unwrap();
+        let exact = mmc_mean_response(0.6, 1.0, 1); // = 1/(mu - lambda) = 2.5
+        assert!((exact - 2.5).abs() < 1e-12);
+        let rel = (result.mean_response(0) - exact).abs() / exact;
+        assert!(
+            rel < 0.05,
+            "M/M/1: MC {} vs {exact}",
+            result.mean_response(0)
+        );
+    }
+
+    #[test]
+    fn pooled_servers_beat_split_queues() {
+        // Classic pooling gain: M/M/2 at the same per-server load has a
+        // shorter mean response than M/M/1.
+        let one = mmc_mean_response(0.75, 1.0, 1);
+        let q2 = McQueue {
+            arrivals: MarkedPoisson::new(vec![1.5]).unwrap(),
+            service: vec![Ph::exponential(1.0).unwrap()],
+            sprint: vec![None],
+            discipline: Discipline::NonPreemptive,
+            servers: 2,
+            jobs: 60_000,
+            warmup: 6_000,
+            seed: 31,
+        };
+        assert!(q2.run().unwrap().mean_response(0) < one);
+    }
+
+    #[test]
+    fn preemption_on_two_servers_shields_high_class() {
+        // With two servers the high class should see almost no queueing at
+        // this load, and the low class must still be the one paying.
+        let q = |discipline| McQueue {
+            arrivals: MarkedPoisson::new(vec![0.5, 0.1]).unwrap(),
+            service: vec![Ph::erlang(2, 1.0).unwrap(), Ph::exponential(1.0).unwrap()],
+            sprint: vec![None, None],
+            discipline,
+            servers: 2,
+            jobs: 40_000,
+            warmup: 4_000,
+            seed: 37,
+        };
+        let np = q(Discipline::NonPreemptive).run().unwrap();
+        let p = q(Discipline::PreemptiveRepeatIdentical).run().unwrap();
+        assert!(p.mean_response(1) <= np.mean_response(1) + 1e-9);
+        assert!(p.waste_fraction >= 0.0);
+        assert!(p.mean_response(0) > p.mean_response(1));
+    }
+
+    #[test]
+    fn merge_is_exact_pooling() {
+        let a = two_class_queue(Discipline::PreemptiveRepeatIdentical);
+        let mut b = two_class_queue(Discipline::PreemptiveRepeatIdentical);
+        b.seed = 43;
+        b.jobs = 30_000;
+        let ra = a.run().unwrap();
+        let rb = b.run().unwrap();
+        let mut merged = ra.clone();
+        merged.merge(&rb);
+        for kls in 0..2 {
+            // Counts and samples concatenate...
+            assert_eq!(
+                merged.response[kls].len(),
+                ra.response[kls].len() + rb.response[kls].len()
+            );
+            // ...so moments and quantiles equal those of the pooled samples.
+            let pooled: SampleSet = ra.response[kls]
+                .samples()
+                .iter()
+                .chain(rb.response[kls].samples())
+                .copied()
+                .collect();
+            assert_eq!(merged.response[kls].mean(), pooled.mean());
+            assert_eq!(merged.response[kls].p95(), pooled.p95());
+        }
+        // Ratio metrics reweight by the summed totals, not an average of
+        // ratios.
+        let expect_waste =
+            (ra.wasted_secs + rb.wasted_secs) / (ra.delivered_secs + rb.delivered_secs);
+        assert!((merged.waste_fraction - expect_waste).abs() < 1e-15);
+        let expect_util = (ra.busy_secs + rb.busy_secs) / (ra.capacity_secs + rb.capacity_secs);
+        assert!((merged.utilization - expect_util).abs() < 1e-15);
+        // The empty result is a neutral element on either side.
+        let mut from_empty = McResult::default();
+        from_empty.merge(&ra);
+        assert_eq!(from_empty.response[0].mean(), ra.response[0].mean());
+        let mut into_empty = ra.clone();
+        into_empty.merge(&McResult::default());
+        assert_eq!(into_empty.response[0].mean(), ra.response[0].mean());
+    }
+
+    #[test]
+    fn replicas_partition_the_job_budget() {
+        let mut q = two_class_queue(Discipline::NonPreemptive);
+        q.jobs = 10_001;
+        let subs = q.replicas(4).unwrap();
+        assert_eq!(subs.len(), 4);
+        assert_eq!(subs.iter().map(|s| s.jobs).sum::<usize>(), 10_001);
+        assert_eq!(subs[0].jobs, 2501);
+        let mut seeds: Vec<u64> = subs.iter().map(|s| s.seed).collect();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 4, "replica seeds must be distinct");
+        // Replication is reproducible: same split, same seeds, every time.
+        assert_eq!(
+            q.replicas(4)
+                .unwrap()
+                .iter()
+                .map(|s| s.seed)
+                .collect::<Vec<_>>(),
+            subs.iter().map(|s| s.seed).collect::<Vec<_>>()
+        );
+        // More replicas than jobs: zero-job tails are dropped.
+        q.jobs = 3;
+        assert_eq!(q.replicas(8).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn replicated_run_estimates_the_same_system() {
+        // Merging replica results must estimate the same steady state as one
+        // long run (it is not bit-identical — streams differ — but the means
+        // must agree within Monte-Carlo error).
+        let mut q = two_class_queue(Discipline::NonPreemptive);
+        q.jobs = 40_000;
+        let whole = q.run().unwrap();
+        let mut merged = McResult::default();
+        for sub in q.replicas(4).unwrap() {
+            merged.merge(&sub.run().unwrap());
+        }
+        assert_eq!(merged.response[0].len() + merged.response[1].len(), 40_000);
+        for kls in 0..2 {
+            let rel = (merged.mean_response(kls) - whole.mean_response(kls)).abs()
+                / whole.mean_response(kls);
+            assert!(
+                rel < 0.08,
+                "class {kls}: merged {} vs whole {}",
+                merged.mean_response(kls),
+                whole.mean_response(kls)
+            );
+        }
     }
 
     #[test]

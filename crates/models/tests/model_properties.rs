@@ -101,6 +101,7 @@ fn mc_queue_matches_cobham_within_noise() {
         service: vec![Ph::erlang(2, 1.6).unwrap(), Ph::exponential(1.2).unwrap()],
         sprint: vec![None, None],
         discipline: Discipline::NonPreemptive,
+        servers: 1,
         jobs: 80_000,
         warmup: 8_000,
         seed: 5,
@@ -131,6 +132,7 @@ fn preemption_disciplines_order_low_class_pain() {
         service: vec![Ph::erlang(3, 1.5).unwrap(), Ph::exponential(1.0).unwrap()],
         sprint: vec![None, None],
         discipline,
+        servers: 1,
         jobs: 60_000,
         warmup: 6_000,
         seed: 11,

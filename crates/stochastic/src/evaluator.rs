@@ -318,6 +318,10 @@ pub struct PhSampler {
     /// Concatenated per-phase transition entries `(next phase, rate)`,
     /// excluding exact zeros (skipping them is a floating-point no-op).
     trans: Vec<(u32, f64)>,
+    /// `Some((k, rate))` when the chain is a pure Erlang-`k` with sojourn
+    /// `rate` per phase, enabling [`PhSampler::sample_fast`]'s
+    /// product-of-uniforms shortcut (one `ln` instead of `k`).
+    erlang: Option<(u32, f64)>,
 }
 
 /// Precomputed per-phase walk state: sojourn rate `−A[i][i]`, exit rate, and
@@ -381,10 +385,50 @@ impl PhSampler {
                 det_next,
             });
         }
+        // Pure-Erlang detection: a point-mass start, a deterministic
+        // successor chain with one common sojourn rate, and a tail phase
+        // that only exits. Then the walk's k independent exponentials can
+        // collapse into one log of a product of uniforms.
+        let erlang = 'detect: {
+            let alpha = ph.alpha();
+            let Some(start) = alpha.iter().position(|&p| p == 1.0) else {
+                break 'detect None;
+            };
+            let rate = phases[start].rate;
+            if rate <= 0.0 {
+                break 'detect None;
+            }
+            let mut i = start;
+            let mut k = 0u32;
+            loop {
+                k += 1;
+                if k as usize > n {
+                    break 'detect None; // cycle: not an Erlang chain
+                }
+                let plan = phases[i];
+                if plan.rate != rate {
+                    break 'detect None;
+                }
+                if plan.det_next != u32::MAX {
+                    i = plan.det_next as usize;
+                } else if plan.trans_start == plan.trans_end && plan.exit == rate {
+                    // Cap the order: the product of k uniforms underflows to
+                    // subnormals/zero once Σ −ln(uᵢ) nears 708, which the
+                    // clamp in `sample_fast` would turn into real truncation
+                    // bias. At k = 256 the sum sits ~28σ below 708, so the
+                    // clamp is unreachable in practice; larger chains walk
+                    // normally.
+                    break 'detect (k <= 256).then_some((k, rate));
+                } else {
+                    break 'detect None;
+                }
+            }
+        };
         PhSampler {
             cum_alpha,
             phases,
             trans,
+            erlang,
         }
     }
 
@@ -424,6 +468,68 @@ impl PhSampler {
                 // Predetermined successor: consume the transition draw to
                 // keep the stream position, skip the dead comparisons.
                 let _ = rng.gen::<f64>();
+                phase = plan.det_next as usize;
+                continue;
+            }
+            let mut u = rng.gen::<f64>() * plan.rate;
+            if u < plan.exit {
+                return time;
+            }
+            u -= plan.exit;
+            let mut next = phase;
+            for &(j, r) in &self.trans[plan.trans_start as usize..plan.trans_end as usize] {
+                if u < r {
+                    next = j as usize;
+                    break;
+                }
+                u -= r;
+            }
+            phase = next;
+        }
+    }
+
+    /// Draws a sample from the same distribution as [`PhSampler::sample`],
+    /// trading the bit-pinned stream for speed.
+    ///
+    /// Two shortcuts over the pinned walk:
+    ///
+    /// * predetermined successors skip the dead parity draw `sample` must
+    ///   spend to keep its stream position, and
+    /// * a pure Erlang-`k` chain collapses its `k` exponential sojourns into
+    ///   `−ln(u₁⋯u_k)/rate` — one `ln` instead of `k`, the dominant cost of a
+    ///   draw on a fast RNG.
+    ///
+    /// The value stream therefore *differs* from [`PhSampler::sample`] (and
+    /// advances the RNG differently); use it where only the distribution
+    /// matters, e.g. Monte-Carlo evaluators, not where golden streams are
+    /// pinned. Remains deterministic for a fixed RNG state.
+    pub fn sample_fast<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if let Some((k, rate)) = self.erlang {
+            let mut prod: f64 = rng.gen();
+            for _ in 1..k {
+                prod *= rng.gen::<f64>();
+            }
+            // A zero draw (or a vanishing product) would make ln blow up;
+            // one clamp to the smallest positive normal keeps the sample
+            // finite, exactly as `sample_exp`'s lower range bound does.
+            return -prod.max(f64::MIN_POSITIVE).ln() / rate;
+        }
+        let u: f64 = rng.gen();
+        let mut phase = usize::MAX;
+        for (i, &c) in self.cum_alpha.iter().enumerate() {
+            if u < c {
+                phase = i;
+                break;
+            }
+        }
+        if phase == usize::MAX {
+            return 0.0; // atom at zero
+        }
+        let mut time = 0.0;
+        loop {
+            let plan = self.phases[phase];
+            time += crate::sample_exp(rng, plan.rate);
+            if plan.det_next != u32::MAX {
                 phase = plan.det_next as usize;
                 continue;
             }
@@ -557,5 +663,66 @@ mod tests {
         let n = 40_000;
         let mean = (0..n).map(|_| sampler.sample(&mut rng)).sum::<f64>() / f64::from(n);
         assert_close(mean, ph.mean(), 0.03);
+    }
+
+    #[test]
+    fn erlang_product_shortcut_detected_only_for_erlang_chains() {
+        assert_eq!(
+            PhSampler::new(&Ph::erlang(3, 2.0).unwrap()).erlang,
+            Some((3, 2.0))
+        );
+        assert_eq!(
+            PhSampler::new(&Ph::exponential(0.7).unwrap()).erlang,
+            Some((1, 0.7))
+        );
+        // Distinct rates, mixtures and branching chains must walk normally.
+        assert_eq!(
+            PhSampler::new(&Ph::hyperexponential(&[0.35, 0.65], &[0.9, 4.0]).unwrap()).erlang,
+            None
+        );
+        assert_eq!(
+            PhSampler::new(&Ph::coxian(&[3.0, 1.5, 0.8], &[0.7, 0.4]).unwrap()).erlang,
+            None
+        );
+        assert_eq!(PhSampler::new(&mixture_fixture()).erlang, None);
+        // Chains long enough for the product of uniforms to risk underflow
+        // (and hence truncation bias from the ln clamp) must walk normally.
+        assert_eq!(PhSampler::new(&Ph::erlang(257, 1.0).unwrap()).erlang, None);
+        assert_eq!(
+            PhSampler::new(&Ph::erlang(256, 1.0).unwrap()).erlang,
+            Some((256, 1.0))
+        );
+    }
+
+    #[test]
+    fn sample_fast_matches_distribution() {
+        // Both the Erlang shortcut and the general parity-free walk must
+        // reproduce the first two moments of the pinned sampler.
+        for ph in [
+            Ph::erlang(3, 3.0 / 147.0).unwrap(),
+            mixture_fixture(),
+            Ph::hyperexponential(&[0.35, 0.65], &[0.9, 4.0]).unwrap(),
+        ] {
+            let sampler = PhSampler::new(&ph);
+            let mut rng = StdRng::seed_from_u64(23);
+            let n = 60_000;
+            let samples: Vec<f64> = (0..n).map(|_| sampler.sample_fast(&mut rng)).collect();
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            let var =
+                samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+            assert_close(mean / ph.mean(), 1.0, 0.02);
+            assert_close(var / ph.variance(), 1.0, 0.06);
+            assert!(samples.iter().all(|&x| x.is_finite() && x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn sample_fast_is_deterministic_for_fixed_seed() {
+        let sampler = PhSampler::new(&Ph::erlang(4, 2.5).unwrap());
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(sampler.sample_fast(&mut a), sampler.sample_fast(&mut b));
+        }
     }
 }

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the criterion micro benches, writes a fresh result file (default
-# BENCH_pr2.json at the repo root), and prints a per-benchmark delta table
+# BENCH_pr3.json at the repo root), and prints a per-benchmark delta table
 # against the committed baseline. Exits non-zero when any benchmark present
 # in the baseline regressed by more than the threshold.
 #
@@ -13,7 +13,7 @@
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-out="${1:-$repo_root/BENCH_pr2.json}"
+out="${1:-$repo_root/BENCH_pr3.json}"
 baseline="${DIAS_BENCH_BASELINE:-$repo_root/BENCH_baseline.json}"
 threshold="${DIAS_BENCH_MAX_REGRESSION:-0.25}"
 
