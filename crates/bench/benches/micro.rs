@@ -441,6 +441,99 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_multi_job(c: &mut Criterion) {
+    use dias_engine::{GangBinPack, JobSpec, PriorityPreempt, StageKind, StageSpec};
+    use dias_stochastic::Dist;
+
+    // Eight narrow jobs (5-wide gangs) for the packing bench; the same jobs
+    // alternate classes for the preemption-churn bench.
+    let mut rng: rand::rngs::StdRng = dias_des::SeedSequence::new(5).stream("bench-multi");
+    let jobs: Vec<JobInstance> = (0..8u64)
+        .map(|id| {
+            let spec = JobSpec::builder(id, (id % 2) as usize)
+                .setup(Dist::constant(2.0))
+                .shuffle(Dist::constant(1.0))
+                .stage(StageSpec::new(StageKind::Map, 5, Dist::uniform(4.0, 12.0)))
+                .stage(StageSpec::new(
+                    StageKind::Reduce,
+                    3,
+                    Dist::uniform(2.0, 5.0),
+                ))
+                .build();
+            JobInstance::sample(&spec, &mut rng)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("engine/multi_job");
+    group.sample_size(20);
+    // Gang packing: all eight jobs submitted up front, four 5-wide gangs run
+    // at a time on the 20-slot cluster, the rest queue and backfill.
+    group.bench_function("gang_8x5wide", |b| {
+        b.iter(|| {
+            let mut sim =
+                ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(GangBinPack));
+            for inst in &jobs {
+                sim.submit_job(inst, &[0.0, 0.0]).unwrap();
+            }
+            while !sim.is_idle() {
+                sim.advance().unwrap();
+            }
+            black_box(sim.now().as_secs())
+        });
+    });
+    // Cluster-wide jobs: every pair contends for all 20 slots, so each
+    // high-class arrival must evict the low-class job running before it.
+    let wide_jobs: Vec<JobInstance> = (0..8u64)
+        .map(|id| {
+            let spec = JobSpec::builder(id, (id % 2) as usize)
+                .setup(Dist::constant(2.0))
+                .shuffle(Dist::constant(1.0))
+                .stage(StageSpec::new(StageKind::Map, 20, Dist::uniform(4.0, 12.0)))
+                .stage(StageSpec::new(
+                    StageKind::Reduce,
+                    5,
+                    Dist::uniform(2.0, 5.0),
+                ))
+                .build();
+            JobInstance::sample(&spec, &mut rng)
+        })
+        .collect();
+    // Preemption churn: each odd (high-class) submission lands mid-stage of
+    // the even (low-class) job before it and evicts it through its calendar
+    // handles; victims re-queue and re-execute.
+    group.bench_function("preempt_churn", |b| {
+        b.iter(|| {
+            let mut sim = ClusterSim::with_scheduler(
+                ClusterSpec::paper_reference(),
+                Box::new(PriorityPreempt),
+            );
+            for pair in wide_jobs.chunks(2) {
+                // Low-class job takes slots, then a few events run...
+                sim.submit_job(&pair[0], &[0.0, 0.0]).unwrap();
+                for _ in 0..4 {
+                    if sim.next_event_time().is_some() {
+                        sim.advance().unwrap();
+                    }
+                }
+                // ...and the high-class job arrives wanting the same slots.
+                if pair.len() > 1 {
+                    sim.submit_job(&pair[1], &[0.0, 0.0]).unwrap();
+                }
+                for _ in 0..4 {
+                    if sim.next_event_time().is_some() {
+                        sim.advance().unwrap();
+                    }
+                }
+            }
+            while !sim.is_idle() {
+                sim.advance().unwrap();
+            }
+            black_box(sim.energy_joules())
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
@@ -452,6 +545,7 @@ criterion_group!(
     bench_mc_queue,
     bench_wave_fit,
     bench_sweep,
-    bench_engine
+    bench_engine,
+    bench_multi_job
 );
 criterion_main!(benches);

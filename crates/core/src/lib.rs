@@ -59,6 +59,7 @@
 mod buffers;
 mod experiment;
 mod metrics;
+pub mod multi;
 mod policy;
 mod sprinter;
 pub mod sweep;
@@ -66,6 +67,7 @@ pub mod sweep;
 pub use buffers::{PriorityBuffers, QueuedJob};
 pub use experiment::{Experiment, ExperimentError, JobSource, VecJobSource};
 pub use metrics::{ClassStats, ExperimentReport};
+pub use multi::{MultiClassStats, MultiJobExperiment, MultiJobReport};
 pub use policy::{ClassPolicy, Policy, Scheduling};
 pub use sprinter::{SprintBudget, SprintPolicy, Sprinter};
-pub use sweep::{run_experiments, run_parallel, ExperimentSpec};
+pub use sweep::{run_experiments, run_multi_experiments, run_parallel, ExperimentSpec};

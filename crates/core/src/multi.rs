@@ -1,0 +1,645 @@
+//! Multi-job experiments: a concurrent arrival stream driven straight into the
+//! engine's scheduler, with per-class latency, energy and approximation-loss
+//! reporting.
+//!
+//! [`Experiment`](crate::Experiment) reproduces the paper's architecture: one
+//! job at a time in the engine, queueing and preemption handled *outside* by
+//! [`PriorityBuffers`](crate::PriorityBuffers). [`MultiJobExperiment`] is the
+//! concurrent counterpart: every arrival is [`ClusterSim::submit_job`]ed
+//! immediately and the engine's [`Scheduler`] policy decides whether it runs
+//! beside the current jobs on a disjoint slot subset
+//! ([`GangBinPack`](dias_engine::GangBinPack)), waits in the engine's pending
+//! queue, or evicts lower-class jobs
+//! ([`PriorityPreempt`](dias_engine::PriorityPreempt)). The
+//! engine's per-job [`EnergyMeter`](dias_engine::EnergyMeter) attribution is
+//! harvested per completion, so the report can split the cluster's active
+//! energy by priority class — the measurement the paper's energy discussion
+//! (§5.3) needs once jobs coexist.
+
+use std::collections::HashMap;
+
+use dias_des::stats::SampleSet;
+use dias_des::SimTime;
+use dias_engine::{ClusterSim, ClusterSpec, EngineEvent, FreqLevel, JobId, Scheduler, Submission};
+use dias_models::accuracy::{AccuracyCurve, SamplingErrorModel};
+
+use crate::{ExperimentError, JobSource};
+
+/// Per-class outcomes of a [`MultiJobExperiment`].
+#[derive(Debug, Clone, Default)]
+pub struct MultiClassStats {
+    /// Completed measured jobs of the class.
+    pub completed: u64,
+    /// End-to-end response times (arrival → completion) of measured jobs.
+    pub response: SampleSet,
+    /// Queueing + re-execution times (response − final-attempt execution).
+    pub queueing: SampleSet,
+    /// Final-attempt execution times.
+    pub execution: SampleSet,
+    /// Fraction of each measured job's tasks dropped by the deflator — the
+    /// approximation the class absorbed (0 for exact classes).
+    pub drop_fraction: SampleSet,
+    /// Evictions suffered by measured jobs of this class.
+    pub evictions: u64,
+    /// Active (above-idle) energy attributed to *all* attempts of this
+    /// class's jobs over the whole run, evicted attempts included, in joules.
+    pub active_energy_joules: f64,
+    /// Busy slot-seconds attributed to the class (all attempts).
+    pub busy_slot_secs: f64,
+    /// The subset of `busy_slot_secs` spent at sprint frequency.
+    pub sprint_slot_secs: f64,
+}
+
+impl MultiClassStats {
+    /// Mean drop fraction of the class's measured jobs.
+    #[must_use]
+    pub fn mean_drop_fraction(&self) -> f64 {
+        self.drop_fraction.mean()
+    }
+
+    /// Expected relative analysis error (%) for the class's mean drop
+    /// fraction under `curve` — the approximation-loss number the paper's
+    /// Fig. 6 maps drop ratios onto.
+    #[must_use]
+    pub fn approximation_loss_pct(&self, curve: &dyn AccuracyCurve) -> f64 {
+        curve.error_at(self.mean_drop_fraction())
+    }
+}
+
+/// The full outcome of one multi-job run.
+#[derive(Debug, Clone, Default)]
+pub struct MultiJobReport {
+    /// Label of the scheduler policy that produced this report.
+    pub scheduler: String,
+    /// Per-class statistics, indexed by class (higher = higher priority).
+    pub per_class: Vec<MultiClassStats>,
+    /// Wall-clock horizon of the run in seconds.
+    pub horizon_secs: f64,
+    /// Total cluster energy over the horizon, in joules.
+    pub energy_joules: f64,
+    /// Energy a fully idle cluster would have consumed over the horizon.
+    pub idle_energy_joules: f64,
+    /// Machine-seconds of work destroyed by evictions.
+    pub wasted_work_secs: f64,
+    /// Machine-seconds of work performed (completed attempts).
+    pub total_work_secs: f64,
+    /// Evictions across the whole run.
+    pub evictions: u64,
+    /// Slot-seconds busy across all jobs and attempts.
+    pub busy_slot_secs: f64,
+    /// Average fraction of the cluster's slot capacity in use.
+    pub utilization: f64,
+}
+
+impl MultiJobReport {
+    /// Mean response time of class `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn mean_response(&self, k: usize) -> f64 {
+        self.per_class[k].response.mean()
+    }
+
+    /// 95th-percentile response time of class `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn p95_response(&self, k: usize) -> f64 {
+        self.per_class[k].response.p95()
+    }
+
+    /// Fraction of performed work destroyed by evictions.
+    #[must_use]
+    pub fn waste_fraction(&self) -> f64 {
+        let denom = self.total_work_secs + self.wasted_work_secs;
+        if denom > 0.0 {
+            self.wasted_work_secs / denom
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A configured multi-job experiment: source + engine scheduler + per-class
+/// drop ratios, measuring a fixed window of the arrival sequence.
+///
+/// # Examples
+///
+/// ```
+/// use dias_core::{MultiJobExperiment, VecJobSource};
+/// use dias_engine::{GangBinPack, JobInstance, JobSpec, StageKind, StageSpec};
+/// use dias_stochastic::Dist;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let jobs: Vec<JobInstance> = (0..40u64)
+///     .map(|i| {
+///         let spec = JobSpec::builder(i, usize::from(i % 4 == 0))
+///             .setup(Dist::constant(1.0))
+///             .stage(StageSpec::new(StageKind::Map, 8, Dist::exponential(2.0)))
+///             .build();
+///         let mut inst = JobInstance::sample(&spec, &mut rng);
+///         inst.arrival_secs = i as f64 * 2.0;
+///         inst
+///     })
+///     .collect();
+/// let report = MultiJobExperiment::new(VecJobSource::new(jobs, 2), Box::new(GangBinPack))
+///     .jobs(30)
+///     .warmup(5)
+///     .run()
+///     .unwrap();
+/// assert_eq!(report.scheduler, "GangBinPack");
+/// assert!(report.mean_response(0) > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct MultiJobExperiment<S> {
+    source: S,
+    scheduler: Box<dyn Scheduler>,
+    cluster: ClusterSpec,
+    /// Per-class drop ratio applied to droppable stages.
+    thetas: Option<Vec<f64>>,
+    sprint_top_class: bool,
+    jobs: usize,
+    warmup: Option<usize>,
+}
+
+/// Driver-side record of one submitted job.
+struct JobMeta {
+    class: usize,
+    arrival_secs: f64,
+    seq: usize,
+    evictions: u32,
+}
+
+impl<S: JobSource> MultiJobExperiment<S> {
+    /// Creates an experiment on the paper's reference cluster, measuring 1000
+    /// jobs (by arrival order) after a 10% warm-up, with no approximation and
+    /// no sprinting.
+    #[must_use]
+    pub fn new(source: S, scheduler: Box<dyn Scheduler>) -> Self {
+        MultiJobExperiment {
+            source,
+            scheduler,
+            cluster: ClusterSpec::paper_reference(),
+            thetas: None,
+            sprint_top_class: false,
+            jobs: 1000,
+            warmup: None,
+        }
+    }
+
+    /// Sets the number of measured jobs — arrivals `warmup..warmup + n`
+    /// (warm-up defaults to 10% of it unless [`MultiJobExperiment::warmup`]
+    /// set it explicitly; the two builder calls compose in any order).
+    #[must_use]
+    pub fn jobs(mut self, n: usize) -> Self {
+        self.jobs = n;
+        self
+    }
+
+    /// Overrides the warm-up: the first `n` *arrivals* are processed but not
+    /// measured.
+    #[must_use]
+    pub fn warmup(mut self, n: usize) -> Self {
+        self.warmup = Some(n);
+        self
+    }
+
+    /// Overrides the cluster specification.
+    #[must_use]
+    pub fn cluster(mut self, spec: ClusterSpec) -> Self {
+        self.cluster = spec;
+        self
+    }
+
+    /// Sets per-class drop ratios for droppable stages, indexed by class
+    /// (index 0 = lowest priority) — differential approximation across
+    /// concurrent jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any ratio is outside `[0, 1]`.
+    #[must_use]
+    pub fn drops(mut self, thetas: &[f64]) -> Self {
+        assert!(
+            thetas.iter().all(|t| (0.0..=1.0).contains(t)),
+            "drop ratios must be in [0,1]"
+        );
+        self.thetas = Some(thetas.to_vec());
+        self
+    }
+
+    /// Sprints the cluster whenever a job of the *top* priority class is
+    /// running (and drops back to base when none is) — the differential
+    /// sprinting story with concurrency: every coexisting job accelerates,
+    /// but only top-class presence triggers the boost.
+    #[must_use]
+    pub fn sprint_top_class(mut self, on: bool) -> Self {
+        self.sprint_top_class = on;
+        self
+    }
+
+    /// Runs the closed loop until the measured jobs complete (or the source
+    /// is exhausted) and reports the measurements.
+    ///
+    /// Measurement is keyed on *arrival order* exactly as in
+    /// [`Experiment::run`](crate::Experiment::run), so reports are directly
+    /// comparable across scheduler policies. Energy, waste and utilization
+    /// span the whole run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::ClassMismatch`] when the drop vector and
+    /// the source disagree on the number of classes, a wrapped engine error
+    /// if submission fails, or [`ExperimentError::Starved`] when a measured
+    /// job cannot complete under the offered load.
+    #[allow(clippy::too_many_lines)]
+    pub fn run(mut self) -> Result<MultiJobReport, ExperimentError> {
+        let classes = self.source.classes();
+        if let Some(t) = &self.thetas {
+            if t.len() != classes {
+                return Err(ExperimentError::ClassMismatch {
+                    policy: t.len(),
+                    source: classes,
+                });
+            }
+        }
+        let top_class = classes - 1;
+        let mut engine = ClusterSim::with_scheduler(self.cluster.clone(), self.scheduler);
+        let mut report = MultiJobReport {
+            scheduler: engine.scheduler_label().to_string(),
+            per_class: vec![MultiClassStats::default(); classes],
+            ..Default::default()
+        };
+
+        let mut meta: HashMap<JobId, JobMeta> = HashMap::new();
+        let mut next_arrival = self.source.next_job();
+        let warmup = self.warmup.unwrap_or(self.jobs / 10);
+        let target = warmup + self.jobs;
+        let mut arrival_seq = 0usize;
+        let mut measured_done = 0usize;
+        // Termination guard, as in `Experiment::run`: under saturating
+        // higher-class load a measured job may never complete.
+        let completion_cap = target.saturating_mul(64).saturating_add(1024);
+        let mut total_completions = 0usize;
+
+        while measured_done < self.jobs {
+            if total_completions > completion_cap {
+                return Err(ExperimentError::Starved {
+                    measured_done,
+                    target: self.jobs,
+                });
+            }
+            let engine_t = engine.next_event_time();
+            let arrival_t = next_arrival
+                .as_ref()
+                .map(|j| SimTime::from_secs(j.arrival_secs));
+            let Some(next_t) = [engine_t, arrival_t].iter().flatten().copied().min() else {
+                break; // source exhausted, engine drained
+            };
+
+            // The set of running jobs only changes on a completion (which
+            // backfills) or an arrival (which dispatches/preempts); the
+            // sprint rule below is re-evaluated only at those transitions.
+            let mut running_changed = false;
+            if engine_t == Some(next_t) {
+                if let EngineEvent::JobFinished { job, metrics } = engine.advance()? {
+                    running_changed = true;
+                    total_completions += 1;
+                    report.total_work_secs += metrics.work_secs;
+                    let m = meta.remove(&job).expect("finished job was submitted");
+                    let measured = (warmup..target).contains(&m.seq);
+                    if measured {
+                        measured_done += 1;
+                        let stats = &mut report.per_class[m.class];
+                        let response = engine.now().as_secs() - m.arrival_secs;
+                        stats.completed += 1;
+                        stats.response.push(response);
+                        stats.execution.push(metrics.execution_secs);
+                        stats
+                            .queueing
+                            .push((response - metrics.execution_secs).max(0.0));
+                        // The engine is the authority on what was dropped
+                        // (prefix-keep of ⌈n(1−θ)⌉ tasks per stage).
+                        let total_tasks = metrics.tasks_run + metrics.tasks_dropped;
+                        stats.drop_fraction.push(if total_tasks == 0 {
+                            0.0
+                        } else {
+                            metrics.tasks_dropped as f64 / total_tasks as f64
+                        });
+                        stats.evictions += u64::from(m.evictions);
+                    }
+                    harvest_energy(&mut engine, &meta, m.class, job, &mut report);
+                }
+            } else {
+                // Arrival: hand it straight to the engine's scheduler.
+                running_changed = true;
+                let instance = next_arrival.take().expect("candidate implies presence");
+                next_arrival = self.source.next_job();
+                let class = instance.class();
+                assert!(class < classes, "job class out of range");
+                let drops = drops_for(&instance, self.thetas.as_deref());
+                engine.idle_until(next_t);
+                let submission = engine.submit_job(&instance, &drops)?;
+                meta.insert(
+                    instance.spec.id,
+                    JobMeta {
+                        class,
+                        arrival_secs: instance.arrival_secs,
+                        seq: arrival_seq,
+                        evictions: 0,
+                    },
+                );
+                arrival_seq += 1;
+                // A preempting scheduler reports destroyed work whether or
+                // not the arrival was ultimately placed.
+                let evicted = match submission {
+                    Submission::Preempted { evicted, .. } | Submission::Queued { evicted } => {
+                        evicted
+                    }
+                    Submission::Dispatched { .. } => Vec::new(),
+                };
+                for (victim, lost) in evicted {
+                    report.evictions += 1;
+                    report.wasted_work_secs += lost.work_secs;
+                    if let Some(vm) = meta.get_mut(&victim) {
+                        vm.evictions += 1;
+                    }
+                    // The evicted attempt's energy ledger retired with
+                    // the eviction; attribute it now.
+                    let vclass = meta.get(&victim).map_or(0, |vm| vm.class);
+                    harvest_energy(&mut engine, &meta, vclass, victim, &mut report);
+                }
+            }
+
+            if self.sprint_top_class && running_changed {
+                let top_running = engine
+                    .running_jobs()
+                    .iter()
+                    .any(|j| meta.get(j).is_some_and(|m| m.class == top_class));
+                engine.set_frequency(if top_running {
+                    FreqLevel::Sprint
+                } else {
+                    FreqLevel::Base
+                });
+            }
+        }
+
+        // Jobs still running when the measured window closes have accrued
+        // active energy the cluster total includes; attribute their in-flight
+        // ledgers so the per-class split stays lossless: idle + Σ per-class
+        // == total. (Evicted attempts of jobs now *pending* were already
+        // drained at eviction time, so `job_energy` is None for them here.)
+        // Summation order is arrival order — a HashMap walk would randomize
+        // float rounding across identically seeded runs.
+        let mut leftover: Vec<(&JobId, &JobMeta)> = meta.iter().collect();
+        leftover.sort_by_key(|(_, m)| m.seq);
+        for (job, m) in leftover {
+            if let Some(energy) = engine.job_energy(*job) {
+                let stats = &mut report.per_class[m.class];
+                stats.active_energy_joules += energy.active_joules;
+                stats.busy_slot_secs += energy.busy_slot_secs;
+                stats.sprint_slot_secs += energy.sprint_slot_secs;
+                report.busy_slot_secs += energy.busy_slot_secs;
+            }
+        }
+
+        let horizon = engine.now().as_secs();
+        report.horizon_secs = horizon;
+        report.energy_joules = engine.energy_joules();
+        report.idle_energy_joules = self.cluster.cluster_power_w(0, FreqLevel::Base) * horizon;
+        let capacity = horizon * self.cluster.slots() as f64;
+        report.utilization = if capacity > 0.0 {
+            (report.busy_slot_secs / capacity).min(1.0)
+        } else {
+            0.0
+        };
+        Ok(report)
+    }
+}
+
+/// Per-stage drop vector for `instance` under per-class thetas (droppable
+/// stages only, as in [`Policy::drops_for`](crate::Policy::drops_for)).
+fn drops_for(instance: &dias_engine::JobInstance, thetas: Option<&[f64]>) -> Vec<f64> {
+    let theta = thetas.map_or(0.0, |t| t[instance.class()]);
+    instance
+        .spec
+        .stages
+        .iter()
+        .map(|s| if s.kind.droppable() { theta } else { 0.0 })
+        .collect()
+}
+
+/// Drains newly retired per-job energy ledgers into the per-class totals.
+///
+/// `expected_class` short-circuits the common case (the ledger just retired
+/// belongs to the job we processed); ledgers of other jobs drained in the
+/// same sweep resolve their class through `meta`.
+fn harvest_energy(
+    engine: &mut ClusterSim,
+    meta: &HashMap<JobId, JobMeta>,
+    expected_class: usize,
+    expected_job: JobId,
+    report: &mut MultiJobReport,
+) {
+    for (job, energy) in engine.meter_mut().take_finished() {
+        let class = if job == expected_job {
+            expected_class
+        } else {
+            meta.get(&job).map_or(expected_class, |m| m.class)
+        };
+        let stats = &mut report.per_class[class];
+        stats.active_energy_joules += energy.active_joules;
+        stats.busy_slot_secs += energy.busy_slot_secs;
+        stats.sprint_slot_secs += energy.sprint_slot_secs;
+        report.busy_slot_secs += energy.busy_slot_secs;
+    }
+}
+
+/// The paper's Fig. 6 sampling-error curve — the default mapping from a
+/// class's mean drop fraction to its expected relative analysis error, used
+/// by [`MultiClassStats::approximation_loss_pct`].
+#[must_use]
+pub fn default_accuracy_curve() -> SamplingErrorModel {
+    SamplingErrorModel::paper_fig6()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VecJobSource;
+    use dias_engine::{
+        Fifo, GangBinPack, JobInstance, JobSpec, PriorityPreempt, StageKind, StageSpec,
+    };
+    use dias_stochastic::Dist;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// `n` two-class jobs: every 5th is high priority, 8-task map stages.
+    fn workload(n: u64, gap: f64, map_secs: f64) -> VecJobSource {
+        let mut rng = StdRng::seed_from_u64(23);
+        let jobs = (0..n)
+            .map(|i| {
+                let class = usize::from(i % 5 == 0);
+                let spec = JobSpec::builder(i, class)
+                    .setup(Dist::constant(1.0))
+                    .stage(StageSpec::new(StageKind::Map, 8, Dist::constant(map_secs)))
+                    .build();
+                let mut inst = JobInstance::sample(&spec, &mut rng);
+                inst.arrival_secs = i as f64 * gap;
+                inst
+            })
+            .collect();
+        VecJobSource::new(jobs, 2)
+    }
+
+    #[test]
+    fn gang_beats_fifo_on_narrow_concurrent_jobs() {
+        let fifo = MultiJobExperiment::new(workload(120, 3.0, 10.0), Box::new(Fifo))
+            .jobs(80)
+            .run()
+            .unwrap();
+        let gang = MultiJobExperiment::new(workload(120, 3.0, 10.0), Box::new(GangBinPack))
+            .jobs(80)
+            .run()
+            .unwrap();
+        // Two 8-wide jobs coexist on 20 slots: queueing must shrink.
+        assert!(
+            gang.mean_response(0) < fifo.mean_response(0),
+            "gang {} vs fifo {}",
+            gang.mean_response(0),
+            fifo.mean_response(0)
+        );
+        assert_eq!(fifo.scheduler, "FIFO");
+        assert_eq!(gang.evictions, 0);
+    }
+
+    #[test]
+    fn preempt_reports_waste_and_favors_high_class() {
+        let report = MultiJobExperiment::new(workload(200, 2.0, 20.0), Box::new(PriorityPreempt))
+            .jobs(120)
+            .run()
+            .unwrap();
+        assert!(report.evictions > 0, "saturated low class must be evicted");
+        assert!(report.wasted_work_secs > 0.0);
+        assert!(report.waste_fraction() > 0.0);
+        assert!(report.mean_response(1) < report.mean_response(0));
+    }
+
+    #[test]
+    fn class_energy_sums_to_cluster_active_energy() {
+        // Measure only 40 of 60 arrivals: several jobs are still running or
+        // pending when the window closes, and their in-flight attribution
+        // must be part of the split for the identity to hold.
+        let report = MultiJobExperiment::new(workload(60, 4.0, 8.0), Box::new(GangBinPack))
+            .jobs(40)
+            .warmup(0)
+            .run()
+            .unwrap();
+        let attributed: f64 = report
+            .per_class
+            .iter()
+            .map(|c| c.active_energy_joules)
+            .sum();
+        let active = report.energy_joules - report.idle_energy_joules;
+        let rel = (attributed - active).abs() / active.max(1.0);
+        assert!(rel < 1e-9, "attributed {attributed} vs active {active}");
+        assert!(report.utilization > 0.0 && report.utilization <= 1.0);
+    }
+
+    /// Like `workload` but with 30-task map stages: wider than the cluster,
+    /// so dropping half the tasks removes a whole wave (with 8-task stages a
+    /// gang runs one wave either way — drops shrink slot *demand*, not
+    /// makespan).
+    fn wide_workload(n: u64, gap: f64) -> VecJobSource {
+        let mut rng = StdRng::seed_from_u64(29);
+        let jobs = (0..n)
+            .map(|i| {
+                let class = usize::from(i % 5 == 0);
+                let spec = JobSpec::builder(i, class)
+                    .setup(Dist::constant(1.0))
+                    .stage(StageSpec::new(StageKind::Map, 30, Dist::constant(10.0)))
+                    .build();
+                let mut inst = JobInstance::sample(&spec, &mut rng);
+                inst.arrival_secs = i as f64 * gap;
+                inst
+            })
+            .collect();
+        VecJobSource::new(jobs, 2)
+    }
+
+    #[test]
+    fn drops_shrink_low_class_execution_and_report_loss() {
+        let exact = MultiJobExperiment::new(wide_workload(120, 25.0), Box::new(GangBinPack))
+            .jobs(80)
+            .run()
+            .unwrap();
+        let da = MultiJobExperiment::new(wide_workload(120, 25.0), Box::new(GangBinPack))
+            .drops(&[0.5, 0.0])
+            .jobs(80)
+            .run()
+            .unwrap();
+        assert!(
+            da.per_class[0].execution.mean() < exact.per_class[0].execution.mean(),
+            "dropping half the tasks must shorten low-class execution"
+        );
+        assert!((da.per_class[0].mean_drop_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(da.per_class[1].mean_drop_fraction(), 0.0);
+        let curve = default_accuracy_curve();
+        assert!(da.per_class[0].approximation_loss_pct(&curve) > 0.0);
+        assert_eq!(da.per_class[1].approximation_loss_pct(&curve), 0.0);
+    }
+
+    #[test]
+    fn sprint_top_class_accelerates_and_attributes_sprint_energy() {
+        let plain = MultiJobExperiment::new(workload(100, 4.0, 10.0), Box::new(GangBinPack))
+            .jobs(60)
+            .run()
+            .unwrap();
+        let sprint = MultiJobExperiment::new(workload(100, 4.0, 10.0), Box::new(GangBinPack))
+            .sprint_top_class(true)
+            .jobs(60)
+            .run()
+            .unwrap();
+        assert!(
+            sprint.per_class[1].execution.mean() < plain.per_class[1].execution.mean(),
+            "sprinting must shorten top-class execution"
+        );
+        let sprinted: f64 = sprint.per_class.iter().map(|c| c.sprint_slot_secs).sum();
+        assert!(sprinted > 0.0);
+        assert_eq!(
+            plain
+                .per_class
+                .iter()
+                .map(|c| c.sprint_slot_secs)
+                .sum::<f64>(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn class_mismatch_rejected() {
+        let err = MultiJobExperiment::new(workload(10, 5.0, 1.0), Box::new(GangBinPack))
+            .drops(&[0.0, 0.0, 0.0])
+            .jobs(5)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ExperimentError::ClassMismatch { .. }));
+    }
+
+    #[test]
+    fn source_exhaustion_ends_run() {
+        let report = MultiJobExperiment::new(workload(20, 5.0, 1.0), Box::new(GangBinPack))
+            .jobs(1000)
+            .warmup(0)
+            .run()
+            .unwrap();
+        let total: u64 = report.per_class.iter().map(|c| c.completed).sum();
+        assert_eq!(total, 20);
+    }
+}

@@ -37,7 +37,10 @@ use dias_engine::ClusterSpec;
 use dias_models::mc::{McQueue, McResult};
 use dias_models::ModelError;
 
-use crate::{Experiment, ExperimentError, ExperimentReport, JobSource, Policy};
+use crate::{
+    Experiment, ExperimentError, ExperimentReport, JobSource, MultiJobExperiment, MultiJobReport,
+    Policy,
+};
 
 /// Number of worker threads to use by default: the machine's available
 /// parallelism (1 when it cannot be determined).
@@ -125,6 +128,33 @@ pub fn replica_seeds(master: u64, n: usize) -> Vec<u64> {
 /// with `replications == 1`) draws from its replica-indexed child seed, so
 /// changing `replications` changes the streams — deliberately, as replica
 /// `i`'s seed must not depend on how many replicas run beside it.
+///
+/// # Examples
+///
+/// ```
+/// use dias_core::sweep::run_mc_replicated;
+/// use dias_models::mc::{Discipline, McQueue};
+/// use dias_stochastic::{MarkedPoisson, Ph};
+///
+/// let queue = McQueue {
+///     arrivals: MarkedPoisson::new(vec![0.004, 0.001]).unwrap(),
+///     service: vec![
+///         Ph::erlang(3, 3.0 / 147.0).unwrap(),
+///         Ph::erlang(3, 3.0 / 126.0).unwrap(),
+///     ],
+///     sprint: vec![None, None],
+///     discipline: Discipline::NonPreemptive,
+///     servers: 1,
+///     jobs: 400,
+///     warmup: 40,
+///     seed: 7,
+/// };
+/// // Four replicas; the merged result is bitwise identical at any thread count.
+/// let a = run_mc_replicated(&queue, 4, 1).unwrap();
+/// let b = run_mc_replicated(&queue, 4, 4).unwrap();
+/// assert_eq!(a.response[0].mean(), b.response[0].mean());
+/// assert_eq!(a.response[0].len() + a.response[1].len(), 400);
+/// ```
 ///
 /// # Errors
 ///
@@ -215,6 +245,20 @@ where
     S: JobSource + Send,
 {
     run_parallel(specs, threads, |_, spec| spec.run())
+}
+
+/// Runs every configured [`MultiJobExperiment`] — one per scheduler policy,
+/// drop setting, or load point of a concurrent-workload sweep — across up to
+/// `threads` cores, reports in input order. Each experiment owns its job
+/// source and engine, so results are identical to running them sequentially.
+pub fn run_multi_experiments<S>(
+    experiments: Vec<MultiJobExperiment<S>>,
+    threads: usize,
+) -> Vec<Result<MultiJobReport, ExperimentError>>
+where
+    S: JobSource + Send,
+{
+    run_parallel(experiments, threads, |_, e| e.run())
 }
 
 #[cfg(test)]

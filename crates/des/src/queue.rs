@@ -180,6 +180,25 @@ impl<E> EventQueue<E> {
     ///
     /// Returns `true` if the event was still pending; `false` (no-op) if it
     /// had already fired or been cancelled.
+    ///
+    /// # Examples
+    ///
+    /// The engine's DVFS switch is the canonical caller: every in-flight
+    /// completion moves to its rescaled timestamp without losing its handle.
+    ///
+    /// ```
+    /// use dias_des::{EventQueue, SimTime};
+    ///
+    /// let mut q = EventQueue::new();
+    /// let slow = q.push(SimTime::from_secs(10.0), "task");
+    /// q.push(SimTime::from_secs(4.0), "timer");
+    /// // Sprinting halves the remaining work: 10 s becomes 5 s.
+    /// assert!(q.reschedule(slow, SimTime::from_secs(5.0)));
+    /// assert_eq!(q.pop(), Some((SimTime::from_secs(4.0), "timer")));
+    /// assert_eq!(q.pop(), Some((SimTime::from_secs(5.0), "task")));
+    /// // Once fired, the handle is stale and reschedule is a no-op.
+    /// assert!(!q.reschedule(slow, SimTime::from_secs(9.0)));
+    /// ```
     pub fn reschedule(&mut self, handle: EventHandle, new_time: SimTime) -> bool {
         let Some(pos) = self.resolve(handle) else {
             return false;
@@ -193,6 +212,21 @@ impl<E> EventQueue<E> {
         let settled = self.sift_down(pos);
         self.sift_up(settled);
         true
+    }
+
+    /// Cancels every event of a group of handles — the per-job event-group
+    /// operation behind the engine's multi-job eviction, where *one* job's
+    /// pending completions must leave the calendar while every other job's
+    /// events stay put (so a whole-queue [`EventQueue::clear`] is not an
+    /// option).
+    ///
+    /// Returns how many events were actually cancelled; stale handles are
+    /// skipped exactly as in [`EventQueue::cancel`].
+    pub fn cancel_many<I>(&mut self, handles: I) -> usize
+    where
+        I: IntoIterator<Item = EventHandle>,
+    {
+        handles.into_iter().filter(|&h| self.cancel(h)).count()
     }
 
     /// Removes and returns the earliest event.

@@ -107,9 +107,15 @@ impl ClusterSpec {
     #[must_use]
     pub fn cluster_power_w(&self, busy_slots: usize, freq: FreqLevel) -> f64 {
         let idle_total = self.workers as f64 * self.power.idle_w;
-        let per_slot =
-            (self.power.active_at(freq) - self.power.idle_w) / self.cores_per_worker as f64;
-        idle_total + busy_slots as f64 * per_slot
+        idle_total + busy_slots as f64 * self.active_slot_power_w(freq)
+    }
+
+    /// Active power draw (W) one busy slot adds on top of the idle floor at
+    /// level `freq` — the rate per-job energy attribution is charged at:
+    /// `cluster_power_w(n, f) = cluster_power_w(0, Base) + n × active_slot_power_w(f)`.
+    #[must_use]
+    pub fn active_slot_power_w(&self, freq: FreqLevel) -> f64 {
+        (self.power.active_at(freq) - self.power.idle_w) / self.cores_per_worker as f64
     }
 
     /// Extra power draw (W) of sprinting the whole busy cluster versus base

@@ -1,18 +1,72 @@
-//! Energy metering: integrating the cluster power model over simulated time.
+//! Energy metering: integrating the cluster power model over simulated time,
+//! with per-job attribution of the active (above-idle) energy.
 
 use serde::{Deserialize, Serialize};
 
 use dias_des::stats::TimeWeighted;
 use dias_des::SimTime;
 
-use crate::{ClusterSpec, FreqLevel};
+use crate::{ClusterSpec, FreqLevel, JobId};
 
-/// Integrates cluster power draw over time as busy slots and frequency change.
+/// Energy and slot-time attributed to one job.
+///
+/// A job is charged the *active* power its busy slots add on top of the
+/// cluster's idle floor ([`ClusterSpec::active_slot_power_w`]); the floor
+/// itself is a cluster-level cost no job owns. Because the cluster power
+/// model is linear in busy slots, the attribution is lossless:
+///
+/// ```text
+/// EnergyMeter::energy_joules(t) = idle_floor × t + Σ_jobs active_joules
+/// ```
+///
+/// holds under exact arithmetic (and is asserted with `==`, not an epsilon,
+/// over dyadic-rational inputs in `crates/engine/tests/gang_properties.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct JobEnergy {
+    /// Above-idle energy the job's busy slots consumed, in joules.
+    pub active_joules: f64,
+    /// Busy slot-seconds of the job (one slot busy for one second = 1.0).
+    pub busy_slot_secs: f64,
+    /// The subset of `busy_slot_secs` spent at sprint frequency.
+    pub sprint_slot_secs: f64,
+}
+
+/// Running attribution state for one active job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct JobLedger {
+    job: JobId,
+    last: SimTime,
+    busy: usize,
+    energy: JobEnergy,
+}
+
+impl JobLedger {
+    /// Accrues the segment `[self.last, now)` at level `freq`.
+    fn accrue(&mut self, now: SimTime, freq: FreqLevel, spec: &ClusterSpec) {
+        let dt = now - self.last;
+        let slot_secs = self.busy as f64 * dt;
+        self.energy.busy_slot_secs += slot_secs;
+        self.energy.active_joules += slot_secs * spec.active_slot_power_w(freq);
+        if freq == FreqLevel::Sprint {
+            self.energy.sprint_slot_secs += slot_secs;
+        }
+        self.last = now;
+    }
+}
+
+/// Integrates cluster power draw over time as busy slots and frequency change,
+/// and attributes the active share to individual jobs.
+///
+/// The cluster-level integral ([`EnergyMeter::energy_joules`]) is updated by
+/// [`EnergyMeter::update`] exactly as it always was — the multi-job engine
+/// under the FIFO scheduler reproduces the historical energy trace bit for
+/// bit. Per-job attribution is a separate ledger driven by
+/// [`EnergyMeter::update_job`] / [`EnergyMeter::retire_job`].
 ///
 /// # Examples
 ///
 /// ```
-/// use dias_engine::{ClusterSpec, EnergyMeter, FreqLevel};
+/// use dias_engine::{ClusterSpec, EnergyMeter, FreqLevel, JobId};
 /// use dias_des::SimTime;
 ///
 /// let spec = ClusterSpec::paper_reference();
@@ -20,6 +74,12 @@ use crate::{ClusterSpec, FreqLevel};
 /// meter.update(SimTime::from_secs(10.0), 20, FreqLevel::Base);
 /// // 10 s fully idle at 10 × 90 W = 9 kJ.
 /// assert!((meter.energy_joules(SimTime::from_secs(10.0)) - 9_000.0).abs() < 1e-6);
+///
+/// // Attribute 20 busy slots to one job for 10 s at 45 W/slot = 9 kJ active.
+/// meter.update_job(SimTime::from_secs(10.0), JobId(1), 20);
+/// let e = meter.retire_job(SimTime::from_secs(20.0), JobId(1)).unwrap();
+/// assert!((e.active_joules - 9_000.0).abs() < 1e-6);
+/// assert!((e.busy_slot_secs - 200.0).abs() < 1e-6);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EnergyMeter {
@@ -27,6 +87,8 @@ pub struct EnergyMeter {
     power: TimeWeighted,
     busy_slots: usize,
     freq: FreqLevel,
+    active: Vec<JobLedger>,
+    finished: Vec<(JobId, JobEnergy)>,
 }
 
 impl EnergyMeter {
@@ -39,19 +101,87 @@ impl EnergyMeter {
             power: TimeWeighted::new(start, idle_power),
             busy_slots: 0,
             freq: FreqLevel::Base,
+            active: Vec::new(),
+            finished: Vec::new(),
         }
     }
 
-    /// Records a change of state at `now`: `busy_slots` slots busy at `freq`.
+    /// Records a change of cluster state at `now`: `busy_slots` slots busy at
+    /// `freq`.
+    ///
+    /// On a frequency change, every active job ledger accrues its segment at
+    /// the *old* level first — a job's attribution rate changes exactly when
+    /// the cluster's does.
     ///
     /// # Panics
     ///
     /// Panics if `now` precedes the previous update.
     pub fn update(&mut self, now: SimTime, busy_slots: usize, freq: FreqLevel) {
+        if freq != self.freq {
+            for ledger in &mut self.active {
+                ledger.accrue(now, self.freq, &self.spec);
+            }
+        }
         self.busy_slots = busy_slots;
         self.freq = freq;
         let p = self.spec.cluster_power_w(busy_slots, freq);
         self.power.set(now, p);
+    }
+
+    /// Records that `job` occupies `busy` slots from `now` on, accruing its
+    /// segment up to `now` first. Unknown jobs start a fresh ledger.
+    pub fn update_job(&mut self, now: SimTime, job: JobId, busy: usize) {
+        match self.active.iter_mut().find(|l| l.job == job) {
+            Some(ledger) => {
+                ledger.accrue(now, self.freq, &self.spec);
+                ledger.busy = busy;
+            }
+            None => self.active.push(JobLedger {
+                job,
+                last: now,
+                busy,
+                energy: JobEnergy::default(),
+            }),
+        }
+    }
+
+    /// Finalizes `job`'s attribution at `now` and moves it to the finished
+    /// ledger; returns its totals, or `None` for a job never metered.
+    pub fn retire_job(&mut self, now: SimTime, job: JobId) -> Option<JobEnergy> {
+        let idx = self.active.iter().position(|l| l.job == job)?;
+        let mut ledger = self.active.swap_remove(idx);
+        ledger.accrue(now, self.freq, &self.spec);
+        self.finished.push((job, ledger.energy));
+        Some(ledger.energy)
+    }
+
+    /// Attribution of `job` as of `now`: still-running jobs include their
+    /// in-flight segment, finished jobs report their final totals (the most
+    /// recent attempt wins if an id was retired twice).
+    #[must_use]
+    pub fn job_energy(&self, job: JobId, now: SimTime) -> Option<JobEnergy> {
+        if let Some(ledger) = self.active.iter().find(|l| l.job == job) {
+            let mut l = ledger.clone();
+            l.accrue(now, self.freq, &self.spec);
+            return Some(l.energy);
+        }
+        self.finished
+            .iter()
+            .rev()
+            .find(|(j, _)| *j == job)
+            .map(|(_, e)| *e)
+    }
+
+    /// Finalized per-job attributions, in retirement order.
+    #[must_use]
+    pub fn finished_jobs(&self) -> &[(JobId, JobEnergy)] {
+        &self.finished
+    }
+
+    /// Drains the finalized attributions (keeps long-running drivers'
+    /// memory flat: harvest each job as it completes).
+    pub fn take_finished(&mut self) -> Vec<(JobId, JobEnergy)> {
+        std::mem::take(&mut self.finished)
     }
 
     /// Current power draw in watts.
@@ -114,5 +244,70 @@ mod tests {
         let e = meter.energy_joules(SimTime::from_secs(1.0));
         // Half busy: idle 900 + 10 slots * (180-90)/2 per slot = 900 + 450.
         assert!((e - 1350.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_jobs_split_the_active_energy() {
+        let spec = ClusterSpec::paper_reference();
+        let mut meter = EnergyMeter::new(&spec, SimTime::ZERO);
+        meter.update(SimTime::ZERO, 12, FreqLevel::Base);
+        meter.update_job(SimTime::ZERO, JobId(1), 8);
+        meter.update_job(SimTime::ZERO, JobId(2), 4);
+        let t = SimTime::from_secs(10.0);
+        let e1 = meter.retire_job(t, JobId(1)).unwrap();
+        let e2 = meter.retire_job(t, JobId(2)).unwrap();
+        // 45 W per busy slot at base.
+        assert_eq!(e1.active_joules, 8.0 * 10.0 * 45.0);
+        assert_eq!(e2.active_joules, 4.0 * 10.0 * 45.0);
+        assert_eq!(e1.busy_slot_secs, 80.0);
+        assert_eq!(e1.sprint_slot_secs, 0.0);
+        assert_eq!(meter.finished_jobs().len(), 2);
+    }
+
+    #[test]
+    fn frequency_switch_splits_job_segments() {
+        let spec = ClusterSpec::paper_reference();
+        let mut meter = EnergyMeter::new(&spec, SimTime::ZERO);
+        meter.update_job(SimTime::ZERO, JobId(7), 10);
+        meter.update(SimTime::ZERO, 10, FreqLevel::Base);
+        // 4 s at base (45 W/slot), then 4 s sprinting (90 W/slot).
+        meter.update(SimTime::from_secs(4.0), 10, FreqLevel::Sprint);
+        let e = meter.job_energy(JobId(7), SimTime::from_secs(8.0)).unwrap();
+        assert_eq!(e.active_joules, 10.0 * 4.0 * 45.0 + 10.0 * 4.0 * 90.0);
+        assert_eq!(e.sprint_slot_secs, 40.0);
+        assert_eq!(e.busy_slot_secs, 80.0);
+    }
+
+    #[test]
+    fn attribution_is_lossless_against_cluster_total() {
+        let spec = ClusterSpec::paper_reference();
+        let mut meter = EnergyMeter::new(&spec, SimTime::ZERO);
+        meter.update(SimTime::ZERO, 12, FreqLevel::Base);
+        meter.update_job(SimTime::ZERO, JobId(1), 8);
+        meter.update_job(SimTime::ZERO, JobId(2), 4);
+        meter.update(SimTime::from_secs(8.0), 12, FreqLevel::Sprint);
+        let end = SimTime::from_secs(16.0);
+        let e1 = meter.retire_job(end, JobId(1)).unwrap();
+        let e2 = meter.retire_job(end, JobId(2)).unwrap();
+        let idle = spec.cluster_power_w(0, FreqLevel::Base) * 16.0;
+        // Dyadic times and the paper's integer powers: exact equality.
+        assert_eq!(
+            meter.energy_joules(end),
+            idle + e1.active_joules + e2.active_joules
+        );
+    }
+
+    #[test]
+    fn take_finished_drains() {
+        let spec = ClusterSpec::paper_reference();
+        let mut meter = EnergyMeter::new(&spec, SimTime::ZERO);
+        meter.update_job(SimTime::ZERO, JobId(1), 1);
+        meter.retire_job(SimTime::from_secs(1.0), JobId(1));
+        assert_eq!(meter.take_finished().len(), 1);
+        assert!(meter.finished_jobs().is_empty());
+        // A retired job is still queryable until drained — now it is gone.
+        assert!(meter
+            .job_energy(JobId(1), SimTime::from_secs(1.0))
+            .is_none());
     }
 }

@@ -1,5 +1,14 @@
-//! The cluster simulator: one job at a time over `C` slots, with dropping, DVFS and
-//! eviction.
+//! The cluster simulator: concurrent multi-stage jobs scheduled onto disjoint
+//! slot subsets by a pluggable [`Scheduler`] policy, with dropping, DVFS,
+//! per-job energy attribution and per-job eviction.
+//!
+//! The engine's historical invariant — one job at a time over all `C` slots,
+//! the abstraction the paper's analysis assumes — is now just the [`Fifo`]
+//! policy (the default of [`ClusterSim::new`], pinned bit-for-bit by
+//! `crates/engine/tests/golden_trace.rs`). [`GangBinPack`] packs jobs onto
+//! disjoint slot ranges sized by their widest stage, and [`PriorityPreempt`]
+//! adds class-ordered backfill plus eviction of lower-class jobs through
+//! their calendar handles (the indexed [`EventQueue`]'s O(log n) cancel).
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -8,12 +17,14 @@ use serde::{Deserialize, Serialize};
 
 use dias_des::{EventHandle, EventQueue, SimTime};
 
-use crate::{ClusterSpec, EnergyMeter, FreqLevel, JobId, JobInstance};
+use crate::sched::{PendingView, RunningView, Scheduler, SlotRange};
+use crate::{ClusterSpec, EnergyMeter, Fifo, FreqLevel, JobEnergy, JobId, JobInstance};
 
 /// Errors from driving the simulator.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
-    /// `start_job` was called while a job is running.
+    /// [`ClusterSim::start_job`] was called but the scheduler could not place
+    /// the job immediately (under [`Fifo`]: a job is already running).
     Busy,
     /// An operation required a running job but the engine is idle.
     Idle,
@@ -21,6 +32,8 @@ pub enum EngineError {
     BadDrops(String),
     /// The cluster specification is invalid.
     InvalidSpec(String),
+    /// The referenced job is not running.
+    UnknownJob(JobId),
 }
 
 impl fmt::Display for EngineError {
@@ -30,6 +43,7 @@ impl fmt::Display for EngineError {
             EngineError::Idle => write!(f, "engine is idle"),
             EngineError::BadDrops(msg) => write!(f, "invalid drop ratios: {msg}"),
             EngineError::InvalidSpec(msg) => write!(f, "invalid cluster spec: {msg}"),
+            EngineError::UnknownJob(id) => write!(f, "{id} is not running"),
         }
     }
 }
@@ -67,7 +81,7 @@ pub enum EngineEvent {
         /// The stage about to start.
         next_stage: usize,
     },
-    /// The job's last stage completed; the engine is idle again.
+    /// The job's last stage completed; its slots are free again.
     JobFinished {
         /// The finished job.
         job: JobId,
@@ -91,7 +105,7 @@ pub struct JobRunMetrics {
     pub tasks_dropped: usize,
 }
 
-/// Work destroyed by evicting the running job.
+/// Work destroyed by evicting a running job.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EvictedWork {
     /// Wall-clock seconds the attempt had been running.
@@ -100,6 +114,36 @@ pub struct EvictedWork {
     pub work_secs: f64,
     /// Wall-clock seconds of the attempt spent sprinting.
     pub sprint_secs: f64,
+}
+
+/// Where [`ClusterSim::submit_job`] put an arriving job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Submission {
+    /// Dispatched immediately onto `slots`.
+    Dispatched {
+        /// The slot subset the job runs on.
+        slots: SlotRange,
+    },
+    /// Held in the engine's pending queue until capacity frees up; it will be
+    /// dispatched by a later departure (the scheduler's backfill). `evicted`
+    /// is normally empty; a (custom) scheduler that names victims and then
+    /// still cannot place the arrival leaves their lost work itemized here —
+    /// it must not be silently dropped.
+    Queued {
+        /// Victims evicted before placement was abandoned, with the work
+        /// each lost (empty for the shipped schedulers: `PriorityPreempt`
+        /// checks feasibility before naming its first victim).
+        evicted: Vec<(JobId, EvictedWork)>,
+    },
+    /// Dispatched onto `slots` after evicting `evicted` lower-class jobs;
+    /// the victims re-queue at the head of the pending queue and re-execute
+    /// from scratch (their lost work is itemized per victim).
+    Preempted {
+        /// The slot subset the arriving job runs on.
+        slots: SlotRange,
+        /// Victims in eviction order, with the work each lost.
+        evicted: Vec<(JobId, EvictedWork)>,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -128,60 +172,110 @@ enum Phase {
 
 #[derive(Debug, Clone)]
 enum Internal {
-    SerialDone,
-    TaskDone { stage: usize },
+    SerialDone { job: JobId },
+    TaskDone { job: JobId, stage: usize },
+}
+
+/// A job's prepared (post-drop) work, reusable across eviction re-runs —
+/// preemptive-repeat-identical semantics without storing the instance.
+#[derive(Debug, Clone)]
+struct JobWork {
+    job: JobId,
+    class: usize,
+    /// Slots the job asks for: its widest kept stage, at least 1.
+    width: usize,
+    setup_secs: f64,
+    stage_tasks: Vec<Vec<f64>>,
+    shuffle_secs: Vec<f64>,
+    tasks_dropped: usize,
+}
+
+#[derive(Debug)]
+struct Pending {
+    work: JobWork,
 }
 
 #[derive(Debug)]
 struct Run {
-    job: JobId,
-    stage_tasks: Vec<Vec<f64>>,
-    shuffle_secs: Vec<f64>,
+    work: JobWork,
+    slots: SlotRange,
     phase: Phase,
     started: SimTime,
     work_done: f64,
     sprint_secs: f64,
+    sprint_since: Option<SimTime>,
     tasks_run: usize,
-    tasks_dropped: usize,
 }
 
-/// The Spark-like engine: a cluster of `C` slots executing one multi-stage job,
-/// advanced one event at a time.
+impl Run {
+    /// Slots the run keeps busy right now (a serial activity uses one).
+    fn busy(&self) -> usize {
+        match &self.phase {
+            Phase::Serial { .. } => 1,
+            Phase::Stage { running, .. } => running.len(),
+        }
+    }
+}
+
+/// The Spark-like engine: a cluster of `C` slots executing concurrent
+/// multi-stage jobs on disjoint slot subsets, advanced one event at a time.
 ///
-/// Driving pattern: the controller compares [`ClusterSim::next_event_time`] with its
-/// own arrival/sprint timers and calls [`ClusterSim::advance`] whenever the engine
-/// holds the earliest event. See the crate-level example.
+/// Driving pattern: the controller compares [`ClusterSim::next_event_time`]
+/// with its own arrival/sprint timers and calls [`ClusterSim::advance`]
+/// whenever the engine holds the earliest event. Jobs enter through
+/// [`ClusterSim::start_job`] (dispatch-or-[`EngineError::Busy`], the paper's
+/// single-job discipline) or [`ClusterSim::submit_job`] (dispatch, queue, or
+/// preempt, per the [`Scheduler`] policy). See the crate-level example.
 #[derive(Debug)]
 pub struct ClusterSim {
     spec: ClusterSpec,
     time: SimTime,
     freq: FreqLevel,
-    sprint_since: Option<SimTime>,
     queue: EventQueue<Internal>,
-    run: Option<Run>,
+    runs: Vec<Run>,
+    pending: VecDeque<Pending>,
+    scheduler: Box<dyn Scheduler>,
     meter: EnergyMeter,
 }
 
 impl ClusterSim {
-    /// Creates an idle cluster at time zero.
+    /// Creates an idle cluster at time zero under the [`Fifo`] policy — the
+    /// engine's historical one-job-at-a-time behaviour.
     ///
     /// # Panics
     ///
-    /// Panics if `spec` fails validation; use [`ClusterSpec::validate`] to check
-    /// first.
+    /// Panics if `spec` fails validation; use [`ClusterSpec::validate`] to
+    /// check first.
     #[must_use]
     pub fn new(spec: ClusterSpec) -> Self {
+        Self::with_scheduler(spec, Box::new(Fifo))
+    }
+
+    /// Creates an idle cluster at time zero driven by `scheduler`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` fails validation.
+    #[must_use]
+    pub fn with_scheduler(spec: ClusterSpec, scheduler: Box<dyn Scheduler>) -> Self {
         spec.validate().expect("invalid cluster spec");
         let meter = EnergyMeter::new(&spec, SimTime::ZERO);
         ClusterSim {
             spec,
             time: SimTime::ZERO,
             freq: FreqLevel::Base,
-            sprint_since: None,
             queue: EventQueue::new(),
-            run: None,
+            runs: Vec::new(),
+            pending: VecDeque::new(),
+            scheduler,
             meter,
         }
+    }
+
+    /// Name of the scheduling policy driving this cluster.
+    #[must_use]
+    pub fn scheduler_label(&self) -> &'static str {
+        self.scheduler.label()
     }
 
     /// Current simulated time.
@@ -196,10 +290,10 @@ impl ClusterSim {
         &self.spec
     }
 
-    /// Whether no job is running.
+    /// Whether no job is running or waiting in the engine.
     #[must_use]
     pub fn is_idle(&self) -> bool {
-        self.run.is_none()
+        self.runs.is_empty() && self.pending.is_empty()
     }
 
     /// Current frequency level.
@@ -208,16 +302,54 @@ impl ClusterSim {
         self.freq
     }
 
-    /// Id of the running job, if any.
+    /// Id of the earliest-dispatched running job, if any (under [`Fifo`]:
+    /// *the* running job).
     #[must_use]
     pub fn running_job(&self) -> Option<JobId> {
-        self.run.as_ref().map(|r| r.job)
+        self.runs.first().map(|r| r.work.job)
+    }
+
+    /// Ids of all running jobs, in dispatch order.
+    #[must_use]
+    pub fn running_jobs(&self) -> Vec<JobId> {
+        self.runs.iter().map(|r| r.work.job).collect()
+    }
+
+    /// Current slot assignments, one per running job, in dispatch order.
+    /// Scheduler policies must keep these ranges pairwise disjoint.
+    #[must_use]
+    pub fn assignments(&self) -> Vec<(JobId, SlotRange)> {
+        self.runs.iter().map(|r| (r.work.job, r.slots)).collect()
+    }
+
+    /// Jobs waiting in the engine's pending queue for slots.
+    #[must_use]
+    pub fn pending_jobs(&self) -> usize {
+        self.pending.len()
     }
 
     /// Total energy consumed so far, in joules.
     #[must_use]
     pub fn energy_joules(&self) -> f64 {
         self.meter.energy_joules(self.time)
+    }
+
+    /// The energy meter, for per-job attribution queries.
+    #[must_use]
+    pub fn meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    /// Mutable access to the energy meter (to drain finished-job
+    /// attributions with [`EnergyMeter::take_finished`]).
+    pub fn meter_mut(&mut self) -> &mut EnergyMeter {
+        &mut self.meter
+    }
+
+    /// Energy attributed to `job` as of now (running or finished).
+    #[must_use]
+    pub fn job_energy(&self, job: JobId) -> Option<JobEnergy> {
+        self.meter.job_energy(job, self.time)
     }
 
     /// Advances the wall clock to `now` without processing events (used by the
@@ -240,20 +372,14 @@ impl ClusterSim {
         self.queue.len()
     }
 
-    /// Dispatches `instance` with per-stage drop ratios `drops` at the current time.
+    /// Validates `drops` against `instance` and prepares the post-drop work.
     ///
-    /// Stage `i` keeps its first `⌈n_i(1−drops[i])⌉` tasks; task order within an
-    /// instance is already i.i.d., so prefix selection is equivalent to the paper's
-    /// random drop.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`EngineError::Busy`] if a job is running and
-    /// [`EngineError::BadDrops`] for a malformed drop vector.
-    pub fn start_job(&mut self, instance: &JobInstance, drops: &[f64]) -> Result<(), EngineError> {
-        if self.run.is_some() {
-            return Err(EngineError::Busy);
-        }
+    /// Stage `i` keeps its first `⌈n_i(1−drops[i])⌉` tasks; task order within
+    /// an instance is already i.i.d., so prefix selection is equivalent to the
+    /// paper's random drop. Setup shortens with the data actually read
+    /// (§4.3's drop-dependent overhead):
+    /// `effective = setup × (1 − f + f·kept_fraction)`.
+    fn prepare(&self, instance: &JobInstance, drops: &[f64]) -> Result<JobWork, EngineError> {
         if drops.len() != instance.task_secs.len() {
             return Err(EngineError::BadDrops(format!(
                 "{} ratios for {} stages",
@@ -279,8 +405,6 @@ impl ClusterSim {
             })
             .collect();
 
-        // Setup shortens with the data actually read (§4.3's drop-dependent
-        // overhead): effective = setup × (1 − f + f·kept_fraction).
         let kept_fraction = if total_tasks == 0 {
             1.0
         } else {
@@ -288,15 +412,126 @@ impl ClusterSim {
         };
         let f = instance.spec.setup_data_fraction;
         let setup_secs = instance.setup_secs * (1.0 - f + f * kept_fraction);
+        let width = stage_tasks.iter().map(Vec::len).max().unwrap_or(0).max(1);
 
-        let speed = self.spec.speed_at(self.freq);
-        let handle = self
-            .queue
-            .push(self.time + setup_secs / speed, Internal::SerialDone);
-        self.run = Some(Run {
+        Ok(JobWork {
             job: instance.spec.id,
+            class: instance.class(),
+            width,
+            setup_secs,
             stage_tasks,
             shuffle_secs: instance.shuffle_secs.clone(),
+            tasks_dropped,
+        })
+    }
+
+    /// Read-only running-job views for the scheduler.
+    fn running_views(&self) -> Vec<RunningView> {
+        self.runs
+            .iter()
+            .map(|r| RunningView {
+                job: r.work.job,
+                class: r.work.class,
+                slots: r.slots,
+                started: r.started,
+            })
+            .collect()
+    }
+
+    /// Dispatches `instance` with per-stage drop ratios `drops` at the current
+    /// time, or fails with [`EngineError::Busy`] when the scheduler cannot
+    /// place it *right now* — this path never queues and never preempts, so
+    /// under [`Fifo`] it is exactly the historical single-job engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Busy`] when placement fails and
+    /// [`EngineError::BadDrops`] for a malformed drop vector.
+    pub fn start_job(&mut self, instance: &JobInstance, drops: &[f64]) -> Result<(), EngineError> {
+        let work = self.prepare(instance, drops)?;
+        let views = self.running_views();
+        let total = self.spec.slots();
+        match self.scheduler.place(work.class, work.width, total, &views) {
+            Some(slots) => {
+                self.dispatch(work, slots);
+                Ok(())
+            }
+            None => Err(EngineError::Busy),
+        }
+    }
+
+    /// Hands `instance` to the scheduler: dispatched onto a slot subset,
+    /// queued inside the engine until capacity frees, or (under a preempting
+    /// policy) dispatched after evicting lower-class jobs, which re-queue at
+    /// the head and will re-execute from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BadDrops`] for a malformed drop vector.
+    pub fn submit_job(
+        &mut self,
+        instance: &JobInstance,
+        drops: &[f64],
+    ) -> Result<Submission, EngineError> {
+        let work = self.prepare(instance, drops)?;
+        let total = self.spec.slots();
+        let mut evicted: Vec<(JobId, EvictedWork)> = Vec::new();
+
+        loop {
+            let views = self.running_views();
+            if let Some(slots) = self.scheduler.place(work.class, work.width, total, &views) {
+                self.dispatch(work, slots);
+                if !evicted.is_empty() {
+                    // Eviction may have freed more capacity than the arrival
+                    // consumed; offer the remainder to the pending queue now
+                    // instead of waiting for the next departure.
+                    self.backfill();
+                }
+                return Ok(if evicted.is_empty() {
+                    Submission::Dispatched { slots }
+                } else {
+                    Submission::Preempted { slots, evicted }
+                });
+            }
+            let victim = self.scheduler.victim(work.class, work.width, total, &views);
+            // Only a still-running, strictly lower-class job is a legal
+            // victim; anything else ends the eviction loop and queues the
+            // arrival (guards against non-terminating scheduler answers).
+            let Some(idx) = victim.and_then(|v| {
+                self.runs
+                    .iter()
+                    .position(|r| r.work.job == v && r.work.class < work.class)
+            }) else {
+                self.pending.push_back(Pending { work });
+                if !evicted.is_empty() {
+                    // Defensive: victims were evicted but the arrival still
+                    // cannot be placed. Re-offer the freed capacity to the
+                    // pending queue (the head is the youngest victim, which
+                    // always fits its own former slots) and surface the
+                    // destroyed work to the caller.
+                    self.backfill();
+                }
+                return Ok(Submission::Queued { evicted });
+            };
+            let job = self.runs[idx].work.job;
+            let (lost, requeue) = self.do_evict(idx);
+            evicted.push((job, lost));
+            self.pending.push_front(requeue);
+        }
+    }
+
+    /// Dispatches prepared work onto `slots` at the current time.
+    fn dispatch(&mut self, work: JobWork, slots: SlotRange) {
+        let speed = self.spec.speed_at(self.freq);
+        let job = work.job;
+        let handle = self.queue.push(
+            self.time + work.setup_secs / speed,
+            Internal::SerialDone { job },
+        );
+        let setup_secs = work.setup_secs;
+        self.runs.push(Run {
+            work,
+            slots,
             phase: Phase::Serial {
                 is_setup: true,
                 next_stage: 0,
@@ -307,17 +542,43 @@ impl ClusterSim {
             started: self.time,
             work_done: 0.0,
             sprint_secs: 0.0,
+            sprint_since: (self.freq == FreqLevel::Sprint).then_some(self.time),
             tasks_run: 0,
-            tasks_dropped,
         });
-        if self.freq == FreqLevel::Sprint {
-            self.sprint_since = Some(self.time);
-        }
-        self.meter.update(self.time, 1, self.freq);
-        Ok(())
+        self.meter.update_job(self.time, job, 1);
+        self.meter.update(self.time, self.busy_slots(), self.freq);
     }
 
-    /// Timestamp of the next internal event, if a job is running.
+    /// Dispatches pending jobs into freed capacity until the scheduler
+    /// declines (called after every departure).
+    fn backfill(&mut self) {
+        loop {
+            let pending_views: Vec<PendingView> = self
+                .pending
+                .iter()
+                .map(|p| PendingView {
+                    job: p.work.job,
+                    class: p.work.class,
+                    width: p.work.width,
+                })
+                .collect();
+            if pending_views.is_empty() {
+                return;
+            }
+            let views = self.running_views();
+            let total = self.spec.slots();
+            let Some((idx, slots)) = self.scheduler.pick_next(&pending_views, total, &views) else {
+                return;
+            };
+            let p = self
+                .pending
+                .remove(idx)
+                .expect("scheduler picked a pending index in range");
+            self.dispatch(p.work, slots);
+        }
+    }
+
+    /// Timestamp of the next internal event, if any job is running.
     ///
     /// The indexed calendar never holds cancelled entries, so this is a plain
     /// borrow (the pre-PR3 tombstoning queue needed `&mut self` to skim stale
@@ -336,51 +597,84 @@ impl ClusterSim {
         let (t, handle, ev) = self.queue.pop_with_handle().ok_or(EngineError::Idle)?;
         self.time = t;
         match ev {
-            Internal::SerialDone => self.finish_serial(),
-            Internal::TaskDone { stage } => self.finish_task(stage, handle),
+            Internal::SerialDone { job } => self.finish_serial(job),
+            Internal::TaskDone { job, stage } => self.finish_task(job, stage, handle),
         }
     }
 
-    /// Evicts the running job, losing all its work (preemptive baseline).
+    /// Evicts the earliest-dispatched running job, losing all its work (the
+    /// preemptive baseline; under [`Fifo`] this is *the* running job). The
+    /// job does **not** re-queue — re-submission is the caller's decision.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::Idle`] when no job is running.
     pub fn evict(&mut self) -> Result<EvictedWork, EngineError> {
-        let mut run = self.run.take().ok_or(EngineError::Idle)?;
+        if self.runs.is_empty() {
+            return Err(EngineError::Idle);
+        }
+        let (lost, _) = self.do_evict(0);
+        self.backfill();
+        Ok(lost)
+    }
+
+    /// Evicts a specific running job, losing all its work. The job does not
+    /// re-queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownJob`] when `job` is not running.
+    pub fn evict_job(&mut self, job: JobId) -> Result<EvictedWork, EngineError> {
+        let idx = self
+            .runs
+            .iter()
+            .position(|r| r.work.job == job)
+            .ok_or(EngineError::UnknownJob(job))?;
+        let (lost, _) = self.do_evict(idx);
+        self.backfill();
+        Ok(lost)
+    }
+
+    /// Removes run `idx`: credits partial work, cancels its calendar events
+    /// through their handles (other jobs' events stay put), retires its
+    /// energy ledger, and returns the lost work plus a head-of-queue
+    /// re-submission record.
+    fn do_evict(&mut self, idx: usize) -> (EvictedWork, Pending) {
+        let mut run = self.runs.remove(idx);
         let speed = self.spec.speed_at(self.freq);
-        // Credit partial work of in-flight activities since their last reschedule
-        // point (earlier segments were credited at those points).
+        // Credit partial work of in-flight activities since their last
+        // reschedule point (earlier segments were credited at those points).
         match &run.phase {
             Phase::Serial {
-                work_left, since, ..
+                work_left,
+                since,
+                handle,
+                ..
             } => {
                 let elapsed_work = ((self.time - *since) * speed).min(*work_left);
                 run.work_done += elapsed_work;
+                self.queue.cancel(*handle);
             }
             Phase::Stage { running, .. } => {
                 for task in running {
                     run.work_done += ((self.time - task.since) * speed).min(task.work_left);
                 }
+                self.queue.cancel_many(running.iter().map(|t| t.handle));
             }
         }
-        // Cancel every pending completion of the evicted job outright: the
-        // indexed calendar removes the entries immediately rather than
-        // leaving tombstones for later pops to skip.
-        self.queue.clear();
-        let sprint_secs = run.sprint_secs + self.current_sprint_tail();
-        if self.freq == FreqLevel::Sprint {
-            self.sprint_since = Some(self.time);
-        }
-        self.meter.update(self.time, 0, self.freq);
-        Ok(EvictedWork {
+        let sprint_secs = run.sprint_secs + run.sprint_since.map_or(0.0, |s| self.time - s);
+        self.meter.retire_job(self.time, run.work.job);
+        self.meter.update(self.time, self.busy_slots(), self.freq);
+        let lost = EvictedWork {
             wall_secs: self.time - run.started,
             work_secs: run.work_done,
             sprint_secs,
-        })
+        };
+        (lost, Pending { work: run.work })
     }
 
-    /// Switches the cluster frequency, rescaling all in-flight activities.
+    /// Switches the cluster frequency, rescaling all in-flight activities of
+    /// every running job.
     ///
     /// Every in-flight activity's completion is *rescheduled* in place
     /// (decrease/increase-key on the indexed calendar) rather than cancelled
@@ -394,11 +688,12 @@ impl ClusterSim {
         let old_speed = self.spec.speed_at(self.freq);
         let new_speed = self.spec.speed_at(freq);
         let now = self.time;
+        let was_sprinting = self.freq == FreqLevel::Sprint;
 
-        if let Some(run) = &mut self.run {
+        for run in &mut self.runs {
             // Account sprint wall-time before the switch.
-            if self.freq == FreqLevel::Sprint {
-                if let Some(since) = self.sprint_since.take() {
+            if was_sprinting {
+                if let Some(since) = run.sprint_since.take() {
                     run.sprint_secs += now - since;
                 }
             }
@@ -426,36 +721,30 @@ impl ClusterSim {
                     }
                 }
             }
+            if freq == FreqLevel::Sprint {
+                run.sprint_since = Some(now);
+            }
         }
         self.freq = freq;
-        if freq == FreqLevel::Sprint {
-            self.sprint_since = Some(now);
-        } else {
-            self.sprint_since = None;
-        }
         let busy = self.busy_slots();
         self.meter.update(now, busy, freq);
     }
 
+    /// Slots busy across all running jobs.
     fn busy_slots(&self) -> usize {
-        match &self.run {
-            None => 0,
-            Some(run) => match &run.phase {
-                Phase::Serial { .. } => 1,
-                Phase::Stage { running, .. } => running.len(),
-            },
-        }
+        self.runs.iter().map(Run::busy).sum()
     }
 
-    fn current_sprint_tail(&self) -> f64 {
-        match (self.freq, self.sprint_since) {
-            (FreqLevel::Sprint, Some(since)) => self.time - since,
-            _ => 0.0,
-        }
+    fn run_index(&self, job: JobId) -> Result<usize, EngineError> {
+        self.runs
+            .iter()
+            .position(|r| r.work.job == job)
+            .ok_or(EngineError::UnknownJob(job))
     }
 
-    fn finish_serial(&mut self) -> Result<EngineEvent, EngineError> {
-        let run = self.run.as_mut().ok_or(EngineError::Idle)?;
+    fn finish_serial(&mut self, job: JobId) -> Result<EngineEvent, EngineError> {
+        let idx = self.run_index(job)?;
+        let run = &mut self.runs[idx];
         let (is_setup, next_stage) = match &run.phase {
             Phase::Serial {
                 is_setup,
@@ -463,20 +752,19 @@ impl ClusterSim {
                 work_left,
                 ..
             } => {
-                // Residual since the last reschedule point; earlier segments were
-                // credited when the frequency changed.
+                // Residual since the last reschedule point; earlier segments
+                // were credited when the frequency changed.
                 run.work_done += work_left;
                 (*is_setup, *next_stage)
             }
             Phase::Stage { .. } => return Err(EngineError::Idle),
         };
-        let job = run.job;
         let event = if is_setup {
             EngineEvent::SetupFinished { job }
         } else {
             EngineEvent::ShuffleFinished { job, next_stage }
         };
-        match self.enter_stage(next_stage) {
+        match self.enter_stage(idx, next_stage) {
             Some(finished) => Ok(finished),
             None => Ok(event),
         }
@@ -484,19 +772,20 @@ impl ClusterSim {
 
     fn finish_task(
         &mut self,
+        job: JobId,
         stage: usize,
         fired: EventHandle,
     ) -> Result<EngineEvent, EngineError> {
         let speed = self.spec.speed_at(self.freq);
         let time = self.time;
-        let run = self.run.as_mut().ok_or(EngineError::Idle)?;
-        let job = run.job;
+        let idx = self.run_index(job)?;
+        let run = &mut self.runs[idx];
         let (tasks_left, stage_done) = match &mut run.phase {
             Phase::Stage {
-                idx,
+                idx: stage_idx,
                 queue,
                 running,
-            } if *idx == stage => {
+            } if *stage_idx == stage => {
                 // Remove exactly the task whose completion event fired,
                 // matched by handle (the pre-PR3 engine matched by residual
                 // work within an epsilon, which is ambiguous under ties).
@@ -511,7 +800,7 @@ impl ClusterSim {
                 if let Some(work) = queue.pop_front() {
                     let handle = self
                         .queue
-                        .push(time + work / speed, Internal::TaskDone { stage });
+                        .push(time + work / speed, Internal::TaskDone { job, stage });
                     running.push(RunningTask {
                         work_left: work,
                         since: time,
@@ -526,6 +815,8 @@ impl ClusterSim {
             _ => return Err(EngineError::Idle),
         };
         if !stage_done {
+            let job_busy = self.runs[idx].busy();
+            self.meter.update_job(self.time, job, job_busy);
             let busy = self.busy_slots();
             self.meter.update(self.time, busy, self.freq);
             return Ok(EngineEvent::TaskFinished {
@@ -535,14 +826,13 @@ impl ClusterSim {
             });
         }
         // Stage complete: shuffle to the next stage or finish the job.
-        let total_stages = run.stage_tasks.len();
+        let run = &mut self.runs[idx];
+        let total_stages = run.work.stage_tasks.len();
         if stage + 1 < total_stages {
-            let shuffle = run.shuffle_secs[stage];
-            let speed = self.spec.speed_at(self.freq);
+            let shuffle = run.work.shuffle_secs[stage];
             let handle = self
                 .queue
-                .push(self.time + shuffle / speed, Internal::SerialDone);
-            let run = self.run.as_mut().expect("job is running");
+                .push(self.time + shuffle / speed, Internal::SerialDone { job });
             run.phase = Phase::Serial {
                 is_setup: false,
                 next_stage: stage + 1,
@@ -550,90 +840,95 @@ impl ClusterSim {
                 since: self.time,
                 handle,
             };
-            self.meter.update(self.time, 1, self.freq);
+            self.meter.update_job(self.time, job, 1);
+            self.meter.update(self.time, self.busy_slots(), self.freq);
             Ok(EngineEvent::StageFinished { job, stage })
         } else {
-            Ok(self.finish_job())
+            Ok(self.finish_job(idx))
         }
     }
 
-    /// Begins stage `idx`; returns `Some(JobFinished)` if the job ends instead
-    /// (e.g. every remaining stage was dropped empty).
-    fn enter_stage(&mut self, idx: usize) -> Option<EngineEvent> {
+    /// Begins stage `stage` of run `idx`; returns `Some(JobFinished)` if the
+    /// job ends instead (e.g. every remaining stage was dropped empty).
+    fn enter_stage(&mut self, idx: usize, stage: usize) -> Option<EngineEvent> {
         let speed = self.spec.speed_at(self.freq);
         let time = self.time;
-        let slots = self.spec.slots();
-        let run = self.run.as_mut()?;
-        if idx >= run.stage_tasks.len() {
-            return Some(self.finish_job());
+        let run = &mut self.runs[idx];
+        let job = run.work.job;
+        let slots = run.slots.count;
+        if stage >= run.work.stage_tasks.len() {
+            return Some(self.finish_job(idx));
         }
-        let mut queue: VecDeque<f64> = run.stage_tasks[idx].iter().copied().collect();
+        let mut queue: VecDeque<f64> = run.work.stage_tasks[stage].iter().copied().collect();
         if queue.is_empty() {
             // Entire stage dropped: move straight through its shuffle or finish.
-            if idx + 1 < run.stage_tasks.len() {
-                let shuffle = run.shuffle_secs[idx];
+            if stage + 1 < run.work.stage_tasks.len() {
+                let shuffle = run.work.shuffle_secs[stage];
                 let handle = self
                     .queue
-                    .push(time + shuffle / speed, Internal::SerialDone);
+                    .push(time + shuffle / speed, Internal::SerialDone { job });
                 run.phase = Phase::Serial {
                     is_setup: false,
-                    next_stage: idx + 1,
+                    next_stage: stage + 1,
                     work_left: shuffle,
                     since: time,
                     handle,
                 };
-                self.meter.update(time, 1, self.freq);
+                self.meter.update_job(time, job, 1);
+                self.meter.update(time, self.busy_slots(), self.freq);
                 return None;
             }
-            return Some(self.finish_job());
+            return Some(self.finish_job(idx));
         }
         let mut running = Vec::new();
         while running.len() < slots {
             let Some(work) = queue.pop_front() else { break };
             let handle = self
                 .queue
-                .push(time + work / speed, Internal::TaskDone { stage: idx });
+                .push(time + work / speed, Internal::TaskDone { job, stage });
             running.push(RunningTask {
                 work_left: work,
                 since: time,
                 handle,
             });
         }
-        let busy = running.len();
+        let job_busy = running.len();
         run.phase = Phase::Stage {
-            idx,
+            idx: stage,
             queue,
             running,
         };
-        self.meter.update(time, busy, self.freq);
+        self.meter.update_job(time, job, job_busy);
+        self.meter.update(time, self.busy_slots(), self.freq);
         None
     }
 
-    fn finish_job(&mut self) -> EngineEvent {
-        let run = self.run.take().expect("job is running");
-        let sprint_secs = run.sprint_secs + self.current_sprint_tail();
-        if self.freq == FreqLevel::Sprint {
-            self.sprint_since = Some(self.time);
-        }
-        self.queue.clear();
-        self.meter.update(self.time, 0, self.freq);
-        EngineEvent::JobFinished {
-            job: run.job,
+    /// Completes run `idx`: frees its slots, retires its energy ledger, and
+    /// backfills pending jobs into the freed capacity.
+    fn finish_job(&mut self, idx: usize) -> EngineEvent {
+        let run = self.runs.remove(idx);
+        let sprint_secs = run.sprint_secs + run.sprint_since.map_or(0.0, |s| self.time - s);
+        self.meter.retire_job(self.time, run.work.job);
+        self.meter.update(self.time, self.busy_slots(), self.freq);
+        let event = EngineEvent::JobFinished {
+            job: run.work.job,
             metrics: JobRunMetrics {
                 execution_secs: self.time - run.started,
                 work_secs: run.work_done,
                 sprint_secs,
                 tasks_run: run.tasks_run,
-                tasks_dropped: run.tasks_dropped,
+                tasks_dropped: run.work.tasks_dropped,
             },
-        }
+        };
+        self.backfill();
+        event
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{JobSpec, StageKind, StageSpec};
+    use crate::{GangBinPack, JobSpec, PriorityPreempt, StageKind, StageSpec};
     use dias_stochastic::Dist;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -850,6 +1145,161 @@ mod tests {
         // Work conservation: all sampled work executed.
         assert!((m.work_secs - inst.total_work_secs()).abs() < 1e-6);
         assert_eq!(m.tasks_run, 45);
+    }
+
+    // -------- multi-job scheduling --------
+
+    /// A single-stage job of `tasks` × `secs` for `class`, no setup/shuffle.
+    fn narrow_job(id: u64, class: usize, tasks: usize, secs: f64) -> JobInstance {
+        let spec = JobSpec::builder(id, class)
+            .setup(Dist::constant(2.0))
+            .stage(StageSpec::new(StageKind::Map, tasks, Dist::constant(secs)))
+            .build();
+        let mut rng = StdRng::seed_from_u64(id);
+        JobInstance::sample(&spec, &mut rng)
+    }
+
+    #[test]
+    fn gang_runs_narrow_jobs_concurrently() {
+        let mut sim =
+            ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(GangBinPack));
+        // Two 8-wide jobs fit the 20-slot cluster side by side.
+        let a = sim.submit_job(&narrow_job(1, 0, 8, 16.0), &[0.0]).unwrap();
+        let b = sim.submit_job(&narrow_job(2, 0, 8, 16.0), &[0.0]).unwrap();
+        assert!(matches!(a, Submission::Dispatched { .. }));
+        assert!(matches!(b, Submission::Dispatched { .. }));
+        assert_eq!(sim.running_jobs(), vec![JobId(1), JobId(2)]);
+        let ranges = sim.assignments();
+        assert!(!ranges[0].1.overlaps(&ranges[1].1), "{ranges:?}");
+        // Both finish at t = 2 + 16 (one wave each, concurrently).
+        let mut finished = Vec::new();
+        while !sim.running_jobs().is_empty() {
+            if let EngineEvent::JobFinished { job, metrics } = sim.advance().unwrap() {
+                finished.push((job, metrics.execution_secs));
+            }
+        }
+        assert_eq!(finished.len(), 2);
+        for (_, exec) in &finished {
+            assert!((exec - 18.0).abs() < 1e-9, "exec {exec}");
+        }
+        assert!((sim.now().as_secs() - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gang_queues_when_cluster_is_full_and_backfills() {
+        let mut sim =
+            ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(GangBinPack));
+        sim.submit_job(&narrow_job(1, 0, 12, 10.0), &[0.0]).unwrap();
+        sim.submit_job(&narrow_job(2, 0, 8, 10.0), &[0.0]).unwrap();
+        // 12 + 8 fill the cluster; a 4-wide job must wait.
+        let c = sim.submit_job(&narrow_job(3, 0, 4, 1.0), &[0.0]).unwrap();
+        assert_eq!(c, Submission::Queued { evicted: vec![] });
+        assert_eq!(sim.pending_jobs(), 1);
+        // Drive until job 3 dispatches (first departure frees its slots).
+        let mut saw_three = false;
+        while !sim.is_idle() {
+            sim.advance().unwrap();
+            if sim.running_jobs().contains(&JobId(3)) {
+                saw_three = true;
+            }
+        }
+        assert!(saw_three, "queued job must eventually dispatch");
+    }
+
+    #[test]
+    fn priority_preempt_evicts_low_class_mid_stage() {
+        let mut sim =
+            ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(PriorityPreempt));
+        // A wide low-class job takes the whole cluster.
+        sim.submit_job(&narrow_job(1, 0, 20, 50.0), &[0.0]).unwrap();
+        // Setup done at t=2, tasks run to t=52.
+        sim.advance().unwrap();
+        sim.idle_until(SimTime::from_secs(10.0));
+        // A high-class arrival needs 20 slots: the low job is evicted.
+        let sub = sim.submit_job(&narrow_job(2, 1, 20, 5.0), &[0.0]).unwrap();
+        match sub {
+            Submission::Preempted { evicted, .. } => {
+                assert_eq!(evicted.len(), 1);
+                assert_eq!(evicted[0].0, JobId(1));
+                // 2 s setup + 20 slots × 8 s of partial tasks.
+                assert!((evicted[0].1.work_secs - (2.0 + 160.0)).abs() < 1e-9);
+            }
+            other => panic!("expected preemption, got {other:?}"),
+        }
+        assert_eq!(sim.running_jobs(), vec![JobId(2)]);
+        assert_eq!(sim.pending_jobs(), 1, "victim re-queued at head");
+        // High job finishes at 10 + 2 + 5 = 17; victim re-dispatches and
+        // re-executes from scratch (repeat-identical).
+        let mut finish_times = Vec::new();
+        while !sim.is_idle() {
+            if let EngineEvent::JobFinished { job, metrics } = sim.advance().unwrap() {
+                finish_times.push((job, sim.now().as_secs(), metrics));
+            }
+        }
+        assert_eq!(finish_times[0].0, JobId(2));
+        assert!((finish_times[0].1 - 17.0).abs() < 1e-9);
+        assert_eq!(finish_times[1].0, JobId(1));
+        // Restarted at 17: full 2 + 50 again.
+        assert!((finish_times[1].1 - (17.0 + 52.0)).abs() < 1e-9);
+        assert!((finish_times[1].2.execution_secs - 52.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_class_never_preempts() {
+        let mut sim =
+            ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(PriorityPreempt));
+        sim.submit_job(&narrow_job(1, 1, 20, 10.0), &[0.0]).unwrap();
+        let sub = sim.submit_job(&narrow_job(2, 1, 20, 10.0), &[0.0]).unwrap();
+        assert_eq!(sub, Submission::Queued { evicted: vec![] });
+    }
+
+    #[test]
+    fn evict_job_targets_a_specific_run() {
+        let mut sim =
+            ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(GangBinPack));
+        sim.submit_job(&narrow_job(1, 0, 8, 10.0), &[0.0]).unwrap();
+        sim.submit_job(&narrow_job(2, 0, 8, 10.0), &[0.0]).unwrap();
+        assert_eq!(
+            sim.evict_job(JobId(9)),
+            Err(EngineError::UnknownJob(JobId(9)))
+        );
+        sim.evict_job(JobId(2)).unwrap();
+        assert_eq!(sim.running_jobs(), vec![JobId(1)]);
+        // Job 1's events are untouched: it still completes.
+        let m = run_to_completion(&mut sim);
+        assert!((m.execution_secs - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_job_energy_is_attributed() {
+        let mut sim =
+            ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(GangBinPack));
+        sim.submit_job(&narrow_job(1, 0, 8, 16.0), &[0.0]).unwrap();
+        sim.submit_job(&narrow_job(2, 0, 4, 16.0), &[0.0]).unwrap();
+        while !sim.is_idle() {
+            sim.advance().unwrap();
+        }
+        let e1 = sim.job_energy(JobId(1)).unwrap();
+        let e2 = sim.job_energy(JobId(2)).unwrap();
+        // Setup: 1 slot × 2 s; stage: width slots × 16 s.
+        assert_eq!(e1.busy_slot_secs, 2.0 + 8.0 * 16.0);
+        assert_eq!(e2.busy_slot_secs, 2.0 + 4.0 * 16.0);
+        // 45 W per busy slot at base; attribution is lossless vs the meter.
+        assert_eq!(e1.active_joules, 45.0 * e1.busy_slot_secs);
+        let idle = 900.0 * sim.now().as_secs();
+        assert_eq!(
+            sim.energy_joules(),
+            idle + e1.active_joules + e2.active_joules
+        );
+    }
+
+    #[test]
+    fn scheduler_label_is_reported() {
+        let sim = ClusterSim::new(ClusterSpec::paper_reference());
+        assert_eq!(sim.scheduler_label(), "FIFO");
+        let sim =
+            ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(PriorityPreempt));
+        assert_eq!(sim.scheduler_label(), "PriorityPreempt");
     }
 }
 

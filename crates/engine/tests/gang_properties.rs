@@ -1,0 +1,220 @@
+//! Property-based tests of the multi-job scheduler invariants.
+//!
+//! Two invariants from the gang-scheduling tentpole:
+//!
+//! 1. **Disjointness** — `GangBinPack` (and `PriorityPreempt`) never assign
+//!    overlapping slot subsets to concurrently running jobs, at any point of
+//!    any interleaving of arrivals, completions and frequency switches.
+//! 2. **Lossless energy attribution** — the per-job [`EnergyMeter`] totals
+//!    sum to the cluster total **exactly** (`==`, not an epsilon): the
+//!    generator draws every duration and arrival gap as a dyadic rational
+//!    (a multiple of 1/8) and the cluster spec below uses dyadic powers and
+//!    a speedup of 2, so every product and sum the meter computes is exact
+//!    in `f64` and the linear power model distributes without rounding.
+//!
+//! [`EnergyMeter`]: dias_engine::EnergyMeter
+
+use proptest::prelude::*;
+
+use dias_des::SimTime;
+use dias_engine::{
+    ClusterSim, ClusterSpec, FreqLevel, GangBinPack, JobInstance, JobSpec, PowerModel,
+    PriorityPreempt, Scheduler, StageKind, StageSpec,
+};
+use dias_stochastic::Dist;
+
+/// Dyadic cluster: 5 workers × 4 cores = 20 slots, 16 W/slot active delta at
+/// base and 32 W/slot sprinting, speedup 2 — every meter operation is exact.
+fn dyadic_cluster() -> ClusterSpec {
+    ClusterSpec {
+        workers: 5,
+        cores_per_worker: 4,
+        base_freq_ghz: 1.0,
+        sprint_freq_ghz: 2.0,
+        sprint_speedup: 2.0,
+        power: PowerModel {
+            idle_w: 96.0,
+            active_w: 160.0,
+            sprint_w: 224.0,
+        },
+    }
+}
+
+/// One generated job: class, arrival gap (eighths of a second) and per-stage
+/// dyadic task durations.
+#[derive(Debug, Clone)]
+struct GenJob {
+    class: usize,
+    gap_eighths: u32,
+    setup_eighths: u32,
+    stages: Vec<Vec<u32>>, // task durations in eighths
+}
+
+fn arb_job() -> impl Strategy<Value = GenJob> {
+    (
+        0usize..2,
+        0u32..=256,
+        1u32..=64,
+        prop::collection::vec(prop::collection::vec(8u32..=96, 1..=30), 1..=2),
+    )
+        .prop_map(|(class, gap_eighths, setup_eighths, stages)| GenJob {
+            class,
+            gap_eighths,
+            setup_eighths,
+            stages,
+        })
+}
+
+/// Materializes a [`JobInstance`] with the generated dyadic durations (the
+/// spec's distributions are placeholders; execution reads the sampled fields).
+fn instance_of(id: u64, job: &GenJob) -> JobInstance {
+    let mut builder = JobSpec::builder(id, job.class).setup(Dist::constant(1.0));
+    for tasks in &job.stages {
+        builder = builder.stage(StageSpec::new(
+            StageKind::Map,
+            tasks.len(),
+            Dist::constant(1.0),
+        ));
+    }
+    let spec = builder.build();
+    JobInstance {
+        spec,
+        setup_secs: f64::from(job.setup_eighths) / 8.0,
+        shuffle_secs: vec![0.5; job.stages.len().saturating_sub(1)],
+        task_secs: job
+            .stages
+            .iter()
+            .map(|ts| ts.iter().map(|&k| f64::from(k) / 8.0).collect())
+            .collect(),
+        arrival_secs: 0.0,
+    }
+}
+
+/// Asserts the current assignments are pairwise disjoint and inside the
+/// cluster.
+fn assert_disjoint(sim: &ClusterSim) -> Result<(), String> {
+    let ranges = sim.assignments();
+    for (i, (job_a, a)) in ranges.iter().enumerate() {
+        prop_assert!(
+            a.end() <= sim.spec().slots(),
+            "{job_a} assigned {a} beyond the {}-slot cluster",
+            sim.spec().slots()
+        );
+        for (job_b, b) in &ranges[i + 1..] {
+            prop_assert!(!a.overlaps(b), "overlap: {job_a} on {a} vs {job_b} on {b}");
+        }
+    }
+    Ok(())
+}
+
+/// Drives `jobs` through a scheduler, checking disjointness at every state
+/// change and toggling the frequency at (dyadic) event times; returns the
+/// driven simulator after all jobs completed.
+fn drive(
+    jobs: &[GenJob],
+    scheduler: Box<dyn Scheduler>,
+    toggle_every: usize,
+) -> Result<ClusterSim, String> {
+    let mut sim = ClusterSim::with_scheduler(dyadic_cluster(), scheduler);
+    let mut arrival = 0.0f64;
+    let mut events = 0usize;
+    for (id, job) in jobs.iter().enumerate() {
+        arrival += f64::from(job.gap_eighths) / 8.0;
+        // Process engine events that precede the arrival.
+        while let Some(t) = sim.next_event_time() {
+            if t.as_secs() > arrival {
+                break;
+            }
+            sim.advance().expect("running events");
+            events += 1;
+            if toggle_every > 0 && events.is_multiple_of(toggle_every) {
+                let next = if sim.frequency() == FreqLevel::Base {
+                    FreqLevel::Sprint
+                } else {
+                    FreqLevel::Base
+                };
+                sim.set_frequency(next);
+            }
+            assert_disjoint(&sim)?;
+        }
+        sim.idle_until(SimTime::from_secs(arrival));
+        let inst = instance_of(id as u64, job);
+        sim.submit_job(&inst, &vec![0.0; job.stages.len()])
+            .expect("valid submission");
+        assert_disjoint(&sim)?;
+    }
+    while !sim.is_idle() {
+        sim.advance().expect("pending events while jobs run");
+        events += 1;
+        if toggle_every > 0 && events.is_multiple_of(toggle_every) {
+            let next = if sim.frequency() == FreqLevel::Base {
+                FreqLevel::Sprint
+            } else {
+                FreqLevel::Base
+            };
+            sim.set_frequency(next);
+        }
+        assert_disjoint(&sim)?;
+    }
+    Ok(sim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gang_bin_pack_keeps_slot_subsets_disjoint(
+        jobs in prop::collection::vec(arb_job(), 1..=8),
+        toggle in 0usize..=5,
+    ) {
+        drive(&jobs, Box::new(GangBinPack), toggle)?;
+    }
+
+    #[test]
+    fn priority_preempt_keeps_slot_subsets_disjoint(
+        jobs in prop::collection::vec(arb_job(), 1..=8),
+        toggle in 0usize..=5,
+    ) {
+        drive(&jobs, Box::new(PriorityPreempt), toggle)?;
+    }
+
+    #[test]
+    fn per_job_energy_sums_exactly_to_cluster_total(
+        jobs in prop::collection::vec(arb_job(), 1..=8),
+        toggle in 0usize..=5,
+    ) {
+        let sim = drive(&jobs, Box::new(GangBinPack), toggle)?;
+        let horizon = sim.now().as_secs();
+        let idle = sim.spec().cluster_power_w(0, FreqLevel::Base) * horizon;
+        let attributed: f64 = sim
+            .meter()
+            .finished_jobs()
+            .iter()
+            .map(|(_, e)| e.active_joules)
+            .sum();
+        // Dyadic inputs: the linear power model distributes exactly, so the
+        // identity holds with `==`, not within an epsilon.
+        prop_assert_eq!(sim.energy_joules(), idle + attributed);
+        prop_assert_eq!(sim.meter().finished_jobs().len(), jobs.len());
+    }
+
+    #[test]
+    fn per_job_energy_stays_exact_under_preemption(
+        jobs in prop::collection::vec(arb_job(), 2..=8),
+        toggle in 0usize..=5,
+    ) {
+        // Preemption retires partial attempts; their ledgers must still sum
+        // exactly (a job id retires once per evicted attempt plus once at
+        // completion).
+        let sim = drive(&jobs, Box::new(PriorityPreempt), toggle)?;
+        let horizon = sim.now().as_secs();
+        let idle = sim.spec().cluster_power_w(0, FreqLevel::Base) * horizon;
+        let attributed: f64 = sim
+            .meter()
+            .finished_jobs()
+            .iter()
+            .map(|(_, e)| e.active_joules)
+            .sum();
+        prop_assert_eq!(sim.energy_joules(), idle + attributed);
+    }
+}

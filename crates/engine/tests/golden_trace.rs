@@ -17,13 +17,19 @@
 //! `DIAS_GOLDEN_PRINT=1 cargo test -p dias-engine --test golden_trace -- --nocapture`
 //! and replace `EXPECTED` with the printed literals.
 
-use dias_engine::{ClusterSim, ClusterSpec, FreqLevel, JobInstance, JobSpec, StageKind, StageSpec};
+use dias_engine::{
+    ClusterSim, ClusterSpec, FreqLevel, JobInstance, JobSpec, PriorityPreempt, StageKind, StageSpec,
+};
 use dias_stochastic::Dist;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn variable_job(id: u64, seed: u64) -> JobInstance {
-    let spec = JobSpec::builder(id, 0)
+    variable_job_class(id, seed, 0)
+}
+
+fn variable_job_class(id: u64, seed: u64, class: usize) -> JobInstance {
+    let spec = JobSpec::builder(id, class)
         .input_mb(473.0)
         .setup(Dist::uniform(8.0, 12.0))
         .shuffle(Dist::uniform(4.0, 6.0))
@@ -171,4 +177,188 @@ const EXPECTED: &[&str] = &[
     "ev TaskFinished { job: JobId(2), stage: 1, tasks_left: 1 } e=63689.52547741921",
     "ev JobFinished { job: JobId(2), metrics: JobRunMetrics { execution_secs: 17.737863164511275, work_secs: 304.35586269874386, sprint_secs: 17.737863164511275, tasks_run: 26, tasks_dropped: 3 } } e=63709.52868389253",
     "end t=45.293774859102804 e=63709.52868389253",
+];
+
+/// Drives the multi-job preemption scenario under `PriorityPreempt`: a
+/// low-class job is evicted mid-stage by a high-class arrival (through its
+/// calendar handles — the other job's events must stay put), the high job
+/// runs partly at sprint frequency, and the victim re-dispatches from the
+/// engine's pending queue and re-executes from scratch (repeat-identical).
+/// Per-job energy attribution is recorded at the end.
+fn drive_preempt() -> Vec<String> {
+    let mut sim =
+        ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(PriorityPreempt));
+    let mut log = Vec::new();
+
+    let low = variable_job_class(1, 11, 0);
+    let sub = sim.submit_job(&low, &[0.1, 0.0]).unwrap();
+    log.push(format!(
+        "submit-low {:?} t={:?} e={:?}",
+        sub,
+        sim.now().as_secs(),
+        sim.energy_joules()
+    ));
+
+    // Setup + five task completions: the low job is mid-stage-0.
+    for _ in 0..6 {
+        let ev = sim.advance().unwrap();
+        log.push(format!("ev {:?} e={:?}", ev, sim.energy_joules()));
+    }
+
+    // High-class arrival needs the whole cluster: the low job is preempted.
+    let high = variable_job_class(2, 12, 1);
+    let sub = sim.submit_job(&high, &[0.0, 0.0]).unwrap();
+    log.push(format!(
+        "submit-high {:?} t={:?} pending={} e={:?}",
+        sub,
+        sim.now().as_secs(),
+        sim.pending_jobs(),
+        sim.energy_joules()
+    ));
+    log.push(format!(
+        "running {:?} assignments {:?}",
+        sim.running_jobs(),
+        sim.assignments()
+    ));
+
+    // Sprint for a stretch of the high job's stage 0, then back to base.
+    let mut steps = 0;
+    while !sim.is_idle() {
+        if steps == 8 {
+            sim.set_frequency(FreqLevel::Sprint);
+            log.push(format!(
+                "sprint-on t={:?} e={:?}",
+                sim.now().as_secs(),
+                sim.energy_joules()
+            ));
+        }
+        if steps == 16 {
+            sim.set_frequency(FreqLevel::Base);
+            log.push(format!(
+                "sprint-off t={:?} e={:?}",
+                sim.now().as_secs(),
+                sim.energy_joules()
+            ));
+        }
+        let ev = sim.advance().unwrap();
+        let finished = matches!(ev, dias_engine::EngineEvent::JobFinished { .. });
+        log.push(format!("ev {:?} e={:?}", ev, sim.energy_joules()));
+        if finished {
+            log.push(format!("running-after-finish {:?}", sim.running_jobs()));
+        }
+        steps += 1;
+    }
+
+    for id in [1u64, 2] {
+        let e = sim.job_energy(dias_engine::JobId(id)).unwrap();
+        log.push(format!(
+            "job{id} active={:?} busy_slot_secs={:?} sprint_slot_secs={:?}",
+            e.active_joules, e.busy_slot_secs, e.sprint_slot_secs
+        ));
+    }
+    log.push(format!(
+        "end t={:?} e={:?}",
+        sim.now().as_secs(),
+        sim.energy_joules()
+    ));
+    log
+}
+
+#[test]
+fn priority_preempt_trace_is_pinned() {
+    let lines = drive_preempt();
+    if std::env::var("DIAS_GOLDEN_PRINT").is_ok() {
+        for l in &lines {
+            println!("    {l:?},");
+        }
+    }
+    assert_eq!(
+        lines.len(),
+        EXPECTED_PREEMPT.len(),
+        "trace length changed: got {} lines, expected {}",
+        lines.len(),
+        EXPECTED_PREEMPT.len()
+    );
+    for (i, (got, want)) in lines.iter().zip(EXPECTED_PREEMPT).enumerate() {
+        assert_eq!(got, want, "preempt trace diverges at line {i}");
+    }
+}
+
+const EXPECTED_PREEMPT: &[&str] = &[
+    "submit-low Dispatched { slots: SlotRange { start: 0, count: 20 } } t=0.0 e=0.0",
+    "ev SetupFinished { job: JobId(1) } e=7979.111051788222",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 20 } e=18331.65138614626",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 19 } e=20717.865523930177",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 18 } e=21431.075554743995",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 17 } e=23404.666133020724",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 16 } e=23798.03236905632",
+    "submit-high Preempted { slots: SlotRange { start: 0, count: 20 }, evicted: [(JobId(1), EvictedWork { wall_secs: 17.317379592930802, work_secs: 182.49757189819107, sprint_secs: 0.0 })] } t=17.317379592930802 pending=1 e=23798.03236905632",
+    "running [JobId(2)] assignments [(JobId(2), SlotRange { start: 0, count: 20 })]",
+    "ev SetupFinished { job: JobId(2) } e=34107.89795530786",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 22 } e=43643.48602846687",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 21 } e=44000.183860440455",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 20 } e=44749.92077496921",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 19 } e=45963.70382126987",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 18 } e=47119.16265896517",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 17 } e=47938.53722396696",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 16 } e=48382.580826993006",
+    "sprint-on t=36.21808945168813 e=48382.580826993006",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 15 } e=50783.07158932769",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 14 } e=51149.50353889745",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 13 } e=51501.19073525901",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 12 } e=51899.257599138575",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 11 } e=52415.48898366885",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 10 } e=52699.67687275566",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 9 } e=52738.6212639675",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 8 } e=53134.75895846158",
+    "sprint-off t=38.42630195565115 e=53134.75895846158",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 7 } e=53847.7362582125",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 6 } e=55835.6735163567",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 5 } e=57165.705703836786",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 4 } e=58521.834967626506",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 3 } e=58543.10446004934",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 2 } e=59944.499412937745",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 1 } e=64382.67471909037",
+    "ev StageFinished { job: JobId(2), stage: 0 } e=64561.97708911517",
+    "ev ShuffleFinished { job: JobId(2), next_stage: 1 } e=69544.60783181958",
+    "ev TaskFinished { job: JobId(2), stage: 1, tasks_left: 5 } e=73967.64092823207",
+    "ev TaskFinished { job: JobId(2), stage: 1, tasks_left: 4 } e=74225.51459950132",
+    "ev TaskFinished { job: JobId(2), stage: 1, tasks_left: 3 } e=74280.06879897401",
+    "ev TaskFinished { job: JobId(2), stage: 1, tasks_left: 2 } e=74970.56385924587",
+    "ev TaskFinished { job: JobId(2), stage: 1, tasks_left: 1 } e=77549.04300755193",
+    "ev JobFinished { job: JobId(2), metrics: JobRunMetrics { execution_secs: 45.179252326216755, work_secs: 324.6219033033813, sprint_secs: 2.2082125039630185, tasks_run: 29, tasks_dropped: 0 } } e=78376.1483918281",
+    "running-after-finish [JobId(1)]",
+    "ev SetupFinished { job: JobId(1) } e=86355.25944361632",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 20 } e=96707.79977797435",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 19 } e=99094.01391575827",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 18 } e=99807.22394657208",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 17 } e=101780.81452484881",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 16 } e=102174.18076088442",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 15 } e=102469.53363362202",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 14 } e=104655.51332868573",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 13 } e=107084.90151453335",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 12 } e=107296.52244666187",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 11 } e=108623.97805242728",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 10 } e=110221.51718631953",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 9 } e=111311.12760386625",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 8 } e=111715.8380685872",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 7 } e=112205.15448155323",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 6 } e=112767.03850085697",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 5 } e=113476.57275300939",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 4 } e=114119.20149586546",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 3 } e=114346.19105300515",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 2 } e=114366.6268409146",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 1 } e=115056.27385984451",
+    "ev StageFinished { job: JobId(1), stage: 0 } e=115259.61791206454",
+    "ev ShuffleFinished { job: JobId(1), next_stage: 1 } e=120448.1484263795",
+    "ev TaskFinished { job: JobId(1), stage: 1, tasks_left: 5 } e=125469.62351690952",
+    "ev TaskFinished { job: JobId(1), stage: 1, tasks_left: 4 } e=127383.13739454965",
+    "ev TaskFinished { job: JobId(1), stage: 1, tasks_left: 3 } e=128618.57209605764",
+    "ev TaskFinished { job: JobId(1), stage: 1, tasks_left: 2 } e=128620.9940651822",
+    "ev TaskFinished { job: JobId(1), stage: 1, tasks_left: 1 } e=128715.48813476533",
+    "ev JobFinished { job: JobId(1), metrics: JobRunMetrics { execution_secs: 40.19891810063497, work_secs: 325.20563216229993, sprint_secs: 0.0, tasks_run: 27, tasks_dropped: 2 } } e=129189.42812970304",
+    "running-after-finish []",
+    "job1 active=14634.2534473035 busy_slot_secs=325.20563216230005 sprint_slot_secs=0.0",
+    "job2 active=13916.788929176695 busy_slot_secs=278.54212200501706 sprint_slot_secs=30.719854198909402",
+    "end t=102.69555001978253 e=129189.42812970304",
 ];

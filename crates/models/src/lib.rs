@@ -14,9 +14,9 @@
 //!
 //! Task dropping enters through the effective counts `n̄ = ⌈n(1−θ)⌉`; sprinting
 //! through modified service moments ([`sprint`]). The per-class response times of the
-//! resulting MMAP[K]/PH[K]/1 queue are computed two ways:
+//! resulting `MMAP[K]/PH[K]/1` queue are computed two ways:
 //!
-//! * exact **means** for marked-Poisson arrivals via classical M[K]/G/1 priority
+//! * exact **means** for marked-Poisson arrivals via classical `M[K]/G/1` priority
 //!   formulas ([`priority`]), plus the exact M/PH/1 waiting-time distribution
 //!   ([`priority::mph1_waiting_ph`]);
 //! * full **distributions** (tail percentiles) by Monte-Carlo evaluation of the same

@@ -1,4 +1,4 @@
-//! Monte-Carlo evaluation of the MMAP[K]/PH[K]/c priority queue.
+//! Monte-Carlo evaluation of the `MMAP[K]/PH[K]/c` priority queue.
 //!
 //! The paper uses Horváth's matrix-analytic method to obtain per-class response-time
 //! *distributions*. This module evaluates exactly the same stochastic model —
@@ -10,15 +10,15 @@
 //! Beyond the paper's single-server validation, the evaluator generalizes along
 //! two axes:
 //!
-//! * **`servers`** — an M/PH[K]/c configuration sharing one central calendar
+//! * **`servers`** — an `M/PH[K]/c` configuration sharing one central calendar
 //!   (the [`dias_des::EventQueue`] the engine runs on): completions are truly
 //!   cancellable events, so eviction under preemption cancels the victim's
 //!   completion outright instead of tracking a hand-rolled scalar.
 //! * **replications** — [`McQueue::replicas`] splits one run's job budget into
 //!   independently seeded sub-runs whose [`McResult`]s merge exactly
 //!   ([`McResult::merge`]), the building block
-//!   [`dias_core::sweep::run_mc_replicated`] fans across cores
-//!   deterministically.
+//!   `dias_core::sweep::run_mc_replicated` (a downstream crate) fans across
+//!   cores deterministically.
 //!
 //! The evaluator also supports *preemptive-repeat* — eviction that re-executes
 //! jobs from scratch, the behaviour production preemption actually exhibits and
@@ -72,7 +72,7 @@ pub struct McQueue {
     pub sprint: Vec<Option<SprintEffect>>,
     /// Scheduling discipline.
     pub discipline: Discipline,
-    /// Number of parallel servers (`c` of M/PH[K]/c). The paper validates at
+    /// Number of parallel servers (`c` of `M/PH[K]/c`). The paper validates at
     /// `1`; larger values open multi-server scenarios.
     pub servers: usize,
     /// Number of completed jobs to record after warm-up.
@@ -257,6 +257,32 @@ impl McQueue {
     ///
     /// Merging the replicas' results in index order with [`McResult::merge`]
     /// is exact and independent of how the sub-runs were scheduled.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dias_models::mc::{Discipline, McQueue};
+    /// use dias_stochastic::{MarkedPoisson, Ph};
+    ///
+    /// let queue = McQueue {
+    ///     arrivals: MarkedPoisson::new(vec![0.004, 0.001]).unwrap(),
+    ///     service: vec![
+    ///         Ph::erlang(3, 3.0 / 147.0).unwrap(),
+    ///         Ph::erlang(3, 3.0 / 126.0).unwrap(),
+    ///     ],
+    ///     sprint: vec![None, None],
+    ///     discipline: Discipline::NonPreemptive,
+    ///     servers: 1,
+    ///     jobs: 1000,
+    ///     warmup: 100,
+    ///     seed: 42,
+    /// };
+    /// let subs = queue.replicas(4).unwrap();
+    /// assert_eq!(subs.len(), 4);
+    /// // The job budget splits exactly; every replica draws its own stream.
+    /// assert_eq!(subs.iter().map(|s| s.jobs).sum::<usize>(), 1000);
+    /// assert!(subs.iter().all(|s| s.seed != queue.seed));
+    /// ```
     ///
     /// # Errors
     ///

@@ -1,8 +1,8 @@
-//! Exact mean-value analysis of the multi-class M[K]/G/1 priority queue, plus the
+//! Exact mean-value analysis of the multi-class `M[K]/G/1` priority queue, plus the
 //! exact M/PH/1 waiting-time distribution.
 //!
 //! With marked-Poisson arrivals (the paper's experimental arrival model) the
-//! MMAP[K]/PH[K]/1 queue reduces to a multi-class M/G/1 priority queue whose
+//! `MMAP[K]/PH[K]/1` queue reduces to a multi-class M/G/1 priority queue whose
 //! per-class mean waiting times have classical closed forms:
 //!
 //! * **non-preemptive** (head-of-line): Cobham's formula — the discipline DiAS uses;

@@ -2,7 +2,7 @@
 //!
 //! The DiAS paper (§4) models job processing times *bottom-up* as phase-type (PH)
 //! distributions — first at the task level, then at the wave level — and feeds them
-//! into an MMAP[K]/PH[K]/1 priority queue. This crate provides the probabilistic
+//! into an `MMAP[K]/PH[K]/1` priority queue. This crate provides the probabilistic
 //! toolbox those models are built from:
 //!
 //! * [`Ph`] — phase-type distributions: constructors (exponential, Erlang,
@@ -10,7 +10,7 @@
 //!   minimum/maximum), exact moments, CDF evaluation by uniformization, quantiles,
 //!   equilibrium and overshoot distributions, and sampling.
 //! * [`MarkedPoisson`] and [`Mmap`] — marked arrival processes with one stream per
-//!   priority class, as in the paper's MMAP[K] arrivals.
+//!   priority class, as in the paper's `MMAP[K]` arrivals.
 //! * [`Dist`] — scalar distributions used by the engine simulator for task execution
 //!   times, with exact means and second moments.
 //! * [`DiscreteDist`] — distributions over task counts (the paper's `p_m(t)`,

@@ -169,6 +169,27 @@ pub fn reference_two_priority(utilization: f64, seed: u64) -> JobStream {
     )
 }
 
+/// Sharded variant of the reference workload for the multi-job engine: the
+/// same two datasets arrive as *narrow* jobs — the 1117 MB input split into
+/// six ≈ 186 MB shards (8 map / 4 reduce tasks each) and the 473 MB input
+/// into four ≈ 118 MB shards (4 map / 2 reduce tasks) — so a job's gang
+/// occupies well under the cluster's 20 slots and scheduler policies
+/// ([`dias_engine::GangBinPack`], [`dias_engine::PriorityPreempt`]) can pack
+/// several jobs side by side. Total offered bytes and the 9:1 class ratio
+/// match [`reference_two_priority`]; per-task work is unchanged.
+#[must_use]
+pub fn sharded_two_priority(utilization: f64, seed: u64) -> JobStream {
+    let low = JobProfile::word_count("147-shard", 1117.0 / 6.0, 8, 33.4, 4, 12.0, 12.0, 8.0);
+    let high = JobProfile::word_count("126-shard", 473.0 / 4.0, 4, 27.9, 2, 11.0, 11.0, 7.0);
+    JobStream::with_target_utilization(
+        vec![low, high],
+        vec![0.9, 0.1],
+        &ClusterSpec::paper_reference(),
+        utilization,
+        seed,
+    )
+}
+
 /// Fig. 8a's variant: both priorities process the same (473 MB) dataset.
 #[must_use]
 pub fn equal_size_two_priority(utilization: f64, seed: u64) -> JobStream {

@@ -29,6 +29,27 @@
 //! assert!(report.mean_response(0) > 0.0);
 //! assert_eq!(report.evictions, 0); // DiAS never evicts
 //! ```
+//!
+//! # Multi-job quickstart
+//!
+//! Concurrent jobs on disjoint slot subsets, with per-class energy
+//! attribution and differential approximation + sprinting:
+//!
+//! ```
+//! use dias_repro::core::MultiJobExperiment;
+//! use dias_repro::engine::GangBinPack;
+//! use dias_repro::workloads::sharded_two_priority;
+//!
+//! let workload = sharded_two_priority(0.8, 7); // narrow (8-/4-wide) jobs
+//! let report = MultiJobExperiment::new(workload, Box::new(GangBinPack))
+//!     .drops(&[0.2, 0.0])     // DA(0,20): low class approximates
+//!     .sprint_top_class(true) // sprint while a high-class job runs
+//!     .jobs(50)
+//!     .run()
+//!     .unwrap();
+//! assert!(report.per_class[0].active_energy_joules > 0.0);
+//! assert_eq!(report.evictions, 0); // gang packing never evicts
+//! ```
 
 pub use dias_core as core;
 pub use dias_des as des;
