@@ -498,6 +498,34 @@ fn bench_multi_job(c: &mut Criterion) {
             JobInstance::sample(&spec, &mut rng)
         })
         .collect();
+    // Per-gang DVFS churn: four 5-wide gangs run concurrently while the
+    // driver toggles one job's frequency domain at every event — only that
+    // job's in-flight completions reschedule (the set_job_frequency path).
+    group.bench_function("per_gang_sprint", |b| {
+        use dias_engine::FreqLevel;
+        b.iter(|| {
+            let mut sim =
+                ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(GangBinPack));
+            for inst in &jobs {
+                sim.submit_job(inst, &[0.0, 0.0]).unwrap();
+            }
+            let mut flips = 0usize;
+            while !sim.is_idle() {
+                sim.advance().unwrap();
+                let running = sim.running_jobs();
+                if !running.is_empty() {
+                    let job = running[flips % running.len()];
+                    let next = match sim.job_frequency(job) {
+                        Some(FreqLevel::Base) => FreqLevel::Sprint,
+                        _ => FreqLevel::Base,
+                    };
+                    sim.set_job_frequency(job, next).unwrap();
+                    flips += 1;
+                }
+            }
+            black_box(sim.energy_joules())
+        });
+    });
     // Preemption churn: each odd (high-class) submission lands mid-stage of
     // the even (low-class) job before it and evicts it through its calendar
     // handles; victims re-queue and re-execute.

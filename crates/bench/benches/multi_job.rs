@@ -20,13 +20,23 @@
 //! Per class the table reports mean/p95 response, the active energy
 //! attributed by the engine's per-job meter, and the approximation loss the
 //! class's drop fraction maps to on the paper's Fig. 6 curve.
+//!
+//! A second sweep runs the **per-gang sprint frontier** (the Fig. 7/8/9-style
+//! policy axis under concurrency) on the heterogeneous-width workload, where
+//! 12-wide low gangs and 4-wide high gangs coexist and frequency domains
+//! genuinely diverge: no sprint, unlimited per-gang sprint, budgeted sprint
+//! from dispatch, and budgeted sprint after the paper's 65 s timeout. The
+//! differential effect to look for: budgeted sprinting improves high-class
+//! mean response while low-class active energy stays within noise of the
+//! no-sprint run (low gangs never sprint — only scheduling shifts).
 
 use dias_bench::{banner, bench_jobs, compare};
 use dias_core::multi::default_accuracy_curve;
 use dias_core::{run_multi_experiments, MultiJobExperiment, MultiJobReport};
-use dias_engine::{Fifo, GangBinPack, PriorityPreempt};
+use dias_core::{SprintBudget, SprintPolicy};
+use dias_engine::{ClusterSpec, Fifo, GangBinPack, PriorityPreempt};
 use dias_models::accuracy::AccuracyCurve;
-use dias_workloads::sharded_two_priority;
+use dias_workloads::{heterogeneous_width_two_priority, sharded_two_priority};
 
 fn print_report(label: &str, r: &MultiJobReport, curve: &dyn AccuracyCurve) {
     println!("{label}");
@@ -134,6 +144,117 @@ fn main() {
             "{:.0} kJ vs {:.0} kJ",
             fifo_split / 1e3,
             (fifo.energy_joules - fifo.idle_energy_joules) / 1e3
+        ),
+    );
+
+    // ---- per-gang sprint frontier on heterogeneous gang widths ----
+    println!();
+    banner(
+        "Per-gang sprint frontier",
+        "budgeted/timeout sprint policies over heterogeneous-width gangs",
+    );
+    let spec = ClusterSpec::paper_reference();
+    // The paper's limited scenario scaled to a 4-wide high gang: a gang
+    // sprinting costs width × 45 W extra, replenished at 6 min/h of a
+    // full-gang sprint.
+    let budget = || {
+        SprintBudget::limited(
+            22_000.0,
+            4.0 * spec.sprint_extra_slot_power_w() * 6.0 * 60.0 / 3600.0,
+        )
+    };
+    let sprint_points = vec![
+        MultiJobExperiment::new(
+            heterogeneous_width_two_priority(util, seed),
+            Box::new(GangBinPack),
+        )
+        .drops(&[0.2, 0.0])
+        .jobs(jobs),
+        MultiJobExperiment::new(
+            heterogeneous_width_two_priority(util, seed),
+            Box::new(GangBinPack),
+        )
+        .drops(&[0.2, 0.0])
+        .sprint_top_class(true)
+        .jobs(jobs),
+        MultiJobExperiment::new(
+            heterogeneous_width_two_priority(util, seed),
+            Box::new(GangBinPack),
+        )
+        .drops(&[0.2, 0.0])
+        .sprint(SprintPolicy::top_class(2, 0.0, budget()))
+        .jobs(jobs),
+        MultiJobExperiment::new(
+            heterogeneous_width_two_priority(util, seed),
+            Box::new(GangBinPack),
+        )
+        .drops(&[0.2, 0.0])
+        .sprint(SprintPolicy::top_class(2, 65.0, budget()))
+        .jobs(jobs),
+    ];
+    let sprint_labels = [
+        "no sprint",
+        "unlimited per-gang sprint",
+        "budgeted sprint (22 kJ, T=0)",
+        "budgeted sprint (22 kJ, T=65s)",
+    ];
+    let frontier: Vec<MultiJobReport> =
+        run_multi_experiments(sprint_points, dias_core::sweep::default_threads())
+            .into_iter()
+            .map(|r| r.expect("experiment configuration is valid"))
+            .collect();
+    for (label, r) in sprint_labels.iter().zip(&frontier) {
+        print_report(label, r, &curve);
+        println!(
+            "  sprint slot-secs {:.0}  budget spent {:.1} kJ  replenished {:.1} kJ  remaining {:.1} kJ",
+            r.per_class.iter().map(|c| c.sprint_slot_secs).sum::<f64>(),
+            r.sprint_budget_spent_j / 1e3,
+            r.sprint_budget_replenished_j / 1e3,
+            r.sprint_budget_remaining_j / 1e3,
+        );
+        println!();
+    }
+
+    println!("frontier checkpoints (the differential effect under a budget):");
+    let (nosprint, budgeted) = (&frontier[0], &frontier[2]);
+    compare(
+        "budgeted sprint: high-class mean response",
+        "improves vs no sprint",
+        &format!(
+            "{:.1}s vs {:.1}s",
+            budgeted.mean_response(1),
+            nosprint.mean_response(1)
+        ),
+    );
+    compare(
+        "budgeted sprint: low-class active energy",
+        "within noise of no-sprint (low gangs never sprint)",
+        &format!(
+            "{:.0} kJ vs {:.0} kJ ({:+.2}%)",
+            budgeted.per_class[0].active_energy_joules / 1e3,
+            nosprint.per_class[0].active_energy_joules / 1e3,
+            100.0
+                * (budgeted.per_class[0].active_energy_joules
+                    - nosprint.per_class[0].active_energy_joules)
+                / nosprint.per_class[0].active_energy_joules,
+        ),
+    );
+    compare(
+        "budget charge: spent vs unlimited sprint slot-secs",
+        "budget caps the sprint supply",
+        &format!(
+            "{:.1} kJ spent, {:.0} sprint slot-secs (vs {:.0} unlimited)",
+            budgeted.sprint_budget_spent_j / 1e3,
+            budgeted
+                .per_class
+                .iter()
+                .map(|c| c.sprint_slot_secs)
+                .sum::<f64>(),
+            frontier[1]
+                .per_class
+                .iter()
+                .map(|c| c.sprint_slot_secs)
+                .sum::<f64>(),
         ),
     );
 }

@@ -60,6 +60,7 @@ mod buffers;
 mod experiment;
 mod metrics;
 pub mod multi;
+mod multi_sprint;
 mod policy;
 mod sprinter;
 pub mod sweep;
@@ -68,6 +69,7 @@ pub use buffers::{PriorityBuffers, QueuedJob};
 pub use experiment::{Experiment, ExperimentError, JobSource, VecJobSource};
 pub use metrics::{ClassStats, ExperimentReport};
 pub use multi::{MultiClassStats, MultiJobExperiment, MultiJobReport};
+pub use multi_sprint::MultiSprinter;
 pub use policy::{ClassPolicy, Policy, Scheduling};
 pub use sprinter::{SprintBudget, SprintPolicy, Sprinter};
 pub use sweep::{run_experiments, run_multi_experiments, run_parallel, ExperimentSpec};

@@ -15,6 +15,15 @@
 //! harvested per completion, so the report can split the cluster's active
 //! energy by priority class — the measurement the paper's energy discussion
 //! (§5.3) needs once jobs coexist.
+//!
+//! Sprinting is *per gang*: a full [`SprintPolicy`] (per-class timeouts plus
+//! a shared replenishing budget, the paper's §3.3 knobs) drives a
+//! [`MultiSprinter`] whose start/stop events flip individual jobs' frequency
+//! domains ([`ClusterSim::set_job_frequency`]) instead of the whole cluster.
+//! Queueing is measured from the engine's dispatch log
+//! ([`ClusterSim::take_dispatched`]) and decomposed into plain waiting
+//! (arrival → first dispatch) and preemption re-execution loss (first → final
+//! dispatch).
 
 use std::collections::HashMap;
 
@@ -23,7 +32,7 @@ use dias_des::SimTime;
 use dias_engine::{ClusterSim, ClusterSpec, EngineEvent, FreqLevel, JobId, Scheduler, Submission};
 use dias_models::accuracy::{AccuracyCurve, SamplingErrorModel};
 
-use crate::{ExperimentError, JobSource};
+use crate::{ExperimentError, JobSource, MultiSprinter, SprintPolicy};
 
 /// Per-class outcomes of a [`MultiJobExperiment`].
 #[derive(Debug, Clone, Default)]
@@ -32,8 +41,17 @@ pub struct MultiClassStats {
     pub completed: u64,
     /// End-to-end response times (arrival → completion) of measured jobs.
     pub response: SampleSet,
-    /// Queueing + re-execution times (response − final-attempt execution).
+    /// Queueing + re-execution times, measured from the engine's dispatch
+    /// log: arrival → final-attempt dispatch. Decomposes exactly into
+    /// [`MultiClassStats::dispatch_wait`] + [`MultiClassStats::reexec_loss`].
     pub queueing: SampleSet,
+    /// Plain waiting: arrival → *first* dispatch (time spent purely queued,
+    /// no work lost).
+    pub dispatch_wait: SampleSet,
+    /// Preemption re-execution loss: first dispatch → final dispatch (the
+    /// destroyed attempts plus the re-queue waits between them; 0 for jobs
+    /// never evicted).
+    pub reexec_loss: SampleSet,
     /// Final-attempt execution times.
     pub execution: SampleSet,
     /// Fraction of each measured job's tasks dropped by the deflator — the
@@ -89,6 +107,14 @@ pub struct MultiJobReport {
     pub busy_slot_secs: f64,
     /// Average fraction of the cluster's slot capacity in use.
     pub utilization: f64,
+    /// Joules the sprint budget spent over the run (0 without a sprint policy
+    /// or with an unlimited budget).
+    pub sprint_budget_spent_j: f64,
+    /// Joules replenished into the sprint budget over the run.
+    pub sprint_budget_replenished_j: f64,
+    /// Sprint budget remaining at the end of the run (∞ for an unlimited
+    /// budget, 0 without a sprint policy).
+    pub sprint_budget_remaining_j: f64,
 }
 
 impl MultiJobReport {
@@ -163,6 +189,7 @@ pub struct MultiJobExperiment<S> {
     cluster: ClusterSpec,
     /// Per-class drop ratio applied to droppable stages.
     thetas: Option<Vec<f64>>,
+    sprint: Option<SprintPolicy>,
     sprint_top_class: bool,
     jobs: usize,
     warmup: Option<usize>,
@@ -174,6 +201,25 @@ struct JobMeta {
     arrival_secs: f64,
     seq: usize,
     evictions: u32,
+    /// Dispatch count of the job so far (bumped per attempt); sprint timers
+    /// are armed per attempt and die with it on eviction.
+    attempt: u32,
+    /// When the first attempt started executing.
+    first_dispatch: Option<f64>,
+    /// When the latest attempt started executing.
+    last_dispatch: f64,
+    /// Gang width of the latest attempt — the slot count a sprint is charged
+    /// for.
+    width: usize,
+}
+
+/// A pending per-attempt sprint timer: when it fires, `job`'s domain starts
+/// sprinting if the attempt is still running and the budget allows.
+#[derive(Debug, Clone, Copy)]
+struct SprintTimer {
+    at: SimTime,
+    job: JobId,
+    attempt: u32,
 }
 
 impl<S: JobSource> MultiJobExperiment<S> {
@@ -187,6 +233,7 @@ impl<S: JobSource> MultiJobExperiment<S> {
             scheduler,
             cluster: ClusterSpec::paper_reference(),
             thetas: None,
+            sprint: None,
             sprint_top_class: false,
             jobs: 1000,
             warmup: None,
@@ -234,10 +281,27 @@ impl<S: JobSource> MultiJobExperiment<S> {
         self
     }
 
-    /// Sprints the cluster whenever a job of the *top* priority class is
-    /// running (and drops back to base when none is) — the differential
-    /// sprinting story with concurrency: every coexisting job accelerates,
-    /// but only top-class presence triggers the boost.
+    /// Runs a full [`SprintPolicy`] over the concurrent jobs: each dispatched
+    /// attempt of a sprinting class arms a per-attempt timer; when it fires,
+    /// only that job's frequency domain sprints
+    /// ([`ClusterSim::set_job_frequency`]), charged to the policy's shared
+    /// budget at [`ClusterSpec::sprint_extra_slot_power_w`] per slot of its
+    /// gang. Budget depletion drops every sprinting domain back to base
+    /// together (the paper's single-switch semantics).
+    ///
+    /// Overrides [`MultiJobExperiment::sprint_top_class`].
+    #[must_use]
+    pub fn sprint(mut self, policy: SprintPolicy) -> Self {
+        self.sprint = Some(policy);
+        self
+    }
+
+    /// Convenience for the simplest differential rule: top-class jobs sprint
+    /// their own gangs from dispatch with no budget limit — shorthand for
+    /// [`MultiJobExperiment::sprint`] with
+    /// [`SprintPolicy::unlimited_for_top`]. Lower-class neighbours stay at
+    /// base frequency (per-gang domains; before PR 5 this knob sprinted the
+    /// whole cluster).
     #[must_use]
     pub fn sprint_top_class(mut self, on: bool) -> Self {
         self.sprint_top_class = on;
@@ -250,14 +314,17 @@ impl<S: JobSource> MultiJobExperiment<S> {
     /// Measurement is keyed on *arrival order* exactly as in
     /// [`Experiment::run`](crate::Experiment::run), so reports are directly
     /// comparable across scheduler policies. Energy, waste and utilization
-    /// span the whole run.
+    /// span the whole run. With a sprint policy configured, per-attempt sprint
+    /// timers, budget-depletion stops and per-gang domain switches are
+    /// interleaved with engine events and arrivals at exact event times.
     ///
     /// # Errors
     ///
-    /// Returns [`ExperimentError::ClassMismatch`] when the drop vector and
-    /// the source disagree on the number of classes, a wrapped engine error
-    /// if submission fails, or [`ExperimentError::Starved`] when a measured
-    /// job cannot complete under the offered load.
+    /// Returns [`ExperimentError::ClassMismatch`] when the drop vector or the
+    /// sprint policy and the source disagree on the number of classes, a
+    /// wrapped engine error if submission fails, or
+    /// [`ExperimentError::Starved`] when a measured job cannot complete under
+    /// the offered load.
     #[allow(clippy::too_many_lines)]
     pub fn run(mut self) -> Result<MultiJobReport, ExperimentError> {
         let classes = self.source.classes();
@@ -269,7 +336,21 @@ impl<S: JobSource> MultiJobExperiment<S> {
                 });
             }
         }
-        let top_class = classes - 1;
+        let sprint_policy = match self.sprint.take() {
+            Some(p) => {
+                if p.timeouts.len() != classes {
+                    return Err(ExperimentError::ClassMismatch {
+                        policy: p.timeouts.len(),
+                        source: classes,
+                    });
+                }
+                Some(p)
+            }
+            None if self.sprint_top_class => Some(SprintPolicy::unlimited_for_top(classes)),
+            None => None,
+        };
+        let mut sprinter =
+            sprint_policy.map(|p| MultiSprinter::new(p, self.cluster.sprint_extra_slot_power_w()));
         let mut engine = ClusterSim::with_scheduler(self.cluster.clone(), self.scheduler);
         let mut report = MultiJobReport {
             scheduler: engine.scheduler_label().to_string(),
@@ -278,6 +359,7 @@ impl<S: JobSource> MultiJobExperiment<S> {
         };
 
         let mut meta: HashMap<JobId, JobMeta> = HashMap::new();
+        let mut timers: Vec<SprintTimer> = Vec::new();
         let mut next_arrival = self.source.next_job();
         let warmup = self.warmup.unwrap_or(self.jobs / 10);
         let target = warmup + self.jobs;
@@ -299,17 +381,34 @@ impl<S: JobSource> MultiJobExperiment<S> {
             let arrival_t = next_arrival
                 .as_ref()
                 .map(|j| SimTime::from_secs(j.arrival_secs));
-            let Some(next_t) = [engine_t, arrival_t].iter().flatten().copied().min() else {
+            let depletion_t = sprinter.as_ref().and_then(MultiSprinter::depletion_time);
+            // Purge timers whose attempt is dead (job finished, or evicted —
+            // a re-dispatch arms a fresh timer under a bumped attempt). A
+            // stale timer must not keep the clock running past the last real
+            // event, or a finite source's horizon (and idle energy) would
+            // grow a phantom tail.
+            timers.retain(|t| {
+                meta.get(&t.job).is_some_and(|m| m.attempt == t.attempt)
+                    && engine.job_frequency(t.job).is_some()
+            });
+            let timer_t = timers.iter().map(|t| t.at).min();
+            let Some(next_t) = [engine_t, depletion_t, timer_t, arrival_t]
+                .iter()
+                .flatten()
+                .copied()
+                .min()
+            else {
                 break; // source exhausted, engine drained
             };
 
-            // The set of running jobs only changes on a completion (which
-            // backfills) or an arrival (which dispatches/preempts); the
-            // sprint rule below is re-evaluated only at those transitions.
-            let mut running_changed = false;
+            // Tie-breaking at equal timestamps is fixed — engine event, then
+            // budget depletion, then sprint timers, then the arrival — so
+            // runs are deterministic whatever the configuration.
             if engine_t == Some(next_t) {
                 if let EngineEvent::JobFinished { job, metrics } = engine.advance()? {
-                    running_changed = true;
+                    if let Some(s) = sprinter.as_mut() {
+                        s.stop(next_t, job);
+                    }
                     total_completions += 1;
                     report.total_work_secs += metrics.work_secs;
                     let m = meta.remove(&job).expect("finished job was submitted");
@@ -321,9 +420,13 @@ impl<S: JobSource> MultiJobExperiment<S> {
                         stats.completed += 1;
                         stats.response.push(response);
                         stats.execution.push(metrics.execution_secs);
-                        stats
-                            .queueing
-                            .push((response - metrics.execution_secs).max(0.0));
+                        // Queueing straight from the engine's dispatch log:
+                        // plain waiting before the first attempt, plus the
+                        // re-execution loss preemption inflicted after it.
+                        let first = m.first_dispatch.unwrap_or(m.arrival_secs);
+                        stats.dispatch_wait.push(first - m.arrival_secs);
+                        stats.reexec_loss.push(m.last_dispatch - first);
+                        stats.queueing.push(m.last_dispatch - m.arrival_secs);
                         // The engine is the authority on what was dropped
                         // (prefix-keep of ⌈n(1−θ)⌉ tasks per stage).
                         let total_tasks = metrics.tasks_run + metrics.tasks_dropped;
@@ -336,9 +439,44 @@ impl<S: JobSource> MultiJobExperiment<S> {
                     }
                     harvest_energy(&mut engine, &meta, m.class, job, &mut report);
                 }
+            } else if depletion_t == Some(next_t) {
+                // Budget dry: every sprinting domain drops to base together.
+                engine.idle_until(next_t);
+                let s = sprinter.as_mut().expect("depletion implies a sprinter");
+                for job in s.stop_all(next_t) {
+                    engine
+                        .set_job_frequency(job, FreqLevel::Base)
+                        .expect("sprinting job is running");
+                }
+            } else if timer_t == Some(next_t) {
+                // Per-attempt sprint timers: start each due job's domain if
+                // its attempt still runs and the budget has joules left.
+                engine.idle_until(next_t);
+                let s = sprinter.as_mut().expect("timers imply a sprinter");
+                let mut due = Vec::new();
+                timers.retain(|t| {
+                    if t.at == next_t {
+                        due.push(*t);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                for t in due {
+                    let Some(m) = meta.get(&t.job) else { continue };
+                    if m.attempt != t.attempt
+                        || engine.job_frequency(t.job) != Some(FreqLevel::Base)
+                    {
+                        continue; // attempt evicted/finished, or already sprinting
+                    }
+                    if s.try_start(next_t, t.job, m.width) {
+                        engine
+                            .set_job_frequency(t.job, FreqLevel::Sprint)
+                            .expect("timer fired for a running job");
+                    }
+                }
             } else {
                 // Arrival: hand it straight to the engine's scheduler.
-                running_changed = true;
                 let instance = next_arrival.take().expect("candidate implies presence");
                 next_arrival = self.source.next_job();
                 let class = instance.class();
@@ -353,6 +491,10 @@ impl<S: JobSource> MultiJobExperiment<S> {
                         arrival_secs: instance.arrival_secs,
                         seq: arrival_seq,
                         evictions: 0,
+                        attempt: 0,
+                        first_dispatch: None,
+                        last_dispatch: instance.arrival_secs,
+                        width: 0,
                     },
                 );
                 arrival_seq += 1;
@@ -367,6 +509,11 @@ impl<S: JobSource> MultiJobExperiment<S> {
                 for (victim, lost) in evicted {
                     report.evictions += 1;
                     report.wasted_work_secs += lost.work_secs;
+                    if let Some(s) = sprinter.as_mut() {
+                        // A sprinting victim stops draining the budget; its
+                        // timer dies with the attempt (stale-attempt check).
+                        s.stop(next_t, victim);
+                    }
                     if let Some(vm) = meta.get_mut(&victim) {
                         vm.evictions += 1;
                     }
@@ -377,16 +524,27 @@ impl<S: JobSource> MultiJobExperiment<S> {
                 }
             }
 
-            if self.sprint_top_class && running_changed {
-                let top_running = engine
-                    .running_jobs()
-                    .iter()
-                    .any(|j| meta.get(j).is_some_and(|m| m.class == top_class));
-                engine.set_frequency(if top_running {
-                    FreqLevel::Sprint
-                } else {
-                    FreqLevel::Base
-                });
+            // Drain the engine's dispatch log: every placement (arrival,
+            // backfill, eviction re-dispatch) stamps the attempt and arms its
+            // sprint timer.
+            for d in engine.take_dispatched() {
+                let m = meta.get_mut(&d.job).expect("dispatched job was submitted");
+                m.attempt += 1;
+                let secs = d.time.as_secs();
+                if m.first_dispatch.is_none() {
+                    m.first_dispatch = Some(secs);
+                }
+                m.last_dispatch = secs;
+                m.width = d.slots.count;
+                if let Some(s) = sprinter.as_ref() {
+                    if let Some(timeout) = s.timeout_for(m.class) {
+                        timers.push(SprintTimer {
+                            at: d.time + timeout,
+                            job: d.job,
+                            attempt: m.attempt,
+                        });
+                    }
+                }
             }
         }
 
@@ -413,6 +571,12 @@ impl<S: JobSource> MultiJobExperiment<S> {
         report.horizon_secs = horizon;
         report.energy_joules = engine.energy_joules();
         report.idle_energy_joules = self.cluster.cluster_power_w(0, FreqLevel::Base) * horizon;
+        if let Some(s) = sprinter.as_mut() {
+            s.advance_to(engine.now());
+            report.sprint_budget_spent_j = s.spent_j();
+            report.sprint_budget_replenished_j = s.replenished_j();
+            report.sprint_budget_remaining_j = s.budget_j();
+        }
         let capacity = horizon * self.cluster.slots() as f64;
         report.utilization = if capacity > 0.0 {
             (report.busy_slot_secs / capacity).min(1.0)
@@ -612,6 +776,10 @@ mod tests {
         );
         let sprinted: f64 = sprint.per_class.iter().map(|c| c.sprint_slot_secs).sum();
         assert!(sprinted > 0.0);
+        // Per-gang domains: only top-class jobs sprint — the low class never
+        // accrues a single sprint slot-second.
+        assert_eq!(sprint.per_class[0].sprint_slot_secs, 0.0);
+        assert!(sprint.per_class[1].sprint_slot_secs > 0.0);
         assert_eq!(
             plain
                 .per_class
@@ -620,6 +788,126 @@ mod tests {
                 .sum::<f64>(),
             0.0
         );
+        // Unlimited budget: nothing spent, nothing left to replenish.
+        assert_eq!(sprint.sprint_budget_spent_j, 0.0);
+        assert!(sprint.sprint_budget_remaining_j.is_infinite());
+    }
+
+    #[test]
+    fn budgeted_sprint_spends_and_conserves_the_budget() {
+        use crate::{SprintBudget, SprintPolicy};
+        let budget = SprintBudget::limited(40_000.0, 45.0);
+        let report = MultiJobExperiment::new(workload(100, 4.0, 10.0), Box::new(GangBinPack))
+            .sprint(SprintPolicy::top_class(2, 0.0, budget))
+            .jobs(60)
+            .run()
+            .unwrap();
+        assert!(report.sprint_budget_spent_j > 0.0, "top class must sprint");
+        assert!(report.per_class[1].sprint_slot_secs > 0.0);
+        assert_eq!(report.per_class[0].sprint_slot_secs, 0.0);
+        // Conservation: initial + replenished − spent == remaining (within
+        // float noise for arbitrary task times; exact under dyadic inputs —
+        // see crates/core/tests/multi_sprint_properties.rs).
+        let residual = 40_000.0 + report.sprint_budget_replenished_j
+            - report.sprint_budget_spent_j
+            - report.sprint_budget_remaining_j;
+        assert!(residual.abs() < 1e-6, "residual {residual}");
+        // The budget is charged per sprinting gang: spent equals the sprint
+        // slot-seconds times the per-slot extra power... as long as every
+        // charged slot was busy. Gangs idle trailing slots late in a stage,
+        // so the *accrued* sprint slot-seconds only bound the charge.
+        let spec = dias_engine::ClusterSpec::paper_reference();
+        assert!(
+            report.sprint_budget_spent_j
+                >= report.per_class[1].sprint_slot_secs * spec.sprint_extra_slot_power_w() - 1e-6
+        );
+    }
+
+    #[test]
+    fn zero_budget_reproduces_the_no_sprint_run_bit_identically() {
+        use crate::{SprintBudget, SprintPolicy};
+        // `jobs(90)` exceeds the 80-job source: the run ends by source
+        // exhaustion, the path where stale timers could once stretch the
+        // horizon (the loop only breaks when no event time remains).
+        let none = MultiJobExperiment::new(workload(80, 3.0, 12.0), Box::new(PriorityPreempt))
+            .jobs(90)
+            .warmup(0)
+            .run()
+            .unwrap();
+        // T=0 exercises timers firing with an empty budget; the long timeout
+        // exercises timers armed but still pending when the source drains —
+        // neither may flip a domain, and stale timers must not stretch the
+        // horizon past the last real event (no phantom idle tail).
+        for timeout in [0.0, 5_000.0] {
+            let zero = SprintBudget::Limited {
+                initial_j: 0.0,
+                replenish_w: 0.0,
+                cap_j: 0.0,
+            };
+            let zeroed =
+                MultiJobExperiment::new(workload(80, 3.0, 12.0), Box::new(PriorityPreempt))
+                    .sprint(SprintPolicy::top_class(2, timeout, zero))
+                    .jobs(90)
+                    .warmup(0)
+                    .run()
+                    .unwrap();
+            // Bit-identical: an empty budget must never flip a domain, so
+            // every timestamp and energy figure matches exactly.
+            assert_eq!(none.horizon_secs, zeroed.horizon_secs, "T={timeout}");
+            assert_eq!(none.energy_joules, zeroed.energy_joules, "T={timeout}");
+            for (a, b) in none.per_class.iter().zip(&zeroed.per_class) {
+                assert_eq!(a.response.mean(), b.response.mean());
+                assert_eq!(a.queueing.mean(), b.queueing.mean());
+                assert_eq!(a.active_energy_joules, b.active_energy_joules);
+                assert_eq!(a.sprint_slot_secs, 0.0);
+                assert_eq!(b.sprint_slot_secs, 0.0);
+            }
+            assert_eq!(zeroed.sprint_budget_spent_j, 0.0);
+        }
+    }
+
+    /// Cluster-wide jobs (20-task map stages): every high-class arrival must
+    /// preempt the low-class job running under it, so re-execution loss is
+    /// guaranteed to appear.
+    fn cluster_wide_workload(n: u64, gap: f64) -> VecJobSource {
+        let mut rng = StdRng::seed_from_u64(31);
+        let jobs = (0..n)
+            .map(|i| {
+                let class = usize::from(i % 5 == 0);
+                let spec = JobSpec::builder(i, class)
+                    .setup(Dist::constant(1.0))
+                    .stage(StageSpec::new(StageKind::Map, 20, Dist::constant(10.0)))
+                    .build();
+                let mut inst = JobInstance::sample(&spec, &mut rng);
+                inst.arrival_secs = i as f64 * gap;
+                inst
+            })
+            .collect();
+        VecJobSource::new(jobs, 2)
+    }
+
+    #[test]
+    fn queueing_decomposes_into_wait_plus_reexec_loss() {
+        let report =
+            MultiJobExperiment::new(cluster_wide_workload(120, 8.0), Box::new(PriorityPreempt))
+                .jobs(70)
+                .run()
+                .unwrap();
+        assert!(report.evictions > 0, "scenario must actually preempt");
+        for c in &report.per_class {
+            // The decomposition is exact per job: queueing = wait + re-exec.
+            assert!(
+                (c.queueing.mean() - c.dispatch_wait.mean() - c.reexec_loss.mean()).abs() < 1e-9,
+                "queueing {} vs wait {} + reexec {}",
+                c.queueing.mean(),
+                c.dispatch_wait.mean(),
+                c.reexec_loss.mean()
+            );
+        }
+        // The saturated low class suffers evictions: re-execution loss shows
+        // up only there, and never for the never-evicted high class.
+        assert!(report.per_class[0].reexec_loss.mean() > 0.0);
+        assert_eq!(report.per_class[1].reexec_loss.mean(), 0.0);
     }
 
     #[test]

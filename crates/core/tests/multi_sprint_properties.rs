@@ -1,0 +1,158 @@
+//! Property tests of the shared sprint budget under concurrency.
+//!
+//! Every quantity is dyadic (rates and durations are multiples of 1/8, the
+//! per-slot extra power is a power of two), so every drain/replenish segment
+//! the [`MultiSprinter`] integrates is exact in `f64` and the conservation
+//! identity
+//!
+//! ```text
+//! budget_remaining == initial + replenished − spent
+//! ```
+//!
+//! must hold with `==` — not within an epsilon — across arbitrary
+//! interleavings of concurrent sprint starts, stops, timeouts (modelled as
+//! delayed starts) and budget-depletion stops. A dyadic oracle mirrors the
+//! clamped budget evolution independently, so a code path that forgets to
+//! update one of the three counters (or clamps without crediting the
+//! residual) fails the test.
+
+use proptest::prelude::*;
+
+use dias_core::{MultiSprinter, SprintBudget, SprintPolicy};
+use dias_des::SimTime;
+use dias_engine::JobId;
+
+/// One step of an interleaving, applied after waiting a dyadic gap.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Try to start job `id` sprinting over `slots` slots.
+    Start { id: u64, slots: usize },
+    /// Stop job `id` (it finished or was evicted).
+    Stop { id: u64 },
+    /// Drop every sprinting domain (the depletion path).
+    StopAll,
+    /// Just advance time.
+    Tick,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // The vendored proptest's `prop_oneof!` is unweighted; duplicating the
+    // start/stop arms biases interleavings toward concurrency changes.
+    prop_oneof![
+        (0u64..6, 1usize..=20).prop_map(|(id, slots)| Op::Start { id, slots }),
+        (0u64..6, 1usize..=20).prop_map(|(id, slots)| Op::Start { id, slots }),
+        (0u64..6).prop_map(|id| Op::Stop { id }),
+        (0u64..6).prop_map(|id| Op::Stop { id }),
+        Just(Op::StopAll),
+        Just(Op::Tick),
+    ]
+}
+
+/// Dyadic oracle: evolves the clamped budget exactly as the spec prescribes,
+/// tracking which jobs sprint and how many slots they hold.
+struct Oracle {
+    budget: f64,
+    cap: f64,
+    replenish_w: f64,
+    extra_slot_w: f64,
+    active: Vec<(u64, usize)>,
+}
+
+impl Oracle {
+    fn advance(&mut self, dt: f64) {
+        let slots: usize = self.active.iter().map(|(_, s)| *s).sum();
+        let drain = slots as f64 * self.extra_slot_w;
+        // Exact dyadic arithmetic: clamp into [0, cap].
+        self.budget = (self.budget - drain * dt + self.replenish_w * dt).clamp(0.0, self.cap);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn budget_conservation_is_exact_across_interleavings(
+        initial_eighths in 8u32..=4096,
+        replenish_eighths in 0u32..=32,
+        ops in prop::collection::vec((1u32..=64, arb_op()), 1..=40),
+    ) {
+        let initial = f64::from(initial_eighths) / 8.0;
+        let replenish = f64::from(replenish_eighths) / 8.0;
+        let extra_slot_w = 4.0;
+        let budget = SprintBudget::limited(initial, replenish);
+        let mut s = MultiSprinter::new(SprintPolicy::top_class(2, 0.0, budget), extra_slot_w);
+        let mut oracle = Oracle {
+            budget: initial,
+            cap: initial,
+            replenish_w: replenish,
+            extra_slot_w,
+            active: Vec::new(),
+        };
+
+        let mut now = 0.0f64;
+        for (gap_eighths, op) in ops {
+            let dt = f64::from(gap_eighths) / 8.0;
+            now += dt;
+            oracle.advance(dt);
+            let t = SimTime::from_secs(now);
+            match op {
+                Op::Start { id, slots } => {
+                    let started = s.try_start(t, JobId(id), slots);
+                    let oracle_can = oracle.budget > 0.0;
+                    let already = oracle.active.iter().any(|(j, _)| *j == id);
+                    prop_assert_eq!(started, oracle_can || already);
+                    if started && !already {
+                        oracle.active.push((id, slots));
+                    }
+                }
+                Op::Stop { id } => {
+                    let stopped = s.stop(t, JobId(id));
+                    let pos = oracle.active.iter().position(|(j, _)| *j == id);
+                    prop_assert_eq!(stopped, pos.is_some());
+                    if let Some(p) = pos {
+                        oracle.active.remove(p);
+                    }
+                }
+                Op::StopAll => {
+                    let stopped = s.stop_all(t);
+                    let expect: Vec<JobId> =
+                        oracle.active.drain(..).map(|(j, _)| JobId(j)).collect();
+                    prop_assert_eq!(stopped, expect);
+                }
+                Op::Tick => s.advance_to(t),
+            }
+            // Conservation with `==`: dyadic inputs make every segment exact.
+            prop_assert_eq!(
+                s.budget_j(),
+                s.initial_j() + s.replenished_j() - s.spent_j()
+            );
+            // The independently evolved oracle agrees exactly.
+            prop_assert_eq!(s.budget_j(), oracle.budget);
+            prop_assert!(s.budget_j() >= 0.0 && s.budget_j() <= initial);
+            prop_assert!(s.spent_j() >= 0.0 && s.replenished_j() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn depletion_time_is_the_exact_zero_crossing(
+        initial_eighths in 64u32..=4096,
+        slots in 1usize..=20,
+    ) {
+        // No replenishment: the predicted depletion time drains the budget to
+        // exactly zero when slots × 4 W divides the dyadic budget cleanly.
+        let initial = f64::from(initial_eighths) / 8.0;
+        let budget = SprintBudget::limited(initial, 0.0);
+        let mut s = MultiSprinter::new(SprintPolicy::top_class(2, 0.0, budget), 4.0);
+        prop_assert!(s.try_start(SimTime::ZERO, JobId(1), slots));
+        let at = s.depletion_time().expect("net drain is positive");
+        prop_assert_eq!(s.stop_all(at), vec![JobId(1)]);
+        // budget − rate × (budget / rate) can leave float dust, but never a
+        // negative balance, and conservation still holds exactly.
+        prop_assert!(s.budget_j() >= 0.0);
+        prop_assert!(s.budget_j() < 1e-9);
+        prop_assert_eq!(
+            s.budget_j(),
+            s.initial_j() + s.replenished_j() - s.spent_j()
+        );
+    }
+}

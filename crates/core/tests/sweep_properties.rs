@@ -65,6 +65,63 @@ fn parallel_sweep_is_bitwise_identical_to_sequential() {
     }
 }
 
+mod multi_sweep {
+    use super::workload;
+    use dias_core::sweep::run_multi_experiments;
+    use dias_core::{MultiJobExperiment, MultiJobReport, SprintBudget, SprintPolicy, VecJobSource};
+    use dias_engine::{GangBinPack, PriorityPreempt};
+
+    /// The per-gang sprint frontier points the `multi_job` harness sweeps:
+    /// no sprint, unlimited, budgeted-from-dispatch, budgeted-after-timeout.
+    fn experiments() -> Vec<MultiJobExperiment<VecJobSource>> {
+        let budget = || SprintBudget::limited(30_000.0, 90.0);
+        vec![
+            MultiJobExperiment::new(workload(5, 100, 6.0), Box::new(GangBinPack)).jobs(70),
+            MultiJobExperiment::new(workload(5, 100, 6.0), Box::new(GangBinPack))
+                .sprint_top_class(true)
+                .jobs(70),
+            MultiJobExperiment::new(workload(5, 100, 6.0), Box::new(GangBinPack))
+                .sprint(SprintPolicy::top_class(2, 0.0, budget()))
+                .jobs(70),
+            MultiJobExperiment::new(workload(5, 100, 6.0), Box::new(PriorityPreempt))
+                .sprint(SprintPolicy::top_class(2, 30.0, budget()))
+                .jobs(70),
+        ]
+    }
+
+    /// Bitwise comparison of the measurement surface of two reports.
+    fn assert_identical(a: &MultiJobReport, b: &MultiJobReport) {
+        assert_eq!(a.scheduler, b.scheduler);
+        assert_eq!(a.horizon_secs, b.horizon_secs);
+        assert_eq!(a.energy_joules, b.energy_joules);
+        assert_eq!(a.sprint_budget_spent_j, b.sprint_budget_spent_j);
+        assert_eq!(a.sprint_budget_remaining_j, b.sprint_budget_remaining_j);
+        for (ca, cb) in a.per_class.iter().zip(&b.per_class) {
+            assert_eq!(ca.response.samples(), cb.response.samples());
+            assert_eq!(ca.queueing.samples(), cb.queueing.samples());
+            assert_eq!(ca.dispatch_wait.samples(), cb.dispatch_wait.samples());
+            assert_eq!(ca.reexec_loss.samples(), cb.reexec_loss.samples());
+            assert_eq!(ca.active_energy_joules, cb.active_energy_joules);
+            assert_eq!(ca.sprint_slot_secs, cb.sprint_slot_secs);
+        }
+    }
+
+    #[test]
+    fn multi_sweep_with_sprint_policies_is_bitwise_deterministic() {
+        let sequential: Vec<MultiJobReport> = experiments()
+            .into_iter()
+            .map(|e| e.run().expect("valid experiment"))
+            .collect();
+        for threads in [1, 2, 4] {
+            let swept = run_multi_experiments(experiments(), threads);
+            assert_eq!(swept.len(), sequential.len());
+            for (got, want) in swept.iter().zip(&sequential) {
+                assert_identical(got.as_ref().expect("valid experiment"), want);
+            }
+        }
+    }
+}
+
 #[test]
 fn sweep_preserves_input_order_even_with_errors() {
     // The middle spec fails (policy classes ≠ source classes); its error must

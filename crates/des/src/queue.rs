@@ -7,6 +7,12 @@
 //! instead of tombstoning it for a later pop to skip. There are never stale
 //! entries in the heap, which is what makes [`EventQueue::peek_time`] a plain
 //! `&self` read.
+//!
+//! The heap holds only `Copy` keys (`time`, `seq`, slot index); payloads are
+//! parked in the slot table and never move during sifts. That makes the sifts
+//! safe *hole* loops — the moving key is lifted out once and each displaced
+//! key is written down one level with a single copy — instead of a
+//! `Vec::swap` (three moves of a larger entry) per level.
 
 use crate::SimTime;
 
@@ -36,15 +42,16 @@ impl EventHandle {
     }
 }
 
-#[derive(Debug)]
-struct Entry<E> {
+/// A heap entry: just the ordering key plus the slot index of its payload.
+/// `Copy`, so the hole sifts move 24 bytes per level whatever the payload is.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
     time: SimTime,
     seq: u64,
     key: u32,
-    payload: E,
 }
 
-impl<E> Entry<E> {
+impl Entry {
     /// Min-heap priority: earlier time first, insertion order among ties.
     ///
     /// Hand-rolled on the raw seconds (`SimTime` construction already rejects
@@ -60,13 +67,16 @@ impl<E> Entry<E> {
 /// Slot `pos` value marking a handle whose event is no longer queued.
 const VACANT: u32 = u32::MAX;
 
-#[derive(Debug, Clone, Copy)]
-struct Slot {
+#[derive(Debug)]
+struct Slot<E> {
     /// Index of the slot's entry in the heap, or [`VACANT`].
     pos: u32,
     /// Bumped every time the slot's event leaves the queue, so old handles
     /// never alias a later event reusing the slot.
     generation: u32,
+    /// The queued event's payload, parked here so sifts never move it;
+    /// `None` while the slot is vacant.
+    payload: Option<E>,
 }
 
 /// A priority queue of timed events.
@@ -92,8 +102,8 @@ struct Slot {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: Vec<Entry<E>>,
-    slots: Vec<Slot>,
+    heap: Vec<Entry>,
+    slots: Vec<Slot<E>>,
     free: Vec<u32>,
     next_seq: u64,
 }
@@ -138,19 +148,16 @@ impl<E> EventQueue<E> {
                 self.slots.push(Slot {
                     pos: VACANT,
                     generation: 0,
+                    payload: None,
                 });
                 key
             }
         };
+        self.slots[key as usize].payload = Some(payload);
         let seq = self.next_seq;
         self.next_seq += 1;
         let pos = self.heap.len();
-        self.heap.push(Entry {
-            time,
-            seq,
-            key,
-            payload,
-        });
+        self.heap.push(Entry { time, seq, key });
         self.sift_up(pos);
         EventHandle::new(key, self.slots[key as usize].generation)
     }
@@ -243,12 +250,12 @@ impl<E> EventQueue<E> {
         if self.heap.is_empty() {
             return None;
         }
-        let entry = self.remove_at(0);
+        let (entry, payload) = self.remove_at(0);
         // `remove_at` bumped the slot's generation; the fired event was
         // scheduled under the previous one.
         let fired_generation = self.slots[entry.key as usize].generation.wrapping_sub(1);
         let handle = EventHandle::new(entry.key, fired_generation);
-        Some((entry.time, handle, entry.payload))
+        Some((entry.time, handle, payload))
     }
 
     /// Returns the timestamp of the earliest event without removing it.
@@ -279,6 +286,7 @@ impl<E> EventQueue<E> {
             let slot = &mut self.slots[entry.key as usize];
             slot.pos = VACANT;
             slot.generation = slot.generation.wrapping_add(1);
+            slot.payload = None;
             self.free.push(entry.key);
         }
     }
@@ -294,49 +302,56 @@ impl<E> EventQueue<E> {
         Some(slot.pos as usize)
     }
 
-    /// Removes and returns the entry at heap position `pos`, freeing its slot
-    /// and restoring the heap invariant.
+    /// Removes and returns the entry at heap position `pos` with its payload,
+    /// freeing its slot and restoring the heap invariant.
     #[inline]
-    fn remove_at(&mut self, pos: usize) -> Entry<E> {
-        let last = self.heap.len() - 1;
-        if pos != last {
-            self.heap.swap(pos, last);
-        }
-        let entry = self.heap.pop().expect("pos < len implies non-empty");
-        let slot = &mut self.slots[entry.key as usize];
-        slot.pos = VACANT;
-        slot.generation = slot.generation.wrapping_add(1);
-        self.free.push(entry.key);
+    fn remove_at(&mut self, pos: usize) -> (Entry, E) {
+        let entry = self.heap[pos];
+        let tail = self.heap.pop().expect("pos < len implies non-empty");
         if pos < self.heap.len() {
-            // The displaced tail entry may belong above or below `pos`.
+            // The displaced tail entry may belong above or below `pos`; seed
+            // the hole at `pos` with it and let the sifts settle it.
+            self.heap[pos] = tail;
+            self.slots[tail.key as usize].pos = pos as u32;
             let settled = self.sift_down(pos);
             self.sift_up(settled);
         }
-        entry
+        let slot = &mut self.slots[entry.key as usize];
+        slot.pos = VACANT;
+        slot.generation = slot.generation.wrapping_add(1);
+        let payload = slot.payload.take().expect("queued entry parks a payload");
+        self.free.push(entry.key);
+        (entry, payload)
     }
 
     /// Moves the entry at `pos` up until its parent is not after it; returns
     /// its final position. Requires `pos < self.heap.len()`.
     ///
-    /// Only the entries displaced downwards get their slot updated per level;
-    /// the moving entry's slot is written once at its final position.
+    /// Hole technique: the moving key is lifted out once, each displaced
+    /// parent is copied down one level (one copy, not a three-move swap), and
+    /// the moving key is written back at its final position.
     fn sift_up(&mut self, mut pos: usize) -> usize {
+        let moving = self.heap[pos];
         while pos > 0 {
             let parent = (pos - 1) / 2;
-            if !self.heap[pos].before(&self.heap[parent]) {
+            let p = self.heap[parent];
+            if !moving.before(&p) {
                 break;
             }
-            self.heap.swap(pos, parent);
-            self.slots[self.heap[pos].key as usize].pos = pos as u32;
+            self.heap[pos] = p;
+            self.slots[p.key as usize].pos = pos as u32;
             pos = parent;
         }
-        self.slots[self.heap[pos].key as usize].pos = pos as u32;
+        self.heap[pos] = moving;
+        self.slots[moving.key as usize].pos = pos as u32;
         pos
     }
 
     /// Moves the entry at `pos` down below any earlier child; returns its
-    /// final position. Requires `pos < self.heap.len()`.
+    /// final position. Requires `pos < self.heap.len()`. Same hole technique
+    /// as [`EventQueue::sift_up`].
     fn sift_down(&mut self, mut pos: usize) -> usize {
+        let moving = self.heap[pos];
         let len = self.heap.len();
         loop {
             let left = 2 * pos + 1;
@@ -349,14 +364,16 @@ impl<E> EventQueue<E> {
             } else {
                 left
             };
-            if !self.heap[child].before(&self.heap[pos]) {
+            let c = self.heap[child];
+            if !c.before(&moving) {
                 break;
             }
-            self.heap.swap(pos, child);
-            self.slots[self.heap[pos].key as usize].pos = pos as u32;
+            self.heap[pos] = c;
+            self.slots[c.key as usize].pos = pos as u32;
             pos = child;
         }
-        self.slots[self.heap[pos].key as usize].pos = pos as u32;
+        self.heap[pos] = moving;
+        self.slots[moving.key as usize].pos = pos as u32;
         pos
     }
 }

@@ -2,9 +2,15 @@
 
 use serde::{Deserialize, Serialize};
 
-/// CPU frequency level of the whole cluster (all cores sprint together, as in the
-/// paper's implementation: "our current approach sprints all available cores at the
-/// same time").
+/// CPU frequency level of one frequency domain.
+///
+/// The paper's implementation sprints the whole cluster at once ("our current
+/// approach sprints all available cores at the same time") — that is the
+/// engine's *global* path ([`ClusterSim::set_frequency`](crate::ClusterSim::set_frequency)),
+/// which applies one level to every domain. The multi-job engine additionally
+/// gives each running job's gang its own domain
+/// ([`ClusterSim::set_job_frequency`](crate::ClusterSim::set_job_frequency)),
+/// so a high-priority job can sprint while its neighbours stay at base.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum FreqLevel {
     /// The base (low) frequency — the paper's 800 MHz setting.
@@ -119,10 +125,20 @@ impl ClusterSpec {
     }
 
     /// Extra power draw (W) of sprinting the whole busy cluster versus base
-    /// frequency — the constant drain rate the sprint budget is charged at.
+    /// frequency — the constant drain rate the *cluster-global* sprint budget
+    /// is charged at (the paper's hardware sprints all cores together).
     #[must_use]
     pub fn sprint_extra_power_w(&self) -> f64 {
         self.workers as f64 * (self.power.sprint_w - self.power.active_w)
+    }
+
+    /// Extra power draw (W) one busy slot adds when its frequency domain
+    /// sprints versus base — the per-slot rate a *per-gang* sprint budget is
+    /// charged at:
+    /// `active_slot_power_w(Sprint) = active_slot_power_w(Base) + sprint_extra_slot_power_w()`.
+    #[must_use]
+    pub fn sprint_extra_slot_power_w(&self) -> f64 {
+        (self.power.sprint_w - self.power.active_w) / self.cores_per_worker as f64
     }
 
     /// Validates the specification.
@@ -186,6 +202,20 @@ mod tests {
         let c = ClusterSpec::paper_reference();
         // 10 servers * (270-180) W = 900 W.
         assert!((c.sprint_extra_power_w() - 900.0).abs() < 1e-9);
+        // Per slot: (270-180)/2 = 45 W; all 20 slots sprinting = the global rate.
+        assert!((c.sprint_extra_slot_power_w() - 45.0).abs() < 1e-9);
+        assert!(
+            (c.sprint_extra_slot_power_w() * c.slots() as f64 - c.sprint_extra_power_w()).abs()
+                < 1e-9
+        );
+        // The per-slot active rates differ by exactly the sprint extra.
+        assert!(
+            (c.active_slot_power_w(FreqLevel::Sprint)
+                - c.active_slot_power_w(FreqLevel::Base)
+                - c.sprint_extra_slot_power_w())
+            .abs()
+                < 1e-12
+        );
     }
 
     #[test]

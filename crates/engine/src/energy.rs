@@ -1,5 +1,6 @@
 //! Energy metering: integrating the cluster power model over simulated time,
-//! with per-job attribution of the active (above-idle) energy.
+//! with per-job attribution of the active (above-idle) energy under per-job
+//! frequency domains.
 
 use serde::{Deserialize, Serialize};
 
@@ -11,16 +12,19 @@ use crate::{ClusterSpec, FreqLevel, JobId};
 /// Energy and slot-time attributed to one job.
 ///
 /// A job is charged the *active* power its busy slots add on top of the
-/// cluster's idle floor ([`ClusterSpec::active_slot_power_w`]); the floor
-/// itself is a cluster-level cost no job owns. Because the cluster power
-/// model is linear in busy slots, the attribution is lossless:
+/// cluster's idle floor ([`ClusterSpec::active_slot_power_w`]) at its own
+/// frequency domain's level; the floor itself is a cluster-level cost no job
+/// owns. Because the cluster power model is linear in busy slots — the total
+/// draw *is* the idle floor plus the sum of every domain's busy slots at that
+/// domain's rate — the attribution is lossless:
 ///
 /// ```text
 /// EnergyMeter::energy_joules(t) = idle_floor × t + Σ_jobs active_joules
 /// ```
 ///
 /// holds under exact arithmetic (and is asserted with `==`, not an epsilon,
-/// over dyadic-rational inputs in `crates/engine/tests/gang_properties.rs`).
+/// over dyadic-rational inputs in `crates/engine/tests/gang_properties.rs`,
+/// including runs where concurrent jobs sit at *different* frequency levels).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct JobEnergy {
     /// Above-idle energy the job's busy slots consumed, in joules.
@@ -31,37 +35,41 @@ pub struct JobEnergy {
     pub sprint_slot_secs: f64,
 }
 
-/// Running attribution state for one active job.
+/// Running attribution state for one active job: its busy-slot count and the
+/// frequency level of its domain, both piecewise-constant between updates.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct JobLedger {
     job: JobId,
     last: SimTime,
     busy: usize,
+    freq: FreqLevel,
     energy: JobEnergy,
 }
 
 impl JobLedger {
-    /// Accrues the segment `[self.last, now)` at level `freq`.
-    fn accrue(&mut self, now: SimTime, freq: FreqLevel, spec: &ClusterSpec) {
+    /// Accrues the segment `[self.last, now)` at the ledger's current level.
+    fn accrue(&mut self, now: SimTime, spec: &ClusterSpec) {
         let dt = now - self.last;
         let slot_secs = self.busy as f64 * dt;
         self.energy.busy_slot_secs += slot_secs;
-        self.energy.active_joules += slot_secs * spec.active_slot_power_w(freq);
-        if freq == FreqLevel::Sprint {
+        self.energy.active_joules += slot_secs * spec.active_slot_power_w(self.freq);
+        if self.freq == FreqLevel::Sprint {
             self.energy.sprint_slot_secs += slot_secs;
         }
         self.last = now;
     }
 }
 
-/// Integrates cluster power draw over time as busy slots and frequency change,
-/// and attributes the active share to individual jobs.
+/// Integrates cluster power draw over time as busy slots and per-domain
+/// frequencies change, and attributes the active share to individual jobs.
 ///
-/// The cluster-level integral ([`EnergyMeter::energy_joules`]) is updated by
-/// [`EnergyMeter::update`] exactly as it always was — the multi-job engine
-/// under the FIFO scheduler reproduces the historical energy trace bit for
-/// bit. Per-job attribution is a separate ledger driven by
-/// [`EnergyMeter::update_job`] / [`EnergyMeter::retire_job`].
+/// The cluster-level integral ([`EnergyMeter::energy_joules`]) is *derived*
+/// from the per-job ledgers: at every change the meter re-evaluates
+/// `idle_floor + Σ_jobs busy_j × active_slot_power_w(freq_j)` — with every
+/// domain at the same level this reproduces the historical
+/// [`ClusterSpec::cluster_power_w`] trace bit for bit (the golden traces in
+/// `crates/engine/tests/golden_trace.rs` pin it), and with heterogeneous
+/// domains it is the only formula that keeps the attribution lossless.
 ///
 /// # Examples
 ///
@@ -71,12 +79,11 @@ impl JobLedger {
 ///
 /// let spec = ClusterSpec::paper_reference();
 /// let mut meter = EnergyMeter::new(&spec, SimTime::ZERO);
-/// meter.update(SimTime::from_secs(10.0), 20, FreqLevel::Base);
-/// // 10 s fully idle at 10 × 90 W = 9 kJ.
+/// // 10 s fully idle at 10 × 90 W = 9 kJ (no updates needed while idle).
 /// assert!((meter.energy_joules(SimTime::from_secs(10.0)) - 9_000.0).abs() < 1e-6);
 ///
 /// // Attribute 20 busy slots to one job for 10 s at 45 W/slot = 9 kJ active.
-/// meter.update_job(SimTime::from_secs(10.0), JobId(1), 20);
+/// meter.update_job(SimTime::from_secs(10.0), JobId(1), 20, FreqLevel::Base);
 /// let e = meter.retire_job(SimTime::from_secs(20.0), JobId(1)).unwrap();
 /// assert!((e.active_joules - 9_000.0).abs() < 1e-6);
 /// assert!((e.busy_slot_secs - 200.0).abs() < 1e-6);
@@ -85,8 +92,6 @@ impl JobLedger {
 pub struct EnergyMeter {
     spec: ClusterSpec,
     power: TimeWeighted,
-    busy_slots: usize,
-    freq: FreqLevel,
     active: Vec<JobLedger>,
     finished: Vec<(JobId, JobEnergy)>,
 }
@@ -99,59 +104,52 @@ impl EnergyMeter {
         EnergyMeter {
             spec: spec.clone(),
             power: TimeWeighted::new(start, idle_power),
-            busy_slots: 0,
-            freq: FreqLevel::Base,
             active: Vec::new(),
             finished: Vec::new(),
         }
     }
 
-    /// Records a change of cluster state at `now`: `busy_slots` slots busy at
-    /// `freq`.
-    ///
-    /// On a frequency change, every active job ledger accrues its segment at
-    /// the *old* level first — a job's attribution rate changes exactly when
-    /// the cluster's does.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `now` precedes the previous update.
-    pub fn update(&mut self, now: SimTime, busy_slots: usize, freq: FreqLevel) {
-        if freq != self.freq {
-            for ledger in &mut self.active {
-                ledger.accrue(now, self.freq, &self.spec);
-            }
+    /// Re-evaluates the cluster power from the ledgers at `now`: the idle
+    /// floor plus every job's busy slots at its own domain's rate.
+    fn sync_power(&mut self, now: SimTime) {
+        let mut p = self.spec.cluster_power_w(0, FreqLevel::Base);
+        for ledger in &self.active {
+            p += ledger.busy as f64 * self.spec.active_slot_power_w(ledger.freq);
         }
-        self.busy_slots = busy_slots;
-        self.freq = freq;
-        let p = self.spec.cluster_power_w(busy_slots, freq);
         self.power.set(now, p);
     }
 
-    /// Records that `job` occupies `busy` slots from `now` on, accruing its
-    /// segment up to `now` first. Unknown jobs start a fresh ledger.
-    pub fn update_job(&mut self, now: SimTime, job: JobId, busy: usize) {
+    /// Records that `job` occupies `busy` slots at level `freq` from `now`
+    /// on, accruing its segment up to `now` at its *previous* state first.
+    /// Unknown jobs start a fresh ledger. The cluster power integral is
+    /// re-synced to the new ledger state.
+    pub fn update_job(&mut self, now: SimTime, job: JobId, busy: usize, freq: FreqLevel) {
         match self.active.iter_mut().find(|l| l.job == job) {
             Some(ledger) => {
-                ledger.accrue(now, self.freq, &self.spec);
+                ledger.accrue(now, &self.spec);
                 ledger.busy = busy;
+                ledger.freq = freq;
             }
             None => self.active.push(JobLedger {
                 job,
                 last: now,
                 busy,
+                freq,
                 energy: JobEnergy::default(),
             }),
         }
+        self.sync_power(now);
     }
 
     /// Finalizes `job`'s attribution at `now` and moves it to the finished
-    /// ledger; returns its totals, or `None` for a job never metered.
+    /// ledger; returns its totals, or `None` for a job never metered. The
+    /// cluster power integral is re-synced without the retired job.
     pub fn retire_job(&mut self, now: SimTime, job: JobId) -> Option<JobEnergy> {
         let idx = self.active.iter().position(|l| l.job == job)?;
         let mut ledger = self.active.swap_remove(idx);
-        ledger.accrue(now, self.freq, &self.spec);
+        ledger.accrue(now, &self.spec);
         self.finished.push((job, ledger.energy));
+        self.sync_power(now);
         Some(ledger.energy)
     }
 
@@ -162,7 +160,7 @@ impl EnergyMeter {
     pub fn job_energy(&self, job: JobId, now: SimTime) -> Option<JobEnergy> {
         if let Some(ledger) = self.active.iter().find(|l| l.job == job) {
             let mut l = ledger.clone();
-            l.accrue(now, self.freq, &self.spec);
+            l.accrue(now, &self.spec);
             return Some(l.energy);
         }
         self.finished
@@ -196,16 +194,16 @@ impl EnergyMeter {
         self.power.integral(now)
     }
 
-    /// Current busy-slot count.
+    /// Current busy-slot count, summed over all active jobs.
     #[must_use]
     pub fn busy_slots(&self) -> usize {
-        self.busy_slots
+        self.active.iter().map(|l| l.busy).sum()
     }
 
-    /// Current frequency level.
+    /// Frequency level of `job`'s domain, if it is actively metered.
     #[must_use]
-    pub fn freq(&self) -> FreqLevel {
-        self.freq
+    pub fn job_freq(&self, job: JobId) -> Option<FreqLevel> {
+        self.active.iter().find(|l| l.job == job).map(|l| l.freq)
     }
 }
 
@@ -226,21 +224,22 @@ mod tests {
         let spec = ClusterSpec::paper_reference();
         let mut meter = EnergyMeter::new(&spec, SimTime::ZERO);
         // 0-10s: idle (900 W). 10-20s: fully busy base (1800 W).
-        meter.update(SimTime::from_secs(10.0), 20, FreqLevel::Base);
+        meter.update_job(SimTime::from_secs(10.0), JobId(1), 20, FreqLevel::Base);
         // 20-30s: fully busy sprinting (2700 W).
-        meter.update(SimTime::from_secs(20.0), 20, FreqLevel::Sprint);
+        meter.update_job(SimTime::from_secs(20.0), JobId(1), 20, FreqLevel::Sprint);
         let total = meter.energy_joules(SimTime::from_secs(30.0));
         let expected = 900.0 * 10.0 + 1800.0 * 10.0 + 2700.0 * 10.0;
         assert!((total - expected).abs() < 1e-6, "{total} vs {expected}");
         assert_eq!(meter.busy_slots(), 20);
-        assert_eq!(meter.freq(), FreqLevel::Sprint);
+        assert_eq!(meter.job_freq(JobId(1)), Some(FreqLevel::Sprint));
+        assert_eq!(meter.job_freq(JobId(9)), None);
     }
 
     #[test]
     fn partial_utilization_scales_linearly() {
         let spec = ClusterSpec::paper_reference();
         let mut meter = EnergyMeter::new(&spec, SimTime::ZERO);
-        meter.update(SimTime::ZERO, 10, FreqLevel::Base);
+        meter.update_job(SimTime::ZERO, JobId(1), 10, FreqLevel::Base);
         let e = meter.energy_joules(SimTime::from_secs(1.0));
         // Half busy: idle 900 + 10 slots * (180-90)/2 per slot = 900 + 450.
         assert!((e - 1350.0).abs() < 1e-9);
@@ -250,9 +249,8 @@ mod tests {
     fn two_jobs_split_the_active_energy() {
         let spec = ClusterSpec::paper_reference();
         let mut meter = EnergyMeter::new(&spec, SimTime::ZERO);
-        meter.update(SimTime::ZERO, 12, FreqLevel::Base);
-        meter.update_job(SimTime::ZERO, JobId(1), 8);
-        meter.update_job(SimTime::ZERO, JobId(2), 4);
+        meter.update_job(SimTime::ZERO, JobId(1), 8, FreqLevel::Base);
+        meter.update_job(SimTime::ZERO, JobId(2), 4, FreqLevel::Base);
         let t = SimTime::from_secs(10.0);
         let e1 = meter.retire_job(t, JobId(1)).unwrap();
         let e2 = meter.retire_job(t, JobId(2)).unwrap();
@@ -268,10 +266,9 @@ mod tests {
     fn frequency_switch_splits_job_segments() {
         let spec = ClusterSpec::paper_reference();
         let mut meter = EnergyMeter::new(&spec, SimTime::ZERO);
-        meter.update_job(SimTime::ZERO, JobId(7), 10);
-        meter.update(SimTime::ZERO, 10, FreqLevel::Base);
+        meter.update_job(SimTime::ZERO, JobId(7), 10, FreqLevel::Base);
         // 4 s at base (45 W/slot), then 4 s sprinting (90 W/slot).
-        meter.update(SimTime::from_secs(4.0), 10, FreqLevel::Sprint);
+        meter.update_job(SimTime::from_secs(4.0), JobId(7), 10, FreqLevel::Sprint);
         let e = meter.job_energy(JobId(7), SimTime::from_secs(8.0)).unwrap();
         assert_eq!(e.active_joules, 10.0 * 4.0 * 45.0 + 10.0 * 4.0 * 90.0);
         assert_eq!(e.sprint_slot_secs, 40.0);
@@ -279,13 +276,37 @@ mod tests {
     }
 
     #[test]
+    fn heterogeneous_domains_draw_independent_rates() {
+        let spec = ClusterSpec::paper_reference();
+        let mut meter = EnergyMeter::new(&spec, SimTime::ZERO);
+        // Job 1 sprints its 8 slots; job 2 stays at base on 4 slots.
+        meter.update_job(SimTime::ZERO, JobId(1), 8, FreqLevel::Sprint);
+        meter.update_job(SimTime::ZERO, JobId(2), 4, FreqLevel::Base);
+        // Cluster power: 900 idle + 8×90 sprint + 4×45 base = 1800 W.
+        assert_eq!(meter.power_w(), 900.0 + 8.0 * 90.0 + 4.0 * 45.0);
+        let end = SimTime::from_secs(10.0);
+        let e1 = meter.retire_job(end, JobId(1)).unwrap();
+        let e2 = meter.retire_job(end, JobId(2)).unwrap();
+        assert_eq!(e1.active_joules, 8.0 * 10.0 * 90.0);
+        assert_eq!(e1.sprint_slot_secs, 80.0);
+        assert_eq!(e2.active_joules, 4.0 * 10.0 * 45.0);
+        assert_eq!(e2.sprint_slot_secs, 0.0);
+        // Lossless split even with mixed levels.
+        let idle = spec.cluster_power_w(0, FreqLevel::Base) * 10.0;
+        assert_eq!(
+            meter.energy_joules(end),
+            idle + e1.active_joules + e2.active_joules
+        );
+    }
+
+    #[test]
     fn attribution_is_lossless_against_cluster_total() {
         let spec = ClusterSpec::paper_reference();
         let mut meter = EnergyMeter::new(&spec, SimTime::ZERO);
-        meter.update(SimTime::ZERO, 12, FreqLevel::Base);
-        meter.update_job(SimTime::ZERO, JobId(1), 8);
-        meter.update_job(SimTime::ZERO, JobId(2), 4);
-        meter.update(SimTime::from_secs(8.0), 12, FreqLevel::Sprint);
+        meter.update_job(SimTime::ZERO, JobId(1), 8, FreqLevel::Base);
+        meter.update_job(SimTime::ZERO, JobId(2), 4, FreqLevel::Base);
+        meter.update_job(SimTime::from_secs(8.0), JobId(1), 8, FreqLevel::Sprint);
+        meter.update_job(SimTime::from_secs(8.0), JobId(2), 4, FreqLevel::Sprint);
         let end = SimTime::from_secs(16.0);
         let e1 = meter.retire_job(end, JobId(1)).unwrap();
         let e2 = meter.retire_job(end, JobId(2)).unwrap();
@@ -301,7 +322,7 @@ mod tests {
     fn take_finished_drains() {
         let spec = ClusterSpec::paper_reference();
         let mut meter = EnergyMeter::new(&spec, SimTime::ZERO);
-        meter.update_job(SimTime::ZERO, JobId(1), 1);
+        meter.update_job(SimTime::ZERO, JobId(1), 1, FreqLevel::Base);
         meter.retire_job(SimTime::from_secs(1.0), JobId(1));
         assert_eq!(meter.take_finished().len(), 1);
         assert!(meter.finished_jobs().is_empty());

@@ -18,8 +18,10 @@
 //!   work,
 //! * **task dropping** at stage start — the `findMissingPartitions()` hook the paper
 //!   patches in Spark: a stage with `n` tasks runs only `⌈n(1−θ)⌉` of them,
-//! * **DVFS sprinting** — a global frequency switch that accelerates all running
-//!   tasks mid-flight,
+//! * **DVFS sprinting** — per-gang frequency domains: each running job's slots
+//!   can sprint individually ([`ClusterSim::set_job_frequency`]), rescaling only
+//!   that job's in-flight tasks; the paper's cluster-global switch
+//!   ([`ClusterSim::set_frequency`]) applies one level to every domain,
 //! * **eviction** — killing a running job through its calendar handles and
 //!   accounting every machine-second it had consumed as waste (the preemptive
 //!   baseline's behaviour), and
@@ -109,4 +111,6 @@ pub use job::{JobId, JobInstance, JobSpec, JobSpecBuilder, StageKind, StageSpec}
 pub use sched::{
     Fifo, GangBinPack, PendingView, PriorityPreempt, RunningView, Scheduler, SlotRange,
 };
-pub use sim::{ClusterSim, EngineError, EngineEvent, EvictedWork, JobRunMetrics, Submission};
+pub use sim::{
+    ClusterSim, DispatchRecord, EngineError, EngineEvent, EvictedWork, JobRunMetrics, Submission,
+};

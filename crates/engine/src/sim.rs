@@ -1,6 +1,6 @@
 //! The cluster simulator: concurrent multi-stage jobs scheduled onto disjoint
-//! slot subsets by a pluggable [`Scheduler`] policy, with dropping, DVFS,
-//! per-job energy attribution and per-job eviction.
+//! slot subsets by a pluggable [`Scheduler`] policy, with dropping, per-gang
+//! DVFS frequency domains, per-job energy attribution and per-job eviction.
 //!
 //! The engine's historical invariant — one job at a time over all `C` slots,
 //! the abstraction the paper's analysis assumes — is now just the [`Fifo`]
@@ -9,6 +9,14 @@
 //! disjoint slot ranges sized by their widest stage, and [`PriorityPreempt`]
 //! adds class-ordered backfill plus eviction of lower-class jobs through
 //! their calendar handles (the indexed [`EventQueue`]'s O(log n) cancel).
+//!
+//! Frequency is a *per-gang* property: every running job owns a frequency
+//! domain, switched individually by [`ClusterSim::set_job_frequency`] (only
+//! that job's in-flight completions are rescaled, through their calendar
+//! handles). The paper's cluster-global DVFS survives as
+//! [`ClusterSim::set_frequency`], which applies one level to every domain
+//! *and* to jobs dispatched later — driving only the global switch reproduces
+//! the historical engine bit for bit.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -201,6 +209,9 @@ struct Run {
     slots: SlotRange,
     phase: Phase,
     started: SimTime,
+    /// The run's frequency domain: the level its in-flight work executes at
+    /// and the rate its busy slots are charged at.
+    freq: FreqLevel,
     work_done: f64,
     sprint_secs: f64,
     sprint_since: Option<SimTime>,
@@ -217,6 +228,22 @@ impl Run {
     }
 }
 
+/// One job-attempt dispatch, recorded when the scheduler places work on slots
+/// (arrival-time placement, backfill, or re-dispatch after an eviction).
+///
+/// Drained by [`ClusterSim::take_dispatched`]; drivers use the records to
+/// measure queueing directly (arrival → dispatch) instead of deriving it from
+/// response − execution, and to arm per-attempt sprint timers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DispatchRecord {
+    /// The dispatched job.
+    pub job: JobId,
+    /// When this attempt started executing.
+    pub time: SimTime,
+    /// The slot subset the attempt runs on (its gang).
+    pub slots: SlotRange,
+}
+
 /// The Spark-like engine: a cluster of `C` slots executing concurrent
 /// multi-stage jobs on disjoint slot subsets, advanced one event at a time.
 ///
@@ -230,12 +257,15 @@ impl Run {
 pub struct ClusterSim {
     spec: ClusterSpec,
     time: SimTime,
+    /// Default frequency level: what new dispatches inherit, and the level the
+    /// global [`ClusterSim::set_frequency`] applies to every domain.
     freq: FreqLevel,
     queue: EventQueue<Internal>,
     runs: Vec<Run>,
     pending: VecDeque<Pending>,
     scheduler: Box<dyn Scheduler>,
     meter: EnergyMeter,
+    dispatched: Vec<DispatchRecord>,
 }
 
 impl ClusterSim {
@@ -269,6 +299,7 @@ impl ClusterSim {
             pending: VecDeque::new(),
             scheduler,
             meter,
+            dispatched: Vec::new(),
         }
     }
 
@@ -296,10 +327,19 @@ impl ClusterSim {
         self.runs.is_empty() && self.pending.is_empty()
     }
 
-    /// Current frequency level.
+    /// Current *default* frequency level: the level newly dispatched jobs
+    /// inherit and the one the global [`ClusterSim::set_frequency`] last
+    /// applied to every domain. Individual running jobs may sit at a
+    /// different level — see [`ClusterSim::job_frequency`].
     #[must_use]
     pub fn frequency(&self) -> FreqLevel {
         self.freq
+    }
+
+    /// Frequency level of `job`'s domain, or `None` when it is not running.
+    #[must_use]
+    pub fn job_frequency(&self, job: JobId) -> Option<FreqLevel> {
+        self.runs.iter().find(|r| r.work.job == job).map(|r| r.freq)
     }
 
     /// Id of the earliest-dispatched running job, if any (under [`Fifo`]:
@@ -370,6 +410,18 @@ impl ClusterSim {
     #[must_use]
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Drains the log of job-attempt dispatches since the last call, in
+    /// dispatch order.
+    ///
+    /// Every placement — at arrival, by backfill after a departure, or the
+    /// re-dispatch of an evicted job — appends one [`DispatchRecord`]. Drivers
+    /// that need per-attempt dispatch timestamps (queueing decomposition,
+    /// per-attempt sprint timers) harvest them here; callers that ignore the
+    /// log pay one `Vec` push per dispatch.
+    pub fn take_dispatched(&mut self) -> Vec<DispatchRecord> {
+        std::mem::take(&mut self.dispatched)
     }
 
     /// Validates `drops` against `instance` and prepares the post-drop work.
@@ -520,9 +572,11 @@ impl ClusterSim {
         }
     }
 
-    /// Dispatches prepared work onto `slots` at the current time.
+    /// Dispatches prepared work onto `slots` at the current time; the new
+    /// run's frequency domain starts at the cluster's default level.
     fn dispatch(&mut self, work: JobWork, slots: SlotRange) {
-        let speed = self.spec.speed_at(self.freq);
+        let freq = self.freq;
+        let speed = self.spec.speed_at(freq);
         let job = work.job;
         let handle = self.queue.push(
             self.time + work.setup_secs / speed,
@@ -540,13 +594,18 @@ impl ClusterSim {
                 handle,
             },
             started: self.time,
+            freq,
             work_done: 0.0,
             sprint_secs: 0.0,
-            sprint_since: (self.freq == FreqLevel::Sprint).then_some(self.time),
+            sprint_since: (freq == FreqLevel::Sprint).then_some(self.time),
             tasks_run: 0,
         });
-        self.meter.update_job(self.time, job, 1);
-        self.meter.update(self.time, self.busy_slots(), self.freq);
+        self.dispatched.push(DispatchRecord {
+            job,
+            time: self.time,
+            slots,
+        });
+        self.meter.update_job(self.time, job, 1, freq);
     }
 
     /// Dispatches pending jobs into freed capacity until the scheduler
@@ -641,7 +700,7 @@ impl ClusterSim {
     /// re-submission record.
     fn do_evict(&mut self, idx: usize) -> (EvictedWork, Pending) {
         let mut run = self.runs.remove(idx);
-        let speed = self.spec.speed_at(self.freq);
+        let speed = self.spec.speed_at(run.freq);
         // Credit partial work of in-flight activities since their last
         // reschedule point (earlier segments were credited at those points).
         match &run.phase {
@@ -664,7 +723,6 @@ impl ClusterSim {
         }
         let sprint_secs = run.sprint_secs + run.sprint_since.map_or(0.0, |s| self.time - s);
         self.meter.retire_job(self.time, run.work.job);
-        self.meter.update(self.time, self.busy_slots(), self.freq);
         let lost = EvictedWork {
             wall_secs: self.time - run.started,
             work_secs: run.work_done,
@@ -673,66 +731,85 @@ impl ClusterSim {
         (lost, Pending { work: run.work })
     }
 
-    /// Switches the cluster frequency, rescaling all in-flight activities of
-    /// every running job.
+    /// Rescales run `idx`'s in-flight activities from its current domain
+    /// level to `freq`, updating sprint accounting and its energy ledger.
     ///
     /// Every in-flight activity's completion is *rescheduled* in place
     /// (decrease/increase-key on the indexed calendar) rather than cancelled
     /// and re-pushed; the handles stay valid and the FIFO tie-breaking is
     /// identical to the old cancel+repush (a rescheduled event ties as if
-    /// newly pushed).
-    pub fn set_frequency(&mut self, freq: FreqLevel) {
-        if freq == self.freq {
+    /// newly pushed). No-op when the run is already at `freq`.
+    fn retime_run(&mut self, idx: usize, freq: FreqLevel) {
+        let run = &mut self.runs[idx];
+        if run.freq == freq {
             return;
         }
-        let old_speed = self.spec.speed_at(self.freq);
+        let old_speed = self.spec.speed_at(run.freq);
         let new_speed = self.spec.speed_at(freq);
         let now = self.time;
-        let was_sprinting = self.freq == FreqLevel::Sprint;
 
-        for run in &mut self.runs {
-            // Account sprint wall-time before the switch.
-            if was_sprinting {
-                if let Some(since) = run.sprint_since.take() {
-                    run.sprint_secs += now - since;
-                }
-            }
-            match &mut run.phase {
-                Phase::Serial {
-                    work_left,
-                    since,
-                    handle,
-                    ..
-                } => {
-                    let done = ((now - *since) * old_speed).min(*work_left);
-                    run.work_done += done;
-                    *work_left -= done;
-                    *since = now;
-                    self.queue.reschedule(*handle, now + *work_left / new_speed);
-                }
-                Phase::Stage { running, .. } => {
-                    for task in running.iter_mut() {
-                        let done = ((now - task.since) * old_speed).min(task.work_left);
-                        run.work_done += done;
-                        task.work_left -= done;
-                        task.since = now;
-                        self.queue
-                            .reschedule(task.handle, now + task.work_left / new_speed);
-                    }
-                }
-            }
-            if freq == FreqLevel::Sprint {
-                run.sprint_since = Some(now);
+        // Account sprint wall-time before the switch.
+        if run.freq == FreqLevel::Sprint {
+            if let Some(since) = run.sprint_since.take() {
+                run.sprint_secs += now - since;
             }
         }
-        self.freq = freq;
-        let busy = self.busy_slots();
-        self.meter.update(now, busy, freq);
+        match &mut run.phase {
+            Phase::Serial {
+                work_left,
+                since,
+                handle,
+                ..
+            } => {
+                let done = ((now - *since) * old_speed).min(*work_left);
+                run.work_done += done;
+                *work_left -= done;
+                *since = now;
+                self.queue.reschedule(*handle, now + *work_left / new_speed);
+            }
+            Phase::Stage { running, .. } => {
+                for task in running.iter_mut() {
+                    let done = ((now - task.since) * old_speed).min(task.work_left);
+                    run.work_done += done;
+                    task.work_left -= done;
+                    task.since = now;
+                    self.queue
+                        .reschedule(task.handle, now + task.work_left / new_speed);
+                }
+            }
+        }
+        if freq == FreqLevel::Sprint {
+            run.sprint_since = Some(now);
+        }
+        run.freq = freq;
+        let (job, busy) = (run.work.job, run.busy());
+        self.meter.update_job(now, job, busy, freq);
     }
 
-    /// Slots busy across all running jobs.
-    fn busy_slots(&self) -> usize {
-        self.runs.iter().map(Run::busy).sum()
+    /// Switches *every* frequency domain (and the default for future
+    /// dispatches) to `freq` — the paper's cluster-global DVFS. Runs already
+    /// at `freq` are untouched; the rest are rescaled exactly as
+    /// [`ClusterSim::set_job_frequency`] would.
+    pub fn set_frequency(&mut self, freq: FreqLevel) {
+        for idx in 0..self.runs.len() {
+            self.retime_run(idx, freq);
+        }
+        self.freq = freq;
+    }
+
+    /// Switches `job`'s frequency domain to `freq`, rescaling only that job's
+    /// in-flight completions in place (other jobs' events and domains stay
+    /// put). The cluster default is unchanged — a job dispatched later still
+    /// starts at the level of the last global [`ClusterSim::set_frequency`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownJob`] when `job` is not running (pending
+    /// jobs have no domain yet; they inherit the default at dispatch).
+    pub fn set_job_frequency(&mut self, job: JobId, freq: FreqLevel) -> Result<(), EngineError> {
+        let idx = self.run_index(job)?;
+        self.retime_run(idx, freq);
+        Ok(())
     }
 
     fn run_index(&self, job: JobId) -> Result<usize, EngineError> {
@@ -776,9 +853,9 @@ impl ClusterSim {
         stage: usize,
         fired: EventHandle,
     ) -> Result<EngineEvent, EngineError> {
-        let speed = self.spec.speed_at(self.freq);
         let time = self.time;
         let idx = self.run_index(job)?;
+        let speed = self.spec.speed_at(self.runs[idx].freq);
         let run = &mut self.runs[idx];
         let (tasks_left, stage_done) = match &mut run.phase {
             Phase::Stage {
@@ -815,10 +892,11 @@ impl ClusterSim {
             _ => return Err(EngineError::Idle),
         };
         if !stage_done {
-            let job_busy = self.runs[idx].busy();
-            self.meter.update_job(self.time, job, job_busy);
-            let busy = self.busy_slots();
-            self.meter.update(self.time, busy, self.freq);
+            let (job_busy, freq) = {
+                let run = &self.runs[idx];
+                (run.busy(), run.freq)
+            };
+            self.meter.update_job(self.time, job, job_busy, freq);
             return Ok(EngineEvent::TaskFinished {
                 job,
                 stage,
@@ -830,9 +908,11 @@ impl ClusterSim {
         let total_stages = run.work.stage_tasks.len();
         if stage + 1 < total_stages {
             let shuffle = run.work.shuffle_secs[stage];
+            let freq = run.freq;
             let handle = self
                 .queue
                 .push(self.time + shuffle / speed, Internal::SerialDone { job });
+            let run = &mut self.runs[idx];
             run.phase = Phase::Serial {
                 is_setup: false,
                 next_stage: stage + 1,
@@ -840,8 +920,7 @@ impl ClusterSim {
                 since: self.time,
                 handle,
             };
-            self.meter.update_job(self.time, job, 1);
-            self.meter.update(self.time, self.busy_slots(), self.freq);
+            self.meter.update_job(self.time, job, 1, freq);
             Ok(EngineEvent::StageFinished { job, stage })
         } else {
             Ok(self.finish_job(idx))
@@ -851,9 +930,10 @@ impl ClusterSim {
     /// Begins stage `stage` of run `idx`; returns `Some(JobFinished)` if the
     /// job ends instead (e.g. every remaining stage was dropped empty).
     fn enter_stage(&mut self, idx: usize, stage: usize) -> Option<EngineEvent> {
-        let speed = self.spec.speed_at(self.freq);
         let time = self.time;
         let run = &mut self.runs[idx];
+        let freq = run.freq;
+        let speed = self.spec.speed_at(freq);
         let job = run.work.job;
         let slots = run.slots.count;
         if stage >= run.work.stage_tasks.len() {
@@ -874,8 +954,7 @@ impl ClusterSim {
                     since: time,
                     handle,
                 };
-                self.meter.update_job(time, job, 1);
-                self.meter.update(time, self.busy_slots(), self.freq);
+                self.meter.update_job(time, job, 1, freq);
                 return None;
             }
             return Some(self.finish_job(idx));
@@ -898,8 +977,7 @@ impl ClusterSim {
             queue,
             running,
         };
-        self.meter.update_job(time, job, job_busy);
-        self.meter.update(time, self.busy_slots(), self.freq);
+        self.meter.update_job(time, job, job_busy, freq);
         None
     }
 
@@ -909,7 +987,6 @@ impl ClusterSim {
         let run = self.runs.remove(idx);
         let sprint_secs = run.sprint_secs + run.sprint_since.map_or(0.0, |s| self.time - s);
         self.meter.retire_job(self.time, run.work.job);
-        self.meter.update(self.time, self.busy_slots(), self.freq);
         let event = EngineEvent::JobFinished {
             job: run.work.job,
             metrics: JobRunMetrics {

@@ -12,6 +12,13 @@
 //!    a speedup of 2, so every product and sum the meter computes is exact
 //!    in `f64` and the linear power model distributes without rounding.
 //!
+//! Frequency switches come in two flavours, matching the per-gang-domain
+//! engine: the *global* toggle (every domain flips together, the paper's
+//! hardware) and *per-job* toggles that flip one running job's domain at a
+//! time, leaving concurrent jobs at heterogeneous levels — the exact-sum
+//! invariant must survive both, with sprint extra power charged only over
+//! the sprinting domains' busy slots.
+//!
 //! [`EnergyMeter`]: dias_engine::EnergyMeter
 
 use proptest::prelude::*;
@@ -107,17 +114,54 @@ fn assert_disjoint(sim: &ClusterSim) -> Result<(), String> {
     Ok(())
 }
 
+/// How the drive loop toggles frequency at event times.
+#[derive(Debug, Clone, Copy)]
+enum Toggle {
+    /// Flip every domain together through the global switch (the paper's
+    /// hardware; the pre-PR5 behaviour).
+    Global,
+    /// Flip one running job's own domain, rotating through the running set —
+    /// concurrent jobs end up at heterogeneous levels.
+    PerJob,
+}
+
 /// Drives `jobs` through a scheduler, checking disjointness at every state
-/// change and toggling the frequency at (dyadic) event times; returns the
+/// change and toggling frequencies at (dyadic) event times; returns the
 /// driven simulator after all jobs completed.
 fn drive(
     jobs: &[GenJob],
     scheduler: Box<dyn Scheduler>,
     toggle_every: usize,
+    toggle: Toggle,
 ) -> Result<ClusterSim, String> {
     let mut sim = ClusterSim::with_scheduler(dyadic_cluster(), scheduler);
     let mut arrival = 0.0f64;
     let mut events = 0usize;
+    fn flip(sim: &mut ClusterSim, toggle: Toggle, events: usize) {
+        match toggle {
+            Toggle::Global => {
+                let next = if sim.frequency() == FreqLevel::Base {
+                    FreqLevel::Sprint
+                } else {
+                    FreqLevel::Base
+                };
+                sim.set_frequency(next);
+            }
+            Toggle::PerJob => {
+                let running = sim.running_jobs();
+                if running.is_empty() {
+                    return;
+                }
+                let job = running[events % running.len()];
+                let next = match sim.job_frequency(job) {
+                    Some(FreqLevel::Base) => FreqLevel::Sprint,
+                    _ => FreqLevel::Base,
+                };
+                sim.set_job_frequency(job, next)
+                    .expect("toggled job is running");
+            }
+        }
+    }
     for (id, job) in jobs.iter().enumerate() {
         arrival += f64::from(job.gap_eighths) / 8.0;
         // Process engine events that precede the arrival.
@@ -128,12 +172,7 @@ fn drive(
             sim.advance().expect("running events");
             events += 1;
             if toggle_every > 0 && events.is_multiple_of(toggle_every) {
-                let next = if sim.frequency() == FreqLevel::Base {
-                    FreqLevel::Sprint
-                } else {
-                    FreqLevel::Base
-                };
-                sim.set_frequency(next);
+                flip(&mut sim, toggle, events);
             }
             assert_disjoint(&sim)?;
         }
@@ -147,16 +186,27 @@ fn drive(
         sim.advance().expect("pending events while jobs run");
         events += 1;
         if toggle_every > 0 && events.is_multiple_of(toggle_every) {
-            let next = if sim.frequency() == FreqLevel::Base {
-                FreqLevel::Sprint
-            } else {
-                FreqLevel::Base
-            };
-            sim.set_frequency(next);
+            flip(&mut sim, toggle, events);
         }
         assert_disjoint(&sim)?;
     }
     Ok(sim)
+}
+
+/// Exact-sum check: cluster total == idle floor + Σ per-job active energy.
+fn assert_exact_split(sim: &ClusterSim) -> Result<(), String> {
+    let horizon = sim.now().as_secs();
+    let idle = sim.spec().cluster_power_w(0, FreqLevel::Base) * horizon;
+    let attributed: f64 = sim
+        .meter()
+        .finished_jobs()
+        .iter()
+        .map(|(_, e)| e.active_joules)
+        .sum();
+    // Dyadic inputs: the linear power model distributes exactly, so the
+    // identity holds with `==`, not within an epsilon.
+    prop_assert_eq!(sim.energy_joules(), idle + attributed);
+    Ok(())
 }
 
 proptest! {
@@ -167,7 +217,7 @@ proptest! {
         jobs in prop::collection::vec(arb_job(), 1..=8),
         toggle in 0usize..=5,
     ) {
-        drive(&jobs, Box::new(GangBinPack), toggle)?;
+        drive(&jobs, Box::new(GangBinPack), toggle, Toggle::Global)?;
     }
 
     #[test]
@@ -175,7 +225,7 @@ proptest! {
         jobs in prop::collection::vec(arb_job(), 1..=8),
         toggle in 0usize..=5,
     ) {
-        drive(&jobs, Box::new(PriorityPreempt), toggle)?;
+        drive(&jobs, Box::new(PriorityPreempt), toggle, Toggle::PerJob)?;
     }
 
     #[test]
@@ -183,18 +233,22 @@ proptest! {
         jobs in prop::collection::vec(arb_job(), 1..=8),
         toggle in 0usize..=5,
     ) {
-        let sim = drive(&jobs, Box::new(GangBinPack), toggle)?;
-        let horizon = sim.now().as_secs();
-        let idle = sim.spec().cluster_power_w(0, FreqLevel::Base) * horizon;
-        let attributed: f64 = sim
-            .meter()
-            .finished_jobs()
-            .iter()
-            .map(|(_, e)| e.active_joules)
-            .sum();
-        // Dyadic inputs: the linear power model distributes exactly, so the
-        // identity holds with `==`, not within an epsilon.
-        prop_assert_eq!(sim.energy_joules(), idle + attributed);
+        let sim = drive(&jobs, Box::new(GangBinPack), toggle, Toggle::Global)?;
+        assert_exact_split(&sim)?;
+        prop_assert_eq!(sim.meter().finished_jobs().len(), jobs.len());
+    }
+
+    #[test]
+    fn per_job_energy_stays_exact_with_heterogeneous_domains(
+        jobs in prop::collection::vec(arb_job(), 1..=8),
+        toggle in 1usize..=4,
+    ) {
+        // Per-gang DVFS: individual domains flip one at a time, so jobs run
+        // concurrently at *different* levels, each charged its own rate (the
+        // sprint extra power lands only on sprinting domains' busy slots).
+        // The attribution must still be exact.
+        let sim = drive(&jobs, Box::new(GangBinPack), toggle, Toggle::PerJob)?;
+        assert_exact_split(&sim)?;
         prop_assert_eq!(sim.meter().finished_jobs().len(), jobs.len());
     }
 
@@ -206,15 +260,18 @@ proptest! {
         // Preemption retires partial attempts; their ledgers must still sum
         // exactly (a job id retires once per evicted attempt plus once at
         // completion).
-        let sim = drive(&jobs, Box::new(PriorityPreempt), toggle)?;
-        let horizon = sim.now().as_secs();
-        let idle = sim.spec().cluster_power_w(0, FreqLevel::Base) * horizon;
-        let attributed: f64 = sim
-            .meter()
-            .finished_jobs()
-            .iter()
-            .map(|(_, e)| e.active_joules)
-            .sum();
-        prop_assert_eq!(sim.energy_joules(), idle + attributed);
+        let sim = drive(&jobs, Box::new(PriorityPreempt), toggle, Toggle::Global)?;
+        assert_exact_split(&sim)?;
+    }
+
+    #[test]
+    fn per_job_energy_stays_exact_under_preemption_with_domains(
+        jobs in prop::collection::vec(arb_job(), 2..=8),
+        toggle in 1usize..=4,
+    ) {
+        // Eviction of a sprinting job must retire its ledger at its own rate
+        // while its base-frequency neighbours keep accruing at theirs.
+        let sim = drive(&jobs, Box::new(PriorityPreempt), toggle, Toggle::PerJob)?;
+        assert_exact_split(&sim)?;
     }
 }

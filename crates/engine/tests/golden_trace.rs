@@ -18,7 +18,8 @@
 //! and replace `EXPECTED` with the printed literals.
 
 use dias_engine::{
-    ClusterSim, ClusterSpec, FreqLevel, JobInstance, JobSpec, PriorityPreempt, StageKind, StageSpec,
+    ClusterSim, ClusterSpec, FreqLevel, GangBinPack, JobInstance, JobSpec, PriorityPreempt,
+    StageKind, StageSpec,
 };
 use dias_stochastic::Dist;
 use rand::rngs::StdRng;
@@ -284,6 +285,118 @@ fn priority_preempt_trace_is_pinned() {
     }
 }
 
+/// A narrow job (8-map/4-reduce or 6-map/3-reduce) so two gangs coexist on
+/// the 20-slot cluster.
+fn narrow_variable_job(id: u64, seed: u64, class: usize, map_tasks: usize) -> JobInstance {
+    let spec = JobSpec::builder(id, class)
+        .input_mb(200.0)
+        .setup(Dist::uniform(3.0, 5.0))
+        .shuffle(Dist::uniform(2.0, 3.0))
+        .stage(StageSpec::new(
+            StageKind::Map,
+            map_tasks,
+            Dist::uniform(8.0, 24.0),
+        ))
+        .stage(StageSpec::new(
+            StageKind::Reduce,
+            map_tasks / 2,
+            Dist::uniform(3.0, 9.0),
+        ))
+        .build();
+    let mut rng = StdRng::seed_from_u64(seed);
+    JobInstance::sample(&spec, &mut rng)
+}
+
+/// Drives the per-gang frequency-domain scenario under `GangBinPack`: a
+/// low-class 8-wide gang and a high-class 6-wide gang run side by side; the
+/// high job's *own domain* sprints mid-stage (`set_job_frequency`) while the
+/// low gang stays at base frequency, and a driver-emulated budget exhaustion
+/// later drops the high domain back to base mid-flight. Domain levels and
+/// per-job energy attributions are logged alongside every event.
+fn drive_domains() -> Vec<String> {
+    let mut sim = ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(GangBinPack));
+    let mut log = Vec::new();
+
+    let low = narrow_variable_job(1, 21, 0, 8);
+    let high = narrow_variable_job(2, 22, 1, 6);
+    let sub = sim.submit_job(&low, &[0.0, 0.0]).unwrap();
+    log.push(format!("submit-low {sub:?} t={:?}", sim.now().as_secs()));
+    let sub = sim.submit_job(&high, &[0.0, 0.0]).unwrap();
+    log.push(format!("submit-high {sub:?} t={:?}", sim.now().as_secs()));
+
+    let freqs = |sim: &ClusterSim| {
+        format!(
+            "low={:?} high={:?} default={:?}",
+            sim.job_frequency(dias_engine::JobId(1)),
+            sim.job_frequency(dias_engine::JobId(2)),
+            sim.frequency()
+        )
+    };
+
+    let mut steps = 0;
+    while !sim.is_idle() {
+        // Mid-stage: the high job's domain sprints alone.
+        if steps == 6 {
+            sim.set_job_frequency(dias_engine::JobId(2), FreqLevel::Sprint)
+                .unwrap();
+            log.push(format!(
+                "sprint-high-on t={:?} {} e={:?}",
+                sim.now().as_secs(),
+                freqs(&sim),
+                sim.energy_joules()
+            ));
+        }
+        // Budget exhausted (driver-emulated): the sprinting domain stops.
+        if steps == 12 {
+            sim.set_job_frequency(dias_engine::JobId(2), FreqLevel::Base)
+                .unwrap();
+            log.push(format!(
+                "budget-exhausted t={:?} {} e={:?}",
+                sim.now().as_secs(),
+                freqs(&sim),
+                sim.energy_joules()
+            ));
+        }
+        let ev = sim.advance().unwrap();
+        log.push(format!("ev {:?} e={:?}", ev, sim.energy_joules()));
+        steps += 1;
+    }
+
+    for id in [1u64, 2] {
+        let e = sim.job_energy(dias_engine::JobId(id)).unwrap();
+        log.push(format!(
+            "job{id} active={:?} busy_slot_secs={:?} sprint_slot_secs={:?}",
+            e.active_joules, e.busy_slot_secs, e.sprint_slot_secs
+        ));
+    }
+    log.push(format!(
+        "end t={:?} e={:?}",
+        sim.now().as_secs(),
+        sim.energy_joules()
+    ));
+    log
+}
+
+#[test]
+fn per_gang_sprint_trace_is_pinned() {
+    let lines = drive_domains();
+    if std::env::var("DIAS_GOLDEN_PRINT").is_ok() {
+        for l in &lines {
+            println!("    {l:?},");
+        }
+    }
+    assert_eq!(
+        lines.len(),
+        EXPECTED_DOMAINS.len(),
+        "trace length changed: got {} lines, expected {}",
+        lines.len(),
+        EXPECTED_DOMAINS.len()
+    );
+    for (i, (got, want)) in lines.iter().zip(EXPECTED_DOMAINS).enumerate() {
+        assert_eq!(got, want, "domain trace diverges at line {i}");
+    }
+}
+
 const EXPECTED_PREEMPT: &[&str] = &[
     "submit-low Dispatched { slots: SlotRange { start: 0, count: 20 } } t=0.0 e=0.0",
     "ev SetupFinished { job: JobId(1) } e=7979.111051788222",
@@ -361,4 +474,43 @@ const EXPECTED_PREEMPT: &[&str] = &[
     "job1 active=14634.2534473035 busy_slot_secs=325.20563216230005 sprint_slot_secs=0.0",
     "job2 active=13916.788929176695 busy_slot_secs=278.54212200501706 sprint_slot_secs=30.719854198909402",
     "end t=102.69555001978253 e=129189.42812970304",
+];
+
+/// Captured from the first per-gang-domain engine (PR 5) via
+/// `DIAS_GOLDEN_PRINT=1`; pins `set_job_frequency` semantics — only the
+/// target domain rescales, the neighbour gang's completions and the exact
+/// per-job energy split are untouched.
+const EXPECTED_DOMAINS: &[&str] = &[
+    "submit-low Dispatched { slots: SlotRange { start: 0, count: 8 } } t=0.0",
+    "submit-high Dispatched { slots: SlotRange { start: 8, count: 6 } } t=0.0",
+    "ev SetupFinished { job: JobId(2) } e=3536.0319870083326",
+    "ev SetupFinished { job: JobId(1) } e=3768.7129061813293",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 7 } e=16371.989675687699",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 6 } e=16927.179253232745",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 5 } e=18613.136840704683",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 4 } e=18752.215557344272",
+    "sprint-high-on t=13.645059128582355 low=Some(Base) high=Some(Sprint) default=Base e=18752.215557344272",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 5 } e=18902.463822745533",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 4 } e=22225.15936890846",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 3 } e=22668.256814326774",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 2 } e=23794.206472575344",
+    "ev TaskFinished { job: JobId(2), stage: 0, tasks_left: 1 } e=24194.853082707596",
+    "ev StageFinished { job: JobId(2), stage: 0 } e=25738.934524302542",
+    "budget-exhausted t=18.7602105986983 low=Some(Base) high=Some(Base) default=Base e=25738.934524302542",
+    "ev ShuffleFinished { job: JobId(2), next_stage: 1 } e=28298.077778485705",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 3 } e=29499.896260454036",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 2 } e=30873.761998461432",
+    "ev TaskFinished { job: JobId(1), stage: 0, tasks_left: 1 } e=32767.15337126815",
+    "ev StageFinished { job: JobId(1), stage: 0 } e=33263.572167714",
+    "ev TaskFinished { job: JobId(2), stage: 1, tasks_left: 2 } e=34517.15821822273",
+    "ev TaskFinished { job: JobId(2), stage: 1, tasks_left: 1 } e=34684.052694877304",
+    "ev ShuffleFinished { job: JobId(1), next_stage: 1 } e=35789.95053722864",
+    "ev JobFinished { job: JobId(2), metrics: JobRunMetrics { execution_secs: 29.25769225217771, work_secs: 123.08280828790001, sprint_secs: 5.115151470115945, tasks_run: 9, tasks_dropped: 0 } } e=37452.23228260696",
+    "ev TaskFinished { job: JobId(1), stage: 1, tasks_left: 3 } e=42766.91993464329",
+    "ev TaskFinished { job: JobId(1), stage: 1, tasks_left: 2 } e=42839.20240050465",
+    "ev TaskFinished { job: JobId(1), stage: 1, tasks_left: 1 } e=43907.18621740672",
+    "ev JobFinished { job: JobId(1), metrics: JobRunMetrics { execution_secs: 35.51325370093677, work_secs: 153.78792512649125, sprint_secs: 0.0, tasks_run: 12, tasks_dropped: 0 } } e=44082.90395895294",
+    "job1 active=6920.456630692108 busy_slot_secs=153.78792512649127 sprint_slot_secs=0.0",
+    "job2 active=5200.51899741774 busy_slot_secs=100.53564991871612 sprint_slot_secs=15.031438912789241",
+    "end t=35.51325370093677 e=44082.90395895294",
 ];

@@ -39,8 +39,8 @@ pub mod stream;
 pub mod text;
 
 pub use profiles::{
-    dataset_126, dataset_147, equal_size_two_priority, inverted_ratio_two_priority, profile_473,
-    reference_two_priority, sharded_two_priority, three_priority_stream, triangle_two_priority,
-    JobProfile,
+    dataset_126, dataset_147, equal_size_two_priority, heterogeneous_width_two_priority,
+    inverted_ratio_two_priority, profile_473, reference_two_priority, sharded_two_priority,
+    three_priority_stream, triangle_two_priority, JobProfile,
 };
 pub use stream::{profile_execution, JobStream};

@@ -190,6 +190,28 @@ pub fn sharded_two_priority(utilization: f64, seed: u64) -> JobStream {
     )
 }
 
+/// Heterogeneous-width variant of the sharded workload: the 1117 MB input
+/// arrives as four ≈ 279 MB shards of **12** map / 6 reduce tasks (a 12-wide
+/// gang) while the 473 MB input keeps its four narrow ≈ 118 MB shards of
+/// **4** map / 2 tasks. A 12-wide low gang plus two 4-wide high gangs fill
+/// the 20-slot cluster, so per-gang frequency domains genuinely diverge: a
+/// sprinting high job accelerates its 4 slots while the wide low neighbour
+/// stays at base — and is charged a third of what the wide gang would cost
+/// the sprint budget. Total offered bytes, per-task work and the 9:1 class
+/// ratio match [`reference_two_priority`].
+#[must_use]
+pub fn heterogeneous_width_two_priority(utilization: f64, seed: u64) -> JobStream {
+    let low = JobProfile::word_count("147-wide", 1117.0 / 4.0, 12, 33.4, 6, 12.0, 12.0, 8.0);
+    let high = JobProfile::word_count("126-shard", 473.0 / 4.0, 4, 27.9, 2, 11.0, 11.0, 7.0);
+    JobStream::with_target_utilization(
+        vec![low, high],
+        vec![0.9, 0.1],
+        &ClusterSpec::paper_reference(),
+        utilization,
+        seed,
+    )
+}
+
 /// Fig. 8a's variant: both priorities process the same (473 MB) dataset.
 #[must_use]
 pub fn equal_size_two_priority(utilization: f64, seed: u64) -> JobStream {
@@ -310,6 +332,20 @@ mod tests {
             (mean - 126.0).abs() < 13.0,
             "dataset 126 should process in ≈126 s, got {mean}"
         );
+    }
+
+    #[test]
+    fn heterogeneous_width_profiles_diverge() {
+        use dias_core::JobSource;
+        let mut stream = heterogeneous_width_two_priority(0.8, 7);
+        // Widths come from the stage with the most tasks: 12 vs 4.
+        let mut widths = [0usize; 2];
+        for _ in 0..200 {
+            let job = stream.next_job().expect("stream is endless");
+            let w = job.task_secs.iter().map(Vec::len).max().unwrap();
+            widths[job.class()] = widths[job.class()].max(w);
+        }
+        assert_eq!(widths, [12, 4]);
     }
 
     #[test]

@@ -33,22 +33,33 @@
 //! # Multi-job quickstart
 //!
 //! Concurrent jobs on disjoint slot subsets, with per-class energy
-//! attribution and differential approximation + sprinting:
+//! attribution, differential approximation, and **budgeted per-gang
+//! sprinting**: only high-class jobs' own frequency domains sprint, each
+//! charged to a shared replenishing budget at the per-slot extra power times
+//! its gang width:
 //!
 //! ```
-//! use dias_repro::core::MultiJobExperiment;
+//! use dias_repro::core::{MultiJobExperiment, SprintBudget, SprintPolicy};
 //! use dias_repro::engine::GangBinPack;
-//! use dias_repro::workloads::sharded_two_priority;
+//! use dias_repro::workloads::heterogeneous_width_two_priority;
 //!
-//! let workload = sharded_two_priority(0.8, 7); // narrow (8-/4-wide) jobs
+//! let workload = heterogeneous_width_two_priority(0.8, 7); // 12- vs 4-wide gangs
 //! let report = MultiJobExperiment::new(workload, Box::new(GangBinPack))
-//!     .drops(&[0.2, 0.0])     // DA(0,20): low class approximates
-//!     .sprint_top_class(true) // sprint while a high-class job runs
+//!     .drops(&[0.2, 0.0]) // DA(0,20): low class approximates
+//!     // High class sprints its own gang from dispatch, on a 22 kJ budget
+//!     // replenished at 18 W; budget depletion stops every sprint at once.
+//!     .sprint(SprintPolicy::top_class(2, 0.0, SprintBudget::limited(22_000.0, 18.0)))
 //!     .jobs(50)
 //!     .run()
 //!     .unwrap();
 //! assert!(report.per_class[0].active_energy_joules > 0.0);
+//! assert_eq!(report.per_class[0].sprint_slot_secs, 0.0); // low gangs never sprint
 //! assert_eq!(report.evictions, 0); // gang packing never evicts
+//! // The budget books balance: initial + replenished − spent == remaining.
+//! let residual = 22_000.0 + report.sprint_budget_replenished_j
+//!     - report.sprint_budget_spent_j
+//!     - report.sprint_budget_remaining_j;
+//! assert!(residual.abs() < 1e-6);
 //! ```
 
 pub use dias_core as core;
