@@ -1,0 +1,114 @@
+//! `sweep/differential` — common-random-numbers sweep vs independent replication.
+//!
+//! PR 5's sweep path estimates the effect of a policy change by running each
+//! policy point on independently seeded job streams and differencing the means.
+//! The differential path records each replica's draw stream once
+//! ([`dias_workloads::JobStreamTrace`]) and replays the *identical* stream at
+//! every policy point, so policy deltas are paired contrasts: the arrival noise
+//! cancels and the confidence interval on the delta tightens.
+//!
+//! Reported numbers:
+//!
+//! * wall-clock of the two grid runs (same experiment count, so similar —
+//!   recording/replay overhead is the difference);
+//! * the 95% CI half-width of the policy delta under pairing vs independent
+//!   replication at the *same* replica count;
+//! * the equal-precision speedup: CI half-width scales as `1/√R`, so matching
+//!   the paired precision independently needs `(hw_ind / hw_par)²` × as many
+//!   replicas.
+
+use std::time::Instant;
+
+use dias_bench::{banner, compare, scaled};
+use dias_core::{
+    run_experiments_differential, sweep, DifferentialReport, ExperimentReport, ExperimentSpec,
+    JobSource, Policy,
+};
+use dias_workloads::{reference_two_priority, JobStreamTrace};
+
+fn main() {
+    banner(
+        "sweep/differential",
+        "CRN trace replay vs independent replication",
+    );
+    let jobs = scaled(600);
+    let replicas = 6;
+    let threads = sweep::default_threads();
+    // Three sweep points: the preemptive baseline and two neighbouring drop
+    // ratios. The headline contrast is the *sweep derivative* DA(0,30) vs
+    // DA(0,50) — same discipline, nearby θ — where the replayed stream makes
+    // the two runs strongly correlated and pairing shines.
+    let policies = [
+        Policy::preemptive(2),
+        Policy::differential_approximation(&[0.3, 0.0]),
+        Policy::differential_approximation(&[0.5, 0.0]),
+    ];
+    println!(
+        "grid: {} policies x {replicas} replicas, {jobs} jobs each",
+        policies.len()
+    );
+
+    // Differential mode: record each replica's stream once, replay everywhere.
+    let start = Instant::now();
+    let traces: Vec<JobStreamTrace> = (0..replicas)
+        .map(|r| {
+            let mut stream = reference_two_priority(0.8, 101 + r as u64).recording();
+            // Materialize the measured prefix so replays serve it from the trace.
+            for _ in 0..jobs {
+                let _ = stream.next_job();
+            }
+            stream.into_trace()
+        })
+        .collect();
+    let paired_report = run_experiments_differential(policies.len(), replicas, threads, |p, r| {
+        ExperimentSpec::new(traces[r].replay(), policies[p].clone()).jobs(jobs)
+    })
+    .expect("valid differential grid");
+    let paired_secs = start.elapsed().as_secs_f64();
+
+    // Independent mode (the PR 5 path): every (point, replica) cell gets its
+    // own seed, so contrasts must difference independent means.
+    let start = Instant::now();
+    let indep_report = run_experiments_differential(policies.len(), replicas, threads, |p, r| {
+        let seed = 101 + (p * replicas + r) as u64;
+        ExperimentSpec::new(reference_two_priority(0.8, seed), policies[p].clone()).jobs(jobs)
+    })
+    .expect("valid independent grid");
+    let indep_secs = start.elapsed().as_secs_f64();
+
+    let metric = |rep: &ExperimentReport| rep.mean_response(0);
+    report(
+        "low-class mean response",
+        &paired_report,
+        paired_secs,
+        indep_secs,
+    );
+    for (a, b, label) in [(1, 2, "DA(0,30) vs DA(0,50)"), (0, 2, "P vs DA(0,50)")] {
+        let paired = paired_report.paired_contrast(a, b, metric);
+        let indep = indep_report.independent_contrast(a, b, metric);
+        println!(
+            "  {label}: paired {:>8.2}s +/- {:>6.2}s | independent {:>8.2}s +/- {:>6.2}s",
+            paired.mean_delta, paired.half_width, indep.mean_delta, indep.half_width
+        );
+    }
+    let paired = paired_report.paired_contrast(1, 2, metric);
+    let indep = indep_report.independent_contrast(1, 2, metric);
+    let tightening = indep.half_width / paired.half_width;
+    let replica_factor = tightening * tightening;
+    compare(
+        "sweep-derivative CI tightening (target >= 2x)",
+        ">= 2x",
+        &format!("{tightening:.1}x"),
+    );
+    compare(
+        "equal-precision replica speedup",
+        "-",
+        &format!("{replica_factor:.1}x fewer replicas"),
+    );
+}
+
+fn report(metric: &str, grid: &DifferentialReport<ExperimentReport>, paired: f64, indep: f64) {
+    println!("metric: {metric} over {} replicas", grid.replicas());
+    println!("  differential sweep (record + replay): {paired:>6.2}s wall-clock");
+    println!("  independent sweep  (fresh streams):   {indep:>6.2}s wall-clock");
+}

@@ -139,128 +139,51 @@ pub fn compare(label: &str, paper: &str, measured: &str) {
     println!("  {label:<44} paper: {paper:<18} measured: {measured}");
 }
 
+/// Translates an engine-facing profile + cluster into the plain parameters the
+/// promoted [`dias_models::wave_fit`] fit consumes.
+#[must_use]
+pub fn wave_fit_spec(
+    profile: &dias_workloads::JobProfile,
+    cluster: &dias_engine::ClusterSpec,
+) -> dias_models::WaveFitSpec {
+    let map_stage = &profile.stages[0];
+    let reduce_stage = &profile.stages[1];
+    dias_models::WaveFitSpec {
+        name: profile.name.clone(),
+        slots: cluster.slots(),
+        setup_mean: profile.setup.mean(),
+        setup_data_fraction: profile.setup_data_fraction,
+        shuffle_mean: profile.shuffle.mean(),
+        map_tasks: map_stage.tasks,
+        map_task_work: map_stage.task_work.clone(),
+        reduce_tasks: reduce_stage.tasks,
+        reduce_task_work: reduce_stage.task_work.clone(),
+    }
+}
+
+/// The process-wide [`dias_models::ModelCache`] behind [`wave_model_for`]:
+/// every figure harness in one bench process shares fitted wave models.
+#[must_use]
+pub fn model_cache() -> &'static dias_models::ModelCache {
+    static CACHE: std::sync::OnceLock<dias_models::ModelCache> = std::sync::OnceLock::new();
+    CACHE.get_or_init(dias_models::ModelCache::new)
+}
+
 /// Builds the paper's §4.2 wave-level model for a word-count profile at drop ratio
-/// `theta` on the map stage, parameterized the way §4.3 prescribes:
+/// `theta` on the map stage, parameterized the way §4.3 prescribes.
 ///
-/// * per-wave PH blocks fitted (mean + SCV) to profiled stage makespans: task
-///   execution times are sampled from the profiled distribution and list-scheduled
-///   over the `C` slots (exactly what the engine's wave scheduler does), and the
-///   fitted makespan is split evenly across the `⌈n̄/C⌉` wave blocks so the block
-///   structure matches the paper's `(α_m(d), A_m(d))` sequence;
-/// * overhead interpolated linearly between profiled θ = 0 and θ = 0.9 runs;
-/// * a low-variability PH shuffle block at the profiled mean.
+/// Thin adapter over the promoted [`dias_models::wave_fit::wave_model_for`]
+/// (see there for the fitting procedure), routed through the process-wide
+/// [`model_cache`]: a figure sweep pays for each distinct `(profile, cluster,
+/// theta, seed)` fit once and gets bitwise-identical models from the memo
+/// afterwards.
 pub fn wave_model_for(
     profile: &dias_workloads::JobProfile,
     cluster: &dias_engine::ClusterSpec,
     theta: f64,
     seed: u64,
 ) -> dias_models::WaveLevelModel {
-    use dias_models::overhead::OverheadProfile;
-    use dias_models::{effective_tasks, wave_count_probs};
-    use dias_stochastic::{fit::ph_from_mean_scv, DiscreteDist, Ph};
-
-    let slots = cluster.slots();
-    let map_stage = &profile.stages[0];
-    let reduce_stage = &profile.stages[1];
-
-    // Overhead: the paper profiles θ=0 and θ=0.9 and interpolates (§4.3). The
-    // engine's setup shrinks with the kept-data fraction, which profiling sees.
-    let f = profile.setup_data_fraction;
-    let setup0 = profile.setup.mean();
-    let setup90 = setup0 * (1.0 - f + f * 0.1);
-    let overhead_curve =
-        OverheadProfile::from_two_points(setup0, setup90).expect("positive overheads");
-    // Low-SCV PH block at the interpolated mean (setups are near-deterministic).
-    let overhead = ph_from_mean_scv(overhead_curve.mean_at(theta), 0.05);
-
-    let shuffle = ph_from_mean_scv(profile.shuffle.mean(), 0.05);
-
-    // Stage-makespan profiling: list-schedule `n` sampled task times on `slots`
-    // slots (greedy, work-conserving — the engine's wave scheduler) and fit the
-    // makespan's first two moments.
-    //
-    // The earliest-available slot is tracked with a min-heap, so one rep costs
-    // O(n log C) instead of the O(n·C) full scan per task the pre-PR3 fit
-    // paid. Which of several *tied* slots takes a task is irrelevant: the
-    // multiset of slot end times (and hence the makespan and the RNG stream)
-    // is identical, so fitted models are unchanged bit for bit.
-    let mut rng: rand::rngs::StdRng = dias_des::SeedSequence::new(seed).stream("wave-fit");
-    let mut stage_fit = |n_tasks: usize, task: &dias_stochastic::Dist| -> (f64, f64) {
-        use std::cmp::Reverse;
-
-        /// Slot end time with the total order finite simulation times have.
-        #[derive(PartialEq)]
-        struct SlotEnd(f64);
-        impl Eq for SlotEnd {}
-        impl PartialOrd for SlotEnd {
-            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-                Some(self.cmp(other))
-            }
-        }
-        impl Ord for SlotEnd {
-            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                self.0
-                    .partial_cmp(&other.0)
-                    .expect("slot end times are finite")
-            }
-        }
-
-        let reps = 3000;
-        let mut stats = dias_des::stats::SampleSet::with_capacity(reps);
-        let mut slot_end: std::collections::BinaryHeap<Reverse<SlotEnd>> =
-            std::collections::BinaryHeap::with_capacity(slots);
-        for _ in 0..reps {
-            slot_end.clear();
-            for _ in 0..slots {
-                slot_end.push(Reverse(SlotEnd(0.0)));
-            }
-            for _ in 0..n_tasks {
-                // Earliest-available slot takes the next task.
-                let Reverse(SlotEnd(end)) = slot_end.pop().expect("at least one slot");
-                slot_end.push(Reverse(SlotEnd(end + task.sample(&mut rng))));
-            }
-            let makespan = slot_end
-                .iter()
-                .map(|Reverse(SlotEnd(end))| *end)
-                .fold(0.0, f64::max);
-            stats.push(makespan);
-        }
-        let mean = stats.mean();
-        let scv = (stats.variance() / (mean * mean)).max(1e-4);
-        (mean, scv)
-    };
-
-    // Split the fitted stage makespan evenly over its wave blocks: D identical
-    // blocks with mean/D and per-block SCV = stage SCV × D convolve back to the
-    // fitted stage moments.
-    let mut wave_blocks = |n_tasks: usize, task: &dias_stochastic::Dist| -> Vec<Ph> {
-        if n_tasks == 0 {
-            return Vec::new();
-        }
-        let d = n_tasks.div_ceil(slots);
-        let (mean, scv) = stage_fit(n_tasks, task);
-        let block = ph_from_mean_scv(mean / d as f64, (scv * d as f64).min(50.0));
-        vec![block; d]
-    };
-
-    let n_map = effective_tasks(map_stage.tasks, theta);
-    let map_tasks_dist = DiscreteDist::constant(map_stage.tasks.max(1));
-    let qm = wave_count_probs(&map_tasks_dist, theta, slots);
-    let map_waves = wave_blocks(n_map, &map_stage.task_work);
-
-    let n_red = reduce_stage.tasks;
-    let red_tasks_dist = DiscreteDist::constant(n_red.max(1));
-    let qr = wave_count_probs(&red_tasks_dist, 0.0, slots);
-    let reduce_waves = wave_blocks(n_red, &reduce_stage.task_work);
-
-    dias_models::WaveLevelModel {
-        overhead,
-        shuffle,
-        map_waves,
-        map_wave_probs: qm,
-        reduce_waves,
-        reduce_wave_probs: qr,
-    }
+    model_cache().wave_model_for(&wave_fit_spec(profile, cluster), theta, seed)
 }
 
 #[cfg(test)]

@@ -72,4 +72,7 @@ pub use multi::{MultiClassStats, MultiJobExperiment, MultiJobReport};
 pub use multi_sprint::MultiSprinter;
 pub use policy::{ClassPolicy, Policy, Scheduling};
 pub use sprinter::{SprintBudget, SprintPolicy, Sprinter};
-pub use sweep::{run_experiments, run_multi_experiments, run_parallel, ExperimentSpec};
+pub use sweep::{
+    run_experiments, run_experiments_differential, run_multi_experiments,
+    run_multi_experiments_differential, run_parallel, Contrast, DifferentialReport, ExperimentSpec,
+};

@@ -261,6 +261,191 @@ where
     run_parallel(experiments, threads, |_, e| e.run())
 }
 
+/// A paired or independent contrast between two sweep points: the mean metric
+/// delta and its 95% confidence half-width over the replicas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Contrast {
+    /// Mean of `metric(point a) − metric(point b)` across replicas.
+    pub mean_delta: f64,
+    /// 95% confidence half-width of the mean delta (normal approximation).
+    pub half_width: f64,
+    /// Number of replicas the contrast was computed over.
+    pub replicas: usize,
+}
+
+/// The replica grid of a differential sweep: `reports[point][replica]`.
+///
+/// Produced by [`run_experiments_differential`] /
+/// [`run_multi_experiments_differential`]. When every point's replica `r`
+/// consumed the *same* draw stream (common random numbers — e.g. replays of
+/// one recorded trace, or same-seeded streams whose draws are
+/// policy-independent), [`DifferentialReport::paired_contrast`] cancels the
+/// shared sampling noise and its half-widths shrink well below the
+/// independent-seed half-widths of
+/// [`DifferentialReport::independent_contrast`].
+#[derive(Debug, Clone)]
+pub struct DifferentialReport<R> {
+    reports: Vec<Vec<R>>,
+}
+
+impl<R> DifferentialReport<R> {
+    /// Number of sweep points.
+    #[must_use]
+    pub fn points(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Number of replicas per point.
+    #[must_use]
+    pub fn replicas(&self) -> usize {
+        self.reports.first().map_or(0, Vec::len)
+    }
+
+    /// The replica reports of sweep point `i`, in replica order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn point(&self, i: usize) -> &[R] {
+        &self.reports[i]
+    }
+
+    fn metric_columns(
+        &self,
+        a: usize,
+        b: usize,
+        metric: impl Fn(&R) -> f64,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let xa: Vec<f64> = self.reports[a].iter().map(&metric).collect();
+        let xb: Vec<f64> = self.reports[b].iter().map(&metric).collect();
+        (xa, xb)
+    }
+
+    /// Paired contrast of `metric` between points `a` and `b`: replica `r` of
+    /// `a` is differenced against replica `r` of `b`, so noise shared through
+    /// common random numbers cancels. Half-width is `1.96·s_d/√R` over the
+    /// per-replica deltas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds or there are fewer than 2
+    /// replicas (the delta variance would be undefined).
+    #[must_use]
+    pub fn paired_contrast(&self, a: usize, b: usize, metric: impl Fn(&R) -> f64) -> Contrast {
+        let (xa, xb) = self.metric_columns(a, b, metric);
+        let deltas: Vec<f64> = xa.iter().zip(&xb).map(|(x, y)| x - y).collect();
+        let (mean, var) = mean_and_variance(&deltas);
+        Contrast {
+            mean_delta: mean,
+            half_width: 1.96 * (var / deltas.len() as f64).sqrt(),
+            replicas: deltas.len(),
+        }
+    }
+
+    /// Independent-seed contrast of `metric` between points `a` and `b`:
+    /// treats the two replica columns as unpaired samples (Welch-style),
+    /// `1.96·√(s_a²/R + s_b²/R)` — the half-width the same replica budget
+    /// would buy *without* common random numbers. The ratio
+    /// `independent.half_width / paired.half_width` is the variance-reduction
+    /// factor of the pairing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds or there are fewer than 2
+    /// replicas.
+    #[must_use]
+    pub fn independent_contrast(&self, a: usize, b: usize, metric: impl Fn(&R) -> f64) -> Contrast {
+        let (xa, xb) = self.metric_columns(a, b, metric);
+        let n = xa.len() as f64;
+        let (ma, va) = mean_and_variance(&xa);
+        let (mb, vb) = mean_and_variance(&xb);
+        Contrast {
+            mean_delta: ma - mb,
+            half_width: 1.96 * (va / n + vb / n).sqrt(),
+            replicas: xa.len(),
+        }
+    }
+}
+
+/// Sample mean and unbiased variance; panics on fewer than 2 values.
+fn mean_and_variance(xs: &[f64]) -> (f64, f64) {
+    assert!(xs.len() >= 2, "contrasts need at least 2 replicas");
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var)
+}
+
+/// Differential mode of [`run_experiments`]: evaluates a `points × replicas`
+/// grid where `make(point, replica)` builds the spec for one cell, fanning
+/// cells across up to `threads` cores.
+///
+/// Common random numbers are the *caller's* contract: for a fixed `replica`,
+/// every point's source must produce the identical draw stream — replays of
+/// one recorded [`dias_stochastic::DrawTrace`]-backed stream, or same-seeded
+/// streams whose draw sequence does not depend on the point. Under that
+/// contract, [`DifferentialReport::paired_contrast`] gives much tighter
+/// confidence intervals than independent seeding at the same replica budget.
+///
+/// # Errors
+///
+/// Propagates the first [`ExperimentError`] any cell reports (in grid order).
+pub fn run_experiments_differential<S, F>(
+    points: usize,
+    replicas: usize,
+    threads: usize,
+    make: F,
+) -> Result<DifferentialReport<ExperimentReport>, ExperimentError>
+where
+    S: JobSource + Send,
+    F: Fn(usize, usize) -> ExperimentSpec<S> + Sync,
+{
+    let grid: Vec<(usize, usize)> = (0..points)
+        .flat_map(|p| (0..replicas).map(move |r| (p, r)))
+        .collect();
+    let cells = run_parallel(grid, threads, |_, (p, r)| make(p, r).run());
+    collect_grid(cells, points, replicas)
+}
+
+/// Differential mode of [`run_multi_experiments`]: the concurrent-workload
+/// counterpart of [`run_experiments_differential`], with the same
+/// common-random-numbers contract on `make`.
+///
+/// # Errors
+///
+/// Propagates the first [`ExperimentError`] any cell reports (in grid order).
+pub fn run_multi_experiments_differential<S, F>(
+    points: usize,
+    replicas: usize,
+    threads: usize,
+    make: F,
+) -> Result<DifferentialReport<MultiJobReport>, ExperimentError>
+where
+    S: JobSource + Send,
+    F: Fn(usize, usize) -> MultiJobExperiment<S> + Sync,
+{
+    let grid: Vec<(usize, usize)> = (0..points)
+        .flat_map(|p| (0..replicas).map(move |r| (p, r)))
+        .collect();
+    let cells = run_parallel(grid, threads, |_, (p, r)| make(p, r).run());
+    collect_grid(cells, points, replicas)
+}
+
+/// Reassembles a flat `points × replicas` cell vector (grid order) into rows,
+/// propagating the first error.
+fn collect_grid<R>(
+    cells: Vec<Result<R, ExperimentError>>,
+    points: usize,
+    replicas: usize,
+) -> Result<DifferentialReport<R>, ExperimentError> {
+    let mut rows: Vec<Vec<R>> = (0..points).map(|_| Vec::with_capacity(replicas)).collect();
+    for (i, cell) in cells.into_iter().enumerate() {
+        rows[i / replicas].push(cell?);
+    }
+    Ok(DifferentialReport { reports: rows })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,6 +483,112 @@ mod tests {
         assert_eq!(sorted.len(), 8, "seeds must be distinct");
         // Prefix-stability: growing the replication count keeps old seeds.
         assert_eq!(&replica_seeds(42, 12)[..8], &a[..]);
+    }
+
+    #[test]
+    fn mean_and_variance_basics() {
+        let (m, v) = mean_and_variance(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(v, 2.0);
+    }
+
+    /// Seeded two-class workload with lognormal map-task noise: the same seed
+    /// yields the identical job vector (the CRN contract), different seeds
+    /// yield different draws (the across-replica variance).
+    fn noisy_workload(seed: u64) -> crate::VecJobSource {
+        use dias_engine::{JobInstance, JobSpec, StageKind, StageSpec};
+        use dias_stochastic::Dist;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let jobs = (0..40u64)
+            .map(|i| {
+                let class = usize::from(i % 8 == 0);
+                let spec = JobSpec::builder(i, class)
+                    .setup(Dist::constant(0.5))
+                    .shuffle(Dist::constant(0.2))
+                    .stage(StageSpec::new(StageKind::Map, 8, Dist::lognormal(2.0, 1.0)))
+                    .stage(StageSpec::new(StageKind::Reduce, 2, Dist::constant(0.5)))
+                    .build();
+                let mut inst = JobInstance::sample(&spec, &mut rng);
+                inst.arrival_secs = i as f64 * 1.5;
+                inst
+            })
+            .collect();
+        crate::VecJobSource::new(jobs, 2)
+    }
+
+    #[test]
+    fn differential_grid_shape_and_zero_self_contrast() {
+        // Two points with the *same* policy and CRN sources: every cell of a
+        // replica is the identical run, so the paired contrast is exactly 0.
+        let report = run_experiments_differential(2, 3, 2, |_, r| {
+            ExperimentSpec::new(noisy_workload(100 + r as u64), Policy::preemptive(2))
+                .jobs(30)
+                .warmup(4)
+        })
+        .expect("runs complete");
+        assert_eq!(report.points(), 2);
+        assert_eq!(report.replicas(), 3);
+        let paired = report.paired_contrast(0, 1, |r| r.mean_response(0));
+        assert_eq!(paired.mean_delta, 0.0);
+        assert_eq!(paired.half_width, 0.0);
+        assert_eq!(paired.replicas, 3);
+    }
+
+    #[test]
+    fn paired_contrast_is_tighter_than_independent_under_crn() {
+        // Two genuinely different policies on common random numbers: the
+        // shared workload noise cancels in the pairing.
+        let policies = [
+            Policy::preemptive(2),
+            Policy::differential_approximation(&[0.5, 0.0]),
+        ];
+        let report = run_experiments_differential(2, 6, 2, |p, r| {
+            ExperimentSpec::new(noisy_workload(7 * r as u64 + 1), policies[p].clone())
+                .jobs(30)
+                .warmup(4)
+        })
+        .expect("runs complete");
+        let paired = report.paired_contrast(0, 1, |r| r.mean_response(0));
+        let indep = report.independent_contrast(0, 1, |r| r.mean_response(0));
+        // Mean-of-deltas equals delta-of-means up to summation-order rounding.
+        assert!((paired.mean_delta - indep.mean_delta).abs() < 1e-9);
+        assert!(
+            paired.half_width < indep.half_width,
+            "paired {} vs independent {}",
+            paired.half_width,
+            indep.half_width
+        );
+    }
+
+    #[test]
+    fn differential_grid_is_thread_count_invariant() {
+        let run = |threads| {
+            run_experiments_differential(2, 2, threads, |p, r| {
+                let policy = if p == 0 {
+                    Policy::preemptive(2)
+                } else {
+                    Policy::non_preemptive(2)
+                };
+                ExperimentSpec::new(noisy_workload(r as u64), policy)
+                    .jobs(20)
+                    .warmup(2)
+            })
+            .expect("runs complete")
+        };
+        let a = run(1);
+        let b = run(4);
+        for p in 0..2 {
+            for r in 0..2 {
+                assert_eq!(
+                    a.point(p)[r].mean_response(0),
+                    b.point(p)[r].mean_response(0),
+                    "point {p} replica {r}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -178,24 +178,18 @@ impl Matrix {
     /// Panics if `v.len() != self.rows()`.
     #[must_use]
     pub fn vec_mul(&self, v: &[f64]) -> Vec<f64> {
-        assert_eq!(v.len(), self.rows, "vec_mul length mismatch");
         let mut out = vec![0.0; self.cols];
-        for (i, &vi) in v.iter().enumerate() {
-            if vi == 0.0 {
-                continue;
-            }
-            let row = self.row(i);
-            for (o, &r) in out.iter_mut().zip(row) {
-                *o += vi * r;
-            }
-        }
+        self.vec_mul_into(v, &mut out);
         out
     }
 
     /// Row-vector times matrix into a preallocated buffer: `out = v · self`.
     ///
     /// The allocation-free core of [`Matrix::vec_mul`]; identical arithmetic,
-    /// for hot loops that reuse `out`.
+    /// for hot loops that reuse `out`. Rows are processed in cache-blocked
+    /// groups of four with a 4-wide accumulator per output element (the
+    /// crate-internal `gaxpy_blocked` kernel, shared with matrix–matrix
+    /// multiply).
     ///
     /// # Panics
     ///
@@ -204,15 +198,7 @@ impl Matrix {
         assert_eq!(v.len(), self.rows, "vec_mul length mismatch");
         assert_eq!(out.len(), self.cols, "vec_mul output length mismatch");
         out.fill(0.0);
-        for (i, &vi) in v.iter().enumerate() {
-            if vi == 0.0 {
-                continue;
-            }
-            let row = self.row(i);
-            for (o, &r) in out.iter_mut().zip(row) {
-                *o += vi * r;
-            }
-        }
+        gaxpy_blocked(out, v, &self.data, self.cols);
     }
 
     /// Matrix times column-vector: `self · v`.
@@ -239,6 +225,10 @@ impl Matrix {
     }
 
     /// LU factorization with partial pivoting. Returns `(lu, perm, sign)`.
+    ///
+    /// The elimination works on row slices (one bounds check per row instead of
+    /// one per element) but performs the exact per-element arithmetic of the
+    /// classic textbook loop, so results are bit-identical to it.
     fn lu(&self) -> Result<(Matrix, Vec<usize>, f64), LinalgError> {
         assert!(self.is_square(), "LU requires a square matrix");
         let n = self.rows;
@@ -246,12 +236,13 @@ impl Matrix {
         let mut perm: Vec<usize> = (0..n).collect();
         let mut sign = 1.0;
         for k in 0..n {
-            // Pivot selection.
+            // Pivot selection on column k.
             let mut pivot = k;
-            let mut max = lu[(k, k)].abs();
+            let mut max = lu.data[k * n + k].abs();
             for i in (k + 1)..n {
-                if lu[(i, k)].abs() > max {
-                    max = lu[(i, k)].abs();
+                let cand = lu.data[i * n + k].abs();
+                if cand > max {
+                    max = cand;
                     pivot = i;
                 }
             }
@@ -260,23 +251,42 @@ impl Matrix {
             }
             if pivot != k {
                 for j in 0..n {
-                    let tmp = lu[(k, j)];
-                    lu[(k, j)] = lu[(pivot, j)];
-                    lu[(pivot, j)] = tmp;
+                    lu.data.swap(k * n + j, pivot * n + j);
                 }
                 perm.swap(k, pivot);
                 sign = -sign;
             }
-            for i in (k + 1)..n {
-                let f = lu[(i, k)] / lu[(k, k)];
-                lu[(i, k)] = f;
-                for j in (k + 1)..n {
-                    let delta = f * lu[(k, j)];
-                    lu[(i, j)] -= delta;
+            let (top, lower) = lu.data.split_at_mut((k + 1) * n);
+            let prow = &top[k * n..(k + 1) * n];
+            let piv = prow[k];
+            for row in lower.chunks_exact_mut(n) {
+                let f = row[k] / piv;
+                row[k] = f;
+                for (x, &p) in row[(k + 1)..].iter_mut().zip(&prow[(k + 1)..]) {
+                    *x -= f * p;
                 }
             }
         }
         Ok((lu, perm, sign))
+    }
+
+    /// LU-factorizes the matrix once for reuse across many solves.
+    ///
+    /// [`Matrix::solve`] factorizes on every call; paths that solve several
+    /// right-hand sides against the same matrix (moment recursions, inverses)
+    /// should factorize once and call [`LuFactors::solve`] repeatedly — the
+    /// results are bit-identical to per-call [`Matrix::solve`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] if the matrix cannot be factorized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn lu_factorize(&self) -> Result<LuFactors, LinalgError> {
+        let (lu, perm, sign) = self.lu()?;
+        Ok(LuFactors { lu, perm, sign })
     }
 
     /// Solves `self · x = b`.
@@ -431,20 +441,105 @@ impl Matrix {
     }
 }
 
-fn lu_solve(lu: &Matrix, perm: &[usize], b: &[f64]) -> Vec<f64> {
-    let n = lu.rows();
-    // Apply permutation, then forward/backward substitution.
-    let mut y: Vec<f64> = perm.iter().map(|&p| b[p]).collect();
-    for i in 1..n {
-        for j in 0..i {
-            y[i] -= lu[(i, j)] * y[j];
+/// A reusable LU factorization with partial pivoting.
+///
+/// Produced by [`Matrix::lu_factorize`]; every [`LuFactors::solve`] is
+/// bit-identical to a fresh [`Matrix::solve`] on the original matrix.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    lu: Matrix,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl LuFactors {
+    /// Dimension of the factorized matrix.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A · x = b` against the stored factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.order()`.
+    #[must_use]
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.order(), "solve rhs length mismatch");
+        lu_solve(&self.lu, &self.perm, b)
+    }
+
+    /// The determinant of the factorized matrix.
+    #[must_use]
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.sign;
+        for i in 0..self.order() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+}
+
+/// `out += v · m` for a row-major matrix `m` with `cols` columns, processing
+/// rows in blocks of four with a 4-wide accumulator per output element.
+///
+/// The blocked form turns the inner loop into four independent multiply-adds
+/// per output element (SIMD-friendly, one pass over `out` per four rows of
+/// `m`) and is the shared kernel behind [`Matrix::vec_mul_into`] and matrix
+/// multiply. All-zero coefficient blocks are skipped, preserving the sparse
+/// row shortcut of the old row-at-a-time loop.
+fn gaxpy_blocked(out: &mut [f64], v: &[f64], m: &[f64], cols: usize) {
+    debug_assert_eq!(m.len(), v.len() * cols);
+    debug_assert_eq!(out.len(), cols);
+    let mut blocks = v.chunks_exact(4);
+    let mut base = 0usize;
+    for vb in blocks.by_ref() {
+        let (v0, v1, v2, v3) = (vb[0], vb[1], vb[2], vb[3]);
+        if v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0 {
+            base += 4 * cols;
+            continue;
+        }
+        let r0 = &m[base..base + cols];
+        let r1 = &m[base + cols..base + 2 * cols];
+        let r2 = &m[base + 2 * cols..base + 3 * cols];
+        let r3 = &m[base + 3 * cols..base + 4 * cols];
+        for (o, (((&a, &b), &c), &d)) in out.iter_mut().zip(r0.iter().zip(r1).zip(r2).zip(r3)) {
+            *o += v0 * a + v1 * b + v2 * c + v3 * d;
+        }
+        base += 4 * cols;
+    }
+    for (i, &vi) in blocks.remainder().iter().enumerate() {
+        if vi == 0.0 {
+            continue;
+        }
+        let row = &m[base + i * cols..base + (i + 1) * cols];
+        for (o, &r) in out.iter_mut().zip(row) {
+            *o += vi * r;
         }
     }
-    for i in (0..n).rev() {
-        for j in (i + 1)..n {
-            y[i] -= lu[(i, j)] * y[j];
+}
+
+fn lu_solve(lu: &Matrix, perm: &[usize], b: &[f64]) -> Vec<f64> {
+    let n = lu.rows();
+    // Apply permutation, then forward/backward substitution. Row slices keep
+    // the per-element arithmetic (and thus the bits) of the indexed loop.
+    let mut y: Vec<f64> = perm.iter().map(|&p| b[p]).collect();
+    for i in 1..n {
+        let row = lu.row(i);
+        let mut acc = y[i];
+        for (&l, &yj) in row[..i].iter().zip(&y[..i]) {
+            acc -= l * yj;
         }
-        y[i] /= lu[(i, i)];
+        y[i] = acc;
+    }
+    for i in (0..n).rev() {
+        let row = lu.row(i);
+        let mut acc = y[i];
+        for (&u, &yj) in row[(i + 1)..].iter().zip(&y[(i + 1)..]) {
+            acc -= u * yj;
+        }
+        y[i] = acc / row[i];
     }
     y
 }
@@ -510,17 +605,9 @@ impl Mul for &Matrix {
         );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                let rrow = rhs.row(k);
-                let orow = out.row_mut(i);
-                for (o, &r) in orow.iter_mut().zip(rrow) {
-                    *o += a * r;
-                }
-            }
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            gaxpy_blocked(orow, arow, &rhs.data, rhs.cols);
         }
         out
     }

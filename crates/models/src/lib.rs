@@ -37,9 +37,11 @@ pub mod overhead;
 pub mod priority;
 pub mod sprint;
 mod task_level;
+pub mod wave_fit;
 mod wave_level;
 
 pub use task_level::TaskLevelModel;
+pub use wave_fit::{ModelCache, WaveFitSpec};
 pub use wave_level::{effective_tasks, wave_count_probs, WaveLevelModel};
 
 use std::fmt;

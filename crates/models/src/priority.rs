@@ -34,10 +34,11 @@ impl ClassInput {
     /// Builds an input from an arrival rate and a PH service distribution.
     #[must_use]
     pub fn from_ph(lambda: f64, service: &Ph) -> Self {
+        let m = service.moments(2);
         ClassInput {
             lambda,
-            mean_service: service.moment(1),
-            second_moment: service.moment(2),
+            mean_service: m[0],
+            second_moment: m[1],
         }
     }
 

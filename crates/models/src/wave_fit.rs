@@ -1,0 +1,449 @@
+//! Profiled wave-level model fitting (§4.3) with cross-point memoization.
+//!
+//! The paper parameterizes the §4.2 wave-level PH model from *profiling runs*:
+//! per-stage makespans are measured (here: Monte-Carlo list scheduling of sampled
+//! task times over the cluster slots), fitted to a PH block by mean and SCV, and
+//! the setup overhead is interpolated between profiled θ = 0 and θ = 0.9 runs.
+//! Sweeps over the drop ratio θ (Fig. 4) or over policies (Fig. 5) repeat this fit
+//! at every point even though most of its inputs never change — the reduce stage
+//! is never dropped, and neighbouring θ values often map to the same effective
+//! task count. [`ModelCache`] memoizes both levels so a sweep pays for each
+//! distinct fit exactly once.
+//!
+//! Two design points make the memoization sound:
+//!
+//! * every stage fit draws from its **own child RNG stream** derived from
+//!   `(seed, n_tasks)`, so a fit is a pure function of the cache key
+//!   `(task dist, n_tasks, slots, seed)` — not of the order in which fits run;
+//! * cache keys compare θ by **bit pattern** (`f64::to_bits`), so a hit is
+//!   returned only for the exact same parameter point and is bitwise equal to a
+//!   fresh fit.
+
+use crate::overhead::OverheadProfile;
+use crate::{effective_tasks, wave_count_probs, WaveLevelModel};
+use dias_des::stats::SampleSet;
+use dias_des::SeedSequence;
+use dias_stochastic::{fit::ph_from_mean_scv, DiscreteDist, Dist, DistSampler, Ph};
+use rand::rngs::StdRng;
+use std::sync::Mutex;
+
+/// Profiling-level description of a two-stage (map + reduce) job on a cluster,
+/// the plain parameters §4.3 needs to build a [`WaveLevelModel`].
+///
+/// This is deliberately engine-agnostic: harnesses translate their profile and
+/// cluster types (e.g. `dias_workloads::JobProfile` + `dias_engine::ClusterSpec`)
+/// into a `WaveFitSpec` once and reuse it across sweep points. Equality is
+/// field-wise and is used as (part of) the [`ModelCache`] key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveFitSpec {
+    /// Human-readable profile name (dataset id); participates in cache keys.
+    pub name: String,
+    /// Number of computing slots `C` the job seizes.
+    pub slots: usize,
+    /// Profiled mean setup/overhead at θ = 0, in seconds.
+    pub setup_mean: f64,
+    /// Data-dependent fraction of the setup (shrinks with kept data under drops).
+    pub setup_data_fraction: f64,
+    /// Profiled mean inter-stage shuffle time, in seconds.
+    pub shuffle_mean: f64,
+    /// Map-stage task count `n_m`.
+    pub map_tasks: usize,
+    /// Distribution of one map task's work, in seconds at base frequency.
+    pub map_task_work: Dist,
+    /// Reduce-stage task count `n_r`.
+    pub reduce_tasks: usize,
+    /// Distribution of one reduce task's work, in seconds at base frequency.
+    pub reduce_task_work: Dist,
+}
+
+/// Monte-Carlo stage-makespan fit: list-schedule `n_tasks` sampled task times on
+/// `slots` slots (greedy, work-conserving — the engine's wave scheduler) and
+/// return the makespan's `(mean, scv)`.
+///
+/// Draws come from a child stream derived from `(seed, n_tasks)`, so the result
+/// is a pure function of `(task, n_tasks, slots, seed)` — the [`ModelCache`]
+/// stage-fit key.
+///
+/// Index of a minimum element, 4-wide-accumulator style: an unrolled min
+/// reduction (four independent `min` chains, branch-free) followed by an
+/// equality scan to recover the index. At the paper's `C = 20` slots this is
+/// faster than sorted structures (min-heap, sorted ring) whose re-insert
+/// branches are data-dependent and mispredict on most tasks.
+fn argmin(xs: &[f64]) -> usize {
+    let mut chunks = xs.chunks_exact(4);
+    let mut m = [f64::INFINITY; 4];
+    for c in &mut chunks {
+        m[0] = m[0].min(c[0]);
+        m[1] = m[1].min(c[1]);
+        m[2] = m[2].min(c[2]);
+        m[3] = m[3].min(c[3]);
+    }
+    let mut min = m[0].min(m[1]).min(m[2]).min(m[3]);
+    for &x in chunks.remainder() {
+        min = min.min(x);
+    }
+    xs.iter().position(|&x| x == min).expect("min present")
+}
+
+/// Maximum element via the same 4-wide reduction as [`argmin`].
+fn max_end(xs: &[f64]) -> f64 {
+    let mut chunks = xs.chunks_exact(4);
+    let mut m = [f64::NEG_INFINITY; 4];
+    for c in &mut chunks {
+        m[0] = m[0].max(c[0]);
+        m[1] = m[1].max(c[1]);
+        m[2] = m[2].max(c[2]);
+        m[3] = m[3].max(c[3]);
+    }
+    let mut max = m[0].max(m[1]).max(m[2]).max(m[3]);
+    for &x in chunks.remainder() {
+        max = max.max(x);
+    }
+    max
+}
+
+/// Greedy list-schedule of one drawn task vector; returns the makespan.
+///
+/// The opening `min(n_tasks, C)` tasks land on empty slots (`0.0 + t == t`
+/// exactly), so the first wave needs no minimum search at all — for the
+/// paper's two-wave stages that is half the vector. The remaining tasks use
+/// the branch-free 4-wide [`argmin`] scan, which beats any sorted structure
+/// at `C = 20`: a min-heap pays two `log C` sifts and a sorted array's
+/// insertion point is data-dependent, mispredicting on most tasks. Only the
+/// *multiset* of end times matters — which tied slot takes a task never
+/// affects the makespan — so the result is bit-identical across all these
+/// trackers.
+fn list_schedule_makespan(tasks: &[f64], slot_end: &mut [f64]) -> f64 {
+    let first = tasks.len().min(slot_end.len());
+    slot_end[first..].fill(0.0);
+    slot_end[..first].copy_from_slice(&tasks[..first]);
+    for &t in &tasks[first..] {
+        let i = argmin(slot_end);
+        slot_end[i] += t;
+    }
+    max_end(slot_end)
+}
+
+/// The 3000 makespans come from 1500 **antithetically coupled** draw-vector
+/// pairs ([`DistSampler::sample_antithetic`]): each drawn task vector is
+/// reused with mirrored uniforms, halving the RNG and transcendental work.
+/// The makespan is nondecreasing in every task time, so within-pair makespans
+/// are negatively correlated (Hoeffding) and the mean estimator is *tighter*
+/// than 3000 independent reps, not just cheaper; the sample variance picks up
+/// only an `O(|cov|/N)` bias, far below the fitted-SCV noise floor. Sampling
+/// a whole vector before scheduling it also lets the transcendental-heavy
+/// draw chain pipeline without the placement scan's branches in between.
+fn stage_makespan_fit(task: &Dist, n_tasks: usize, slots: usize, seed: u64) -> (f64, f64) {
+    assert!(slots > 0, "need at least one slot");
+    let mut rng: StdRng = SeedSequence::new(seed).stream(&format!("wave-fit/{n_tasks}"));
+    let mut sampler = DistSampler::new(task);
+    let pairs = 1500;
+    let mut stats = SampleSet::with_capacity(2 * pairs);
+    let mut slot_end = vec![0.0f64; slots];
+    let mut tasks_a = vec![0.0f64; n_tasks];
+    let mut tasks_b = vec![0.0f64; n_tasks];
+    for _ in 0..pairs {
+        for i in 0..n_tasks {
+            let (a, b) = sampler.sample_antithetic(&mut rng);
+            tasks_a[i] = a;
+            tasks_b[i] = b;
+        }
+        stats.push(list_schedule_makespan(&tasks_a, &mut slot_end));
+        stats.push(list_schedule_makespan(&tasks_b, &mut slot_end));
+    }
+    let mean = stats.mean();
+    let scv = (stats.variance() / (mean * mean)).max(1e-4);
+    (mean, scv)
+}
+
+/// Builds the model from the spec, obtaining stage fits through `fit` (either a
+/// fresh [`stage_makespan_fit`] or a cache lookup).
+fn build_model<F>(spec: &WaveFitSpec, theta: f64, seed: u64, fit: &mut F) -> WaveLevelModel
+where
+    F: FnMut(&Dist, usize, usize, u64) -> (f64, f64),
+{
+    let slots = spec.slots;
+
+    // Overhead: the paper profiles θ=0 and θ=0.9 and interpolates (§4.3). The
+    // engine's setup shrinks with the kept-data fraction, which profiling sees.
+    let f = spec.setup_data_fraction;
+    let setup0 = spec.setup_mean;
+    let setup90 = setup0 * (1.0 - f + f * 0.1);
+    let overhead_curve =
+        OverheadProfile::from_two_points(setup0, setup90).expect("positive overheads");
+    // Low-SCV PH block at the interpolated mean (setups are near-deterministic).
+    let overhead = ph_from_mean_scv(overhead_curve.mean_at(theta), 0.05);
+
+    let shuffle = ph_from_mean_scv(spec.shuffle_mean, 0.05);
+
+    // Split the fitted stage makespan evenly over its wave blocks: D identical
+    // blocks with mean/D and per-block SCV = stage SCV × D convolve back to the
+    // fitted stage moments.
+    let mut wave_blocks = |n_tasks: usize, task: &Dist| -> Vec<Ph> {
+        if n_tasks == 0 {
+            return Vec::new();
+        }
+        let d = n_tasks.div_ceil(slots);
+        let (mean, scv) = fit(task, n_tasks, slots, seed);
+        let block = ph_from_mean_scv(mean / d as f64, (scv * d as f64).min(50.0));
+        vec![block; d]
+    };
+
+    let n_map = effective_tasks(spec.map_tasks, theta);
+    let map_tasks_dist = DiscreteDist::constant(spec.map_tasks.max(1));
+    let qm = wave_count_probs(&map_tasks_dist, theta, slots);
+    let map_waves = wave_blocks(n_map, &spec.map_task_work);
+
+    let n_red = spec.reduce_tasks;
+    let red_tasks_dist = DiscreteDist::constant(n_red.max(1));
+    let qr = wave_count_probs(&red_tasks_dist, 0.0, slots);
+    let reduce_waves = wave_blocks(n_red, &spec.reduce_task_work);
+
+    WaveLevelModel {
+        overhead,
+        shuffle,
+        map_waves,
+        map_wave_probs: qm,
+        reduce_waves,
+        reduce_wave_probs: qr,
+    }
+}
+
+/// Builds the paper's §4.2 wave-level model for a profiled job at drop ratio
+/// `theta` on the map stage, parameterized the way §4.3 prescribes:
+///
+/// * per-wave PH blocks fitted (mean + SCV) to profiled stage makespans: task
+///   execution times are sampled from the profiled distribution and list-scheduled
+///   over the `C` slots (exactly what the engine's wave scheduler does), and the
+///   fitted makespan is split evenly across the `⌈n̄/C⌉` wave blocks so the block
+///   structure matches the paper's `(α_m(d), A_m(d))` sequence;
+/// * overhead interpolated linearly between profiled θ = 0 and θ = 0.9 runs;
+/// * a low-variability PH shuffle block at the profiled mean.
+///
+/// This is the uncached fit; sweeps that revisit parameter points should go
+/// through [`ModelCache::wave_model_for`], which returns bitwise-identical
+/// models from its memo instead of refitting.
+///
+/// Task-work distributions should carry genuine variability: the fitted stage
+/// SCV is floored at `1e-4`, and the Erlang-mixture fit uses `~1/scv` phases
+/// (capped at [`dias_stochastic::fit::MAX_ERLANG_PHASES`]), so a
+/// (near-)deterministic stage makespan produces the largest blocks the fit
+/// will emit and the slowest downstream matrix work.
+///
+/// # Examples
+///
+/// ```
+/// use dias_models::{wave_fit::wave_model_for, WaveFitSpec};
+/// use dias_stochastic::Dist;
+///
+/// let spec = WaveFitSpec {
+///     name: "toy".into(),
+///     slots: 4,
+///     setup_mean: 2.0,
+///     setup_data_fraction: 0.5,
+///     shuffle_mean: 1.0,
+///     map_tasks: 8,
+///     map_task_work: Dist::exponential(1.0),
+///     reduce_tasks: 4,
+///     reduce_task_work: Dist::exponential(0.5),
+/// };
+/// let model = wave_model_for(&spec, 0.2, 7);
+/// // 8 map tasks at θ=0.2 keep ⌈8·0.8⌉ = 7 tasks → ⌈7/4⌉ = 2 wave blocks.
+/// assert_eq!(model.map_waves.len(), 2);
+/// assert!(model.mean_processing_time().expect("valid model") > 0.0);
+/// ```
+#[must_use]
+pub fn wave_model_for(spec: &WaveFitSpec, theta: f64, seed: u64) -> WaveLevelModel {
+    build_model(spec, theta, seed, &mut stage_makespan_fit)
+}
+
+/// Stage-fit memo key: the exact inputs [`stage_makespan_fit`] is a pure
+/// function of.
+#[derive(Debug, Clone, PartialEq)]
+struct StageFitKey {
+    task: Dist,
+    n_tasks: usize,
+    slots: usize,
+    seed: u64,
+}
+
+/// Model memo key. θ is compared by bit pattern so distinct parameter points
+/// never alias and hits are exact.
+#[derive(Debug, Clone, PartialEq)]
+struct ModelKey {
+    spec: WaveFitSpec,
+    theta_bits: u64,
+    seed: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    stage_fits: Vec<(StageFitKey, (f64, f64))>,
+    models: Vec<(ModelKey, WaveLevelModel)>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Cross-point memo for [`wave_model_for`]: fitted models keyed by
+/// `(spec, θ bits, seed)` and stage-makespan fits keyed by
+/// `(task dist, n_tasks, slots, seed)`.
+///
+/// The two levels compose: a sweep over θ misses the model cache at every new θ
+/// but still hits the stage-fit cache for the reduce stage (never dropped) and
+/// for any θ values that round to the same effective map-task count. A repeated
+/// point (e.g. the high-priority class refitted at θ = 0 for every low-class θ
+/// in Fig. 5) hits the model cache outright. Hits are **bitwise identical** to a
+/// fresh [`wave_model_for`] call because fits are pure functions of their keys.
+///
+/// Both memos are unbounded linear-scan vectors behind one mutex: sweeps touch
+/// tens of distinct points, so a hash map would be overkill and the lock is
+/// uncontended (fits happen outside it). Entries are never invalidated —
+/// every key component that could change the result is *in* the key, so stale
+/// hits are impossible; dropping the cache is the only eviction.
+#[derive(Debug, Default)]
+pub struct ModelCache {
+    inner: Mutex<CacheInner>,
+}
+
+impl ModelCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Memoized [`wave_model_for`]: returns a cached model when `(spec, theta,
+    /// seed)` was fitted before, otherwise fits (reusing cached stage fits where
+    /// possible) and records the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking fit on another
+    /// thread.
+    #[must_use]
+    pub fn wave_model_for(&self, spec: &WaveFitSpec, theta: f64, seed: u64) -> WaveLevelModel {
+        let key = ModelKey {
+            spec: spec.clone(),
+            theta_bits: theta.to_bits(),
+            seed,
+        };
+        {
+            let mut inner = self.inner.lock().expect("model cache lock");
+            if let Some(pos) = inner.models.iter().position(|(k, _)| *k == key) {
+                inner.hits += 1;
+                return inner.models[pos].1.clone();
+            }
+            inner.misses += 1;
+        }
+        // Fit outside the lock; stage fits take it briefly per lookup.
+        let model = build_model(spec, theta, seed, &mut |task, n_tasks, slots, seed| {
+            self.stage_fit(task, n_tasks, slots, seed)
+        });
+        let mut inner = self.inner.lock().expect("model cache lock");
+        if !inner.models.iter().any(|(k, _)| *k == key) {
+            inner.models.push((key, model.clone()));
+        }
+        model
+    }
+
+    /// Memoized [`stage_makespan_fit`].
+    fn stage_fit(&self, task: &Dist, n_tasks: usize, slots: usize, seed: u64) -> (f64, f64) {
+        let key = StageFitKey {
+            task: task.clone(),
+            n_tasks,
+            slots,
+            seed,
+        };
+        {
+            let mut inner = self.inner.lock().expect("model cache lock");
+            if let Some(pos) = inner.stage_fits.iter().position(|(k, _)| *k == key) {
+                inner.hits += 1;
+                return inner.stage_fits[pos].1;
+            }
+            inner.misses += 1;
+        }
+        let fit = stage_makespan_fit(task, n_tasks, slots, seed);
+        let mut inner = self.inner.lock().expect("model cache lock");
+        if !inner.stage_fits.iter().any(|(k, _)| *k == key) {
+            inner.stage_fits.push((key, fit));
+        }
+        fit
+    }
+
+    /// Number of memo hits so far (model-level and stage-fit-level combined).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.inner.lock().expect("model cache lock").hits
+    }
+
+    /// Number of memo misses so far (model-level and stage-fit-level combined).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.inner.lock().expect("model cache lock").misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_spec() -> WaveFitSpec {
+        WaveFitSpec {
+            name: "toy".into(),
+            slots: 4,
+            setup_mean: 2.0,
+            setup_data_fraction: 0.5,
+            shuffle_mean: 1.0,
+            map_tasks: 10,
+            map_task_work: Dist::lognormal(1.0, 2.0),
+            reduce_tasks: 4,
+            reduce_task_work: Dist::exponential(2.0),
+        }
+    }
+
+    #[test]
+    fn fit_is_pure_in_its_key() {
+        let spec = toy_spec();
+        let a = wave_model_for(&spec, 0.3, 11);
+        let b = wave_model_for(&spec, 0.3, 11);
+        assert_eq!(a, b);
+        // A different seed gives a different Monte-Carlo fit.
+        let c = wave_model_for(&spec, 0.3, 12);
+        assert_ne!(a.map_waves, c.map_waves);
+    }
+
+    #[test]
+    fn cache_hit_is_bitwise_equal_to_fresh_fit() {
+        let spec = toy_spec();
+        let cache = ModelCache::new();
+        let first = cache.wave_model_for(&spec, 0.2, 7);
+        let hits_before = cache.hits();
+        let second = cache.wave_model_for(&spec, 0.2, 7);
+        assert!(cache.hits() > hits_before, "second call must hit the memo");
+        assert_eq!(first, second);
+        assert_eq!(first, wave_model_for(&spec, 0.2, 7));
+    }
+
+    #[test]
+    fn reduce_stage_fit_is_shared_across_theta() {
+        let spec = toy_spec();
+        let cache = ModelCache::new();
+        let _ = cache.wave_model_for(&spec, 0.0, 7);
+        let hits_before = cache.hits();
+        // New θ: model-level miss, but the reduce fit (θ-independent) hits.
+        let fresh = cache.wave_model_for(&spec, 0.9, 7);
+        assert!(
+            cache.hits() > hits_before,
+            "reduce stage fit must be reused"
+        );
+        assert_eq!(fresh, wave_model_for(&spec, 0.9, 7));
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests of the promoted wave-level fit and its memoization:
+//! a [`ModelCache`] hit must be **bitwise equal** to a fresh uncached fit for
+//! any spec, θ and seed.
+
+use proptest::prelude::*;
+
+use dias_models::wave_fit::wave_model_for;
+use dias_models::{ModelCache, WaveFitSpec};
+use dias_stochastic::Dist;
+
+/// Small random specs: tiny task counts keep the 3000-rep Monte-Carlo fits
+/// cheap while still exercising multi-wave block structure.
+fn arb_spec() -> impl Strategy<Value = WaveFitSpec> {
+    (
+        1usize..5,    // slots
+        1usize..13,   // map tasks
+        1usize..5,    // reduce tasks
+        0.5f64..4.0,  // setup mean
+        0.0f64..1.0,  // setup data fraction
+        0.2f64..2.0,  // shuffle mean
+        0u8..3,       // map task-work shape
+        0.05f64..2.0, // task-work mean
+    )
+        .prop_map(
+            |(slots, m, r, setup, f, shuffle, shape, work)| WaveFitSpec {
+                name: "prop".into(),
+                slots,
+                setup_mean: setup,
+                setup_data_fraction: f,
+                shuffle_mean: shuffle,
+                map_tasks: m,
+                // Task work needs genuine variability: a (near-)deterministic
+                // stage makespan fits to an Erlang with ~1/scv phases, which is
+                // enormous at the fit's 1e-4 SCV floor.
+                map_task_work: match shape {
+                    0 => Dist::uniform(0.5 * work, 1.5 * work),
+                    1 => Dist::exponential(work),
+                    _ => Dist::lognormal(work, 1.5),
+                },
+                reduce_tasks: r,
+                reduce_task_work: Dist::exponential(work),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn cache_hit_is_bitwise_equal_to_fresh_fit(spec in arb_spec(),
+                                               theta in 0.0f64..0.9,
+                                               seed in 0u64..1000) {
+        let fresh = wave_model_for(&spec, theta, seed);
+        let cache = ModelCache::new();
+        let miss = cache.wave_model_for(&spec, theta, seed);
+        let hits_before = cache.hits();
+        let hit = cache.wave_model_for(&spec, theta, seed);
+        prop_assert!(cache.hits() > hits_before, "second lookup must hit");
+        // `WaveLevelModel` equality is field-wise over the PH representations
+        // (exact f64 comparison), so these are bitwise checks.
+        prop_assert_eq!(&miss, &fresh);
+        prop_assert_eq!(&hit, &fresh);
+    }
+
+    #[test]
+    fn stage_fit_reuse_does_not_change_the_model(spec in arb_spec(),
+                                                 seed in 0u64..1000) {
+        // Warm the stage-fit memo at one θ, then fit another θ through the
+        // cache: the reduce fit is reused, the result must still equal an
+        // uncached fit at the new θ.
+        let cache = ModelCache::new();
+        let _ = cache.wave_model_for(&spec, 0.0, seed);
+        let via_cache = cache.wave_model_for(&spec, 0.5, seed);
+        prop_assert_eq!(&via_cache, &wave_model_for(&spec, 0.5, seed));
+    }
+}

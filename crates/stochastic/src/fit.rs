@@ -10,11 +10,26 @@
 //!   both moments exactly;
 //! * SCV > 1 → balanced-means two-phase hyperexponential.
 
+use dias_linalg::Matrix;
+
 use crate::Ph;
+
+/// Largest phase count the low-variability Erlang fit will use.
+///
+/// Matching an SCV of `s < 1` needs `ceil(1/s)` phases, so near-deterministic
+/// targets would otherwise produce representations with thousands of phases
+/// whose dense matrices make construction and every downstream analysis
+/// quadratic-to-cubic in `1/s`. Targets below `1/MAX_ERLANG_PHASES` are fit at
+/// the cap: the mean stays exact and the SCV floors at `1/512 ≈ 0.002`, which
+/// is already indistinguishable from deterministic for the queueing models
+/// built on top.
+pub const MAX_ERLANG_PHASES: usize = 512;
 
 /// Fits a PH distribution to a target `mean > 0` and `scv > 0`.
 ///
-/// The result matches the first two moments exactly (up to floating-point error).
+/// The result matches the mean exactly and the SCV exactly whenever
+/// `scv >= 1/512` (up to floating-point error); smaller SCV targets saturate
+/// at a 512-phase Erlang — see [`MAX_ERLANG_PHASES`].
 ///
 /// # Panics
 ///
@@ -52,17 +67,35 @@ fn hyperexp_balanced(mean: f64, scv: f64) -> Ph {
 }
 
 /// Tijms' mixture of Erlang-(k−1) and Erlang-k matching `(mean, scv)` with
-/// `1/k ≤ scv < 1` for the chosen `k = ceil(1/scv)`.
+/// `1/k ≤ scv < 1` for the chosen `k = ceil(1/scv)` (capped at
+/// [`MAX_ERLANG_PHASES`]; below the cap's SCV the clamp drives `p → 0` and the
+/// fit degrades gracefully to a pure Erlang-k with exact mean).
+///
+/// Rather than a block-diagonal mixture of the two Erlangs (order `2k−1`), this
+/// uses the compact order-`k` realization: Erlang-(k−1) is phases `2..k` of the
+/// Erlang-k chain, so entering at phase 2 with probability `p` draws the short
+/// branch. Half the order means a quarter of the matrix work everywhere the
+/// representation is used.
 fn erlang_mixture(mean: f64, scv: f64) -> Ph {
-    let k = (1.0 / scv).ceil().max(2.0) as usize;
+    let k = ((1.0 / scv).ceil().max(2.0) as usize).min(MAX_ERLANG_PHASES);
     let kf = k as f64;
     // Mix Erlang(k-1, rate) with prob p and Erlang(k, rate) with prob 1-p.
     let disc = (kf * scv - (kf * (1.0 + scv) - kf * kf * scv).sqrt()) / (1.0 + scv);
     let p = disc.clamp(0.0, 1.0);
     let rate = (kf - p) / mean;
-    let short = Ph::erlang(k - 1, rate).expect("valid erlang");
-    let long = Ph::erlang(k, rate).expect("valid erlang");
-    Ph::mixture(&[p, 1.0 - p], &[short, long]).expect("valid mixture")
+    let mut a = Matrix::zeros(k, k);
+    for i in 0..k {
+        a[(i, i)] = -rate;
+        if i + 1 < k {
+            a[(i, i + 1)] = rate;
+        }
+    }
+    let mut alpha = vec![0.0; k];
+    alpha[0] = 1.0 - p;
+    alpha[1] = p;
+    // Bidiagonal chain with a convex two-entry initial vector: valid by
+    // construction, so the O(k²) `Ph::new` validation is skipped.
+    Ph::raw(alpha, a)
 }
 
 /// Ordinary least-squares fit of a line `y = a + b·x`.

@@ -209,7 +209,10 @@ impl Ph {
         }
         let mut alpha = vec![0.0; k];
         alpha[0] = 1.0;
-        Ph::new(alpha, a)
+        // Bidiagonal with `-rate` on the diagonal and `rate` above it is a valid
+        // sub-generator by construction; skip the O(k²) `Ph::new` validation,
+        // which dominates at the large orders produced by moment-matching fits.
+        Ok(Ph::raw(alpha, a))
     }
 
     /// A hyperexponential distribution: with probability `probs[i]` an exponential
@@ -315,17 +318,37 @@ impl Ph {
     /// Panics if the sub-generator is singular, which construction rules out.
     #[must_use]
     pub fn moment(&self, k: u32) -> f64 {
-        let neg_a = self.a.scaled(-1.0);
-        let ones = vec![1.0; self.order()];
-        let mut v = ones;
-        let mut factorial = 1.0;
-        for i in 1..=k {
-            v = neg_a
-                .solve(&v)
-                .expect("validated sub-generator is nonsingular");
-            factorial *= f64::from(i);
+        if k == 0 {
+            return dot(&self.alpha, &vec![1.0; self.order()]);
         }
-        factorial * dot(&self.alpha, &v)
+        self.moments(k).last().copied().expect("k >= 1")
+    }
+
+    /// All raw moments `E[X], E[X²], …, E[X^k]` from a single LU
+    /// factorization of `−A`.
+    ///
+    /// The moment recursion solves against the same matrix `k` times;
+    /// factorizing once makes the family of moments one elimination plus `k`
+    /// substitutions, bit-identical to `k` independent [`Ph::moment`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sub-generator is singular, which construction rules out.
+    #[must_use]
+    pub fn moments(&self, k: u32) -> Vec<f64> {
+        let neg_a = self.a.scaled(-1.0);
+        let lu = neg_a
+            .lu_factorize()
+            .expect("validated sub-generator is nonsingular");
+        let mut v = vec![1.0; self.order()];
+        let mut factorial = 1.0;
+        let mut out = Vec::with_capacity(k as usize);
+        for i in 1..=k {
+            v = lu.solve(&v);
+            factorial *= f64::from(i);
+            out.push(factorial * dot(&self.alpha, &v));
+        }
+        out
     }
 
     /// Mean `E[X]`.
@@ -337,8 +360,8 @@ impl Ph {
     /// Variance.
     #[must_use]
     pub fn variance(&self) -> f64 {
-        let m1 = self.moment(1);
-        (self.moment(2) - m1 * m1).max(0.0)
+        let m = self.moments(2);
+        (m[1] - m[0] * m[0]).max(0.0)
     }
 
     /// Squared coefficient of variation, `Var/E²`.
@@ -453,14 +476,16 @@ impl Ph {
         for (w, c) in weights.iter().zip(components) {
             let n = c.order();
             for i in 0..n {
-                for j in 0..n {
-                    a[(offset + i, offset + j)] = c.a[(i, j)];
-                }
+                a.row_mut(offset + i)[offset..offset + n].copy_from_slice(c.a.row(i));
             }
             alpha.extend(c.alpha.iter().map(|&x| w * x));
             offset += n;
         }
-        Ph::new(alpha, a)
+        // A block-diagonal embed of valid sub-generators with a convex
+        // combination of their (sub-stochastic) initial vectors is valid by
+        // construction — the components were validated when built, so the
+        // O(order²) `Ph::new` scan would only re-check known invariants.
+        Ok(Ph::raw(alpha, a))
     }
 
     /// Rescales time by `factor`: if `X ~ (α, A)` then `factor · X ~ (α, A/factor)`.

@@ -43,4 +43,4 @@ pub use profiles::{
     inverted_ratio_two_priority, profile_473, reference_two_priority, sharded_two_priority,
     three_priority_stream, triangle_two_priority, JobProfile,
 };
-pub use stream::{profile_execution, JobStream};
+pub use stream::{profile_execution, JobStream, JobStreamTrace};

@@ -1,12 +1,13 @@
 //! Poisson job streams over profiles, with utilization-targeted calibration.
 
 use rand::rngs::StdRng;
+use rand::RngCore;
 
 use dias_core::JobSource;
 use dias_des::stats::SampleSet;
 use dias_des::SeedSequence;
 use dias_engine::{ClusterSim, ClusterSpec, EngineEvent, JobInstance};
-use dias_stochastic::{sample_exp, MarkedPoisson};
+use dias_stochastic::{sample_exp, DrawTrace, MarkedPoisson, RecordingRng, ReplayRng};
 
 use crate::profiles::JobProfile;
 
@@ -52,12 +53,16 @@ pub fn profile_execution(
 /// An endless Poisson job stream: class `k` arrives at `rates[k]` and instantiates
 /// `profiles[k]`.
 ///
-/// Implements [`JobSource`] for [`dias_core::Experiment`].
+/// Implements [`JobSource`] for [`dias_core::Experiment`]. Generic over its
+/// draw source `R` so the same stream definition runs live ([`StdRng`]),
+/// recording ([`RecordingRng`], via [`JobStream::recording`]) or replaying a
+/// captured trace ([`ReplayRng`], via [`JobStreamTrace::replay`]) — the
+/// common-random-number plumbing behind differential sweeps.
 #[derive(Debug, Clone)]
-pub struct JobStream {
+pub struct JobStream<R = StdRng> {
     profiles: Vec<JobProfile>,
     arrivals: MarkedPoisson,
-    rng: StdRng,
+    rng: R,
     now: f64,
     next_id: u64,
 }
@@ -132,6 +137,42 @@ impl JobStream {
         JobStream::with_rates(profiles, rates, seed).expect("validated inputs")
     }
 
+    /// Wraps the stream's RNG in a [`RecordingRng`] so every arrival/service
+    /// draw is captured for later bit-identical replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if jobs were already drawn: a trace pairs sweep points only if
+    /// it starts at the beginning of the stream.
+    #[must_use]
+    pub fn recording(self) -> JobStream<RecordingRng<StdRng>> {
+        assert_eq!(
+            self.next_id, 0,
+            "recording must start before the first job is drawn"
+        );
+        JobStream {
+            profiles: self.profiles,
+            arrivals: self.arrivals,
+            rng: RecordingRng::new(self.rng),
+            now: self.now,
+            next_id: self.next_id,
+        }
+    }
+}
+
+impl JobStream<RecordingRng<StdRng>> {
+    /// Freezes the recorded draw stream into a replayable [`JobStreamTrace`].
+    #[must_use]
+    pub fn into_trace(self) -> JobStreamTrace {
+        JobStreamTrace {
+            profiles: self.profiles,
+            rates: self.arrivals.rates().to_vec(),
+            trace: self.rng.into_trace(),
+        }
+    }
+}
+
+impl<R> JobStream<R> {
     /// Per-class arrival rates (jobs/second).
     #[must_use]
     pub fn rates(&self) -> &[f64] {
@@ -145,7 +186,7 @@ impl JobStream {
     }
 }
 
-impl JobSource for JobStream {
+impl<R: RngCore> JobSource for JobStream<R> {
     fn classes(&self) -> usize {
         self.profiles.len()
     }
@@ -159,6 +200,47 @@ impl JobSource for JobStream {
         let mut instance = JobInstance::sample(&spec, &mut self.rng);
         instance.arrival_secs = arrival.time;
         Some(instance)
+    }
+}
+
+/// A recorded arrival/service draw stream of a [`JobStream`], replayable any
+/// number of times.
+///
+/// Each [`JobStreamTrace::replay`] yields a stream that produces the exact
+/// jobs of the recorded run — bit-identical arrivals and task times — and,
+/// past the recorded prefix, continues from the source RNG's state, so
+/// replicas that consume *more* jobs than the recording stay paired too.
+/// Cloning is cheap: the recorded words are shared.
+#[derive(Debug, Clone)]
+pub struct JobStreamTrace {
+    profiles: Vec<JobProfile>,
+    rates: Vec<f64>,
+    trace: DrawTrace,
+}
+
+impl JobStreamTrace {
+    /// A fresh replay of the recorded stream from its beginning.
+    #[must_use]
+    pub fn replay(&self) -> JobStream<ReplayRng> {
+        JobStream {
+            profiles: self.profiles.clone(),
+            arrivals: MarkedPoisson::new(self.rates.clone()).expect("recorded rates are valid"),
+            rng: self.trace.replay(),
+            now: 0.0,
+            next_id: 0,
+        }
+    }
+
+    /// Number of recorded RNG words.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
     }
 }
 
@@ -234,6 +316,41 @@ mod tests {
         let a = profile_execution(&profile_473(), &cluster, &[0.0, 0.0], 10, 2);
         let b = profile_execution(&profile_473(), &cluster, &[0.0, 0.0], 10, 2);
         assert_eq!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn recorded_stream_replays_bit_identically() {
+        let profiles = vec![dataset_147(), profile_473()];
+        let rates = vec![0.9 / 150.0, 0.1 / 150.0];
+        let mut live = JobStream::with_rates(profiles.clone(), rates.clone(), 21).unwrap();
+        let live_jobs: Vec<_> = (0..150).map(|_| live.next_job().unwrap()).collect();
+
+        // Record only the first 100 jobs, then replay 150: the prefix comes
+        // from the trace, the rest from the tail snapshot.
+        let mut rec = JobStream::with_rates(profiles, rates, 21)
+            .unwrap()
+            .recording();
+        for _ in 0..100 {
+            let _ = rec.next_job().unwrap();
+        }
+        let trace = rec.into_trace();
+        assert!(!trace.is_empty());
+
+        for round in 0..2 {
+            let mut replay = trace.replay();
+            for (i, want) in live_jobs.iter().enumerate() {
+                let got = replay.next_job().unwrap();
+                assert_eq!(got, *want, "round {round} job {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first job")]
+    fn recording_rejects_started_streams() {
+        let mut s = JobStream::with_rates(vec![dataset_147()], vec![0.01], 3).unwrap();
+        let _ = s.next_job();
+        let _ = s.recording();
     }
 
     #[test]
