@@ -474,7 +474,8 @@ fn bench_multi_job(c: &mut Criterion) {
     group.bench_function("gang_8x5wide", |b| {
         b.iter(|| {
             let mut sim =
-                ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(GangBinPack));
+                ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(GangBinPack))
+                    .unwrap();
             for inst in &jobs {
                 sim.submit_job(inst, &[0.0, 0.0]).unwrap();
             }
@@ -508,7 +509,8 @@ fn bench_multi_job(c: &mut Criterion) {
         use dias_engine::FreqLevel;
         b.iter(|| {
             let mut sim =
-                ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(GangBinPack));
+                ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(GangBinPack))
+                    .unwrap();
             for inst in &jobs {
                 sim.submit_job(inst, &[0.0, 0.0]).unwrap();
             }
@@ -537,7 +539,8 @@ fn bench_multi_job(c: &mut Criterion) {
             let mut sim = ClusterSim::with_scheduler(
                 ClusterSpec::paper_reference(),
                 Box::new(PriorityPreempt),
-            );
+            )
+            .unwrap();
             for pair in wide_jobs.chunks(2) {
                 // Low-class job takes slots, then a few events run...
                 sim.submit_job(&pair[0], &[0.0, 0.0]).unwrap();
@@ -558,6 +561,33 @@ fn bench_multi_job(c: &mut Criterion) {
             }
             while !sim.is_idle() {
                 sim.advance().unwrap();
+            }
+            black_box(sim.energy_joules())
+        });
+    });
+    // Fault churn: four 5-wide gangs run while the driver fails and repairs a
+    // rotating slot at every event — each failure evicts the overlapping gang
+    // through its calendar handles, re-queues it, and each repair backfills.
+    group.bench_function("fault_churn", |b| {
+        b.iter(|| {
+            let mut sim =
+                ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(GangBinPack))
+                    .unwrap();
+            for inst in &jobs {
+                sim.submit_job(inst, &[0.0, 0.0]).unwrap();
+            }
+            let mut victim = 0usize;
+            let mut down: Option<usize> = None;
+            while !sim.is_idle() {
+                sim.advance().unwrap();
+                if let Some(slot) = down.take() {
+                    sim.repair_slot(slot).unwrap();
+                } else if !sim.is_idle() {
+                    let slot = victim % 20;
+                    victim += 1;
+                    black_box(sim.fail_slot(slot).unwrap());
+                    down = Some(slot);
+                }
             }
             black_box(sim.energy_joules())
         });

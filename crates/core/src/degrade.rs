@@ -1,0 +1,165 @@
+//! Graceful degradation: escalate per-class drop fractions when effective
+//! cluster capacity shrinks, so approximation — not latency collapse — absorbs
+//! failures.
+//!
+//! The paper's differential story uses drops as the relief valve under
+//! priority load; BlinkDB-style bounded-error contracts extend the same idea
+//! to capacity loss. A [`DegradationPolicy`] holds a *base* per-class drop
+//! vector (the fixed-θ configuration a fault-free run would use) and a *max*
+//! vector bounding how far each class may degrade. When the fault stream
+//! shrinks the effective slot pool, the controller raises drop fractions
+//! starting from the **lowest** class — low-priority accuracy is spent first,
+//! protecting high-class latency SLOs — by a total θ-mass proportional to the
+//! capacity loss.
+//!
+//! With zero capacity loss the policy returns exactly its base vector (the
+//! same allocation, not a recomputation), so a fault-free run under a
+//! degradation policy is bit-identical to the fixed-θ run.
+
+/// Bounded escalation of per-class drop fractions under capacity loss.
+///
+/// # Examples
+///
+/// ```
+/// use dias_core::DegradationPolicy;
+///
+/// // Two classes: low may degrade from 0.1 up to 0.8, high stays exact.
+/// let policy = DegradationPolicy::new(&[0.1, 0.0], &[0.8, 0.0]);
+/// // Full capacity: the base vector, bit for bit.
+/// assert_eq!(policy.thetas_for(20, 20), vec![0.1, 0.0]);
+/// // A quarter of the slots gone: θ-mass 0.25 × gain 2.0 lands on class 0.
+/// assert_eq!(policy.thetas_for(20, 15), vec![0.6, 0.0]);
+/// // Losses beyond the headroom saturate at the caps.
+/// assert_eq!(policy.thetas_for(20, 5), vec![0.8, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationPolicy {
+    /// Per-class drop fractions at full capacity (index 0 = lowest class).
+    base: Vec<f64>,
+    /// Per-class ceilings the escalation may not exceed.
+    max: Vec<f64>,
+    /// θ-mass added per unit of fractional capacity loss.
+    gain: f64,
+}
+
+impl DegradationPolicy {
+    /// Creates a policy escalating from `base` toward `max`, with the default
+    /// gain of 2.0 (losing half the cluster can fully degrade one class).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the vectors differ in length, any entry is outside
+    /// `[0, 1]`, or `max[k] < base[k]` for some class.
+    #[must_use]
+    pub fn new(base: &[f64], max: &[f64]) -> Self {
+        assert_eq!(
+            base.len(),
+            max.len(),
+            "base and max must cover the same classes"
+        );
+        for (k, (b, m)) in base.iter().zip(max).enumerate() {
+            assert!(
+                (0.0..=1.0).contains(b) && (0.0..=1.0).contains(m),
+                "class {k}: drop fractions must be in [0, 1]"
+            );
+            assert!(m >= b, "class {k}: max {m} must be at least base {b}");
+        }
+        DegradationPolicy {
+            base: base.to_vec(),
+            max: max.to_vec(),
+            gain: 2.0,
+        }
+    }
+
+    /// Overrides the escalation gain (θ-mass per unit capacity loss).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `gain` is negative or not finite.
+    #[must_use]
+    pub fn gain(mut self, gain: f64) -> Self {
+        assert!(gain.is_finite() && gain >= 0.0, "gain must be finite, >= 0");
+        self.gain = gain;
+        self
+    }
+
+    /// Number of classes the policy covers.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.base.len()
+    }
+
+    /// The base (full-capacity) drop vector.
+    #[must_use]
+    pub fn base(&self) -> &[f64] {
+        &self.base
+    }
+
+    /// Drop fractions for a cluster of `total` slots with `effective` of them
+    /// schedulable.
+    ///
+    /// The fractional loss `1 − effective/total` times the gain is a θ-mass
+    /// distributed greedily from the lowest class up, each class bounded by
+    /// its `max − base` headroom. Zero loss returns the base vector exactly
+    /// (no arithmetic is applied), preserving fault-free bit-identity.
+    #[must_use]
+    pub fn thetas_for(&self, total: usize, effective: usize) -> Vec<f64> {
+        if total == 0 || effective >= total {
+            return self.base.clone();
+        }
+        let loss = 1.0 - effective as f64 / total as f64;
+        let mut mass = loss * self.gain;
+        let mut thetas = self.base.clone();
+        for (theta, cap) in thetas.iter_mut().zip(&self.max) {
+            if mass <= 0.0 {
+                break;
+            }
+            let take = (cap - *theta).min(mass);
+            if take > 0.0 {
+                *theta += take;
+                mass -= take;
+            }
+        }
+        thetas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_loss_returns_base_bitwise() {
+        let p = DegradationPolicy::new(&[0.2, 0.1, 0.0], &[0.9, 0.5, 0.0]);
+        assert_eq!(p.thetas_for(20, 20), vec![0.2, 0.1, 0.0]);
+        assert_eq!(p.thetas_for(0, 0), vec![0.2, 0.1, 0.0]);
+    }
+
+    #[test]
+    fn loss_escalates_lowest_class_first() {
+        let p = DegradationPolicy::new(&[0.0, 0.0], &[0.5, 0.5]).gain(2.0);
+        // 25% loss → mass 0.5: exactly fills class 0's headroom.
+        assert_eq!(p.thetas_for(20, 15), vec![0.5, 0.0]);
+        // 50% loss → mass 1.0: class 0 saturates, the rest spills to class 1.
+        assert_eq!(p.thetas_for(20, 10), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn caps_bound_the_escalation() {
+        let p = DegradationPolicy::new(&[0.1, 0.0], &[0.4, 0.2]).gain(10.0);
+        // Mass far beyond all headroom: every class pegged at its cap.
+        assert_eq!(p.thetas_for(20, 4), vec![0.4, 0.2]);
+    }
+
+    #[test]
+    fn zero_gain_never_degrades() {
+        let p = DegradationPolicy::new(&[0.3, 0.0], &[0.9, 0.9]).gain(0.0);
+        assert_eq!(p.thetas_for(20, 1), vec![0.3, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "max")]
+    fn max_below_base_is_rejected() {
+        let _ = DegradationPolicy::new(&[0.5], &[0.4]);
+    }
+}

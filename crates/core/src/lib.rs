@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 mod buffers;
+mod degrade;
 mod experiment;
 mod metrics;
 pub mod multi;
@@ -66,6 +67,7 @@ mod sprinter;
 pub mod sweep;
 
 pub use buffers::{PriorityBuffers, QueuedJob};
+pub use degrade::DegradationPolicy;
 pub use experiment::{Experiment, ExperimentError, JobSource, VecJobSource};
 pub use metrics::{ClassStats, ExperimentReport};
 pub use multi::{MultiClassStats, MultiJobExperiment, MultiJobReport};

@@ -29,10 +29,12 @@ use std::collections::HashMap;
 
 use dias_des::stats::SampleSet;
 use dias_des::SimTime;
-use dias_engine::{ClusterSim, ClusterSpec, EngineEvent, FreqLevel, JobId, Scheduler, Submission};
+use dias_engine::{
+    ClusterSim, ClusterSpec, EngineEvent, FaultTrace, FreqLevel, JobId, Scheduler, Submission,
+};
 use dias_models::accuracy::{AccuracyCurve, SamplingErrorModel};
 
-use crate::{ExperimentError, JobSource, MultiSprinter, SprintPolicy};
+use crate::{DegradationPolicy, ExperimentError, JobSource, MultiSprinter, SprintPolicy};
 
 /// Per-class outcomes of a [`MultiJobExperiment`].
 #[derive(Debug, Clone, Default)]
@@ -59,6 +61,12 @@ pub struct MultiClassStats {
     pub drop_fraction: SampleSet,
     /// Evictions suffered by measured jobs of this class.
     pub evictions: u64,
+    /// The subset of `evictions` caused by slot failures (as opposed to
+    /// priority preemption).
+    pub failure_evictions: u64,
+    /// Measured jobs of the class whose response time met the per-class SLO
+    /// target (only counted when [`MultiJobExperiment::slos`] is set).
+    pub slo_attained: u64,
     /// Active (above-idle) energy attributed to *all* attempts of this
     /// class's jobs over the whole run, evicted attempts included, in joules.
     pub active_energy_joules: f64,
@@ -81,6 +89,17 @@ impl MultiClassStats {
     #[must_use]
     pub fn approximation_loss_pct(&self, curve: &dyn AccuracyCurve) -> f64 {
         curve.error_at(self.mean_drop_fraction())
+    }
+
+    /// Fraction of the class's completed measured jobs that met the SLO
+    /// target (1.0 when no jobs completed, mirroring "no violations").
+    #[must_use]
+    pub fn slo_attainment(&self) -> f64 {
+        if self.completed == 0 {
+            1.0
+        } else {
+            self.slo_attained as f64 / self.completed as f64
+        }
     }
 }
 
@@ -115,6 +134,16 @@ pub struct MultiJobReport {
     /// Sprint budget remaining at the end of the run (∞ for an unlimited
     /// budget, 0 without a sprint policy).
     pub sprint_budget_remaining_j: f64,
+    /// Evictions caused by slot failures (subset of
+    /// [`MultiJobReport::evictions`]).
+    pub failure_evictions: u64,
+    /// Machine-seconds of work destroyed by slot failures (subset of
+    /// [`MultiJobReport::wasted_work_secs`]).
+    pub failure_lost_work_secs: f64,
+    /// Effective-capacity changes over the run: `(time_secs, effective
+    /// slots)` after every fault batch that changed the schedulable pool.
+    /// Empty for fault-free runs; the run starts at the full slot count.
+    pub capacity_timeline: Vec<(f64, usize)>,
 }
 
 impl MultiJobReport {
@@ -193,6 +222,9 @@ pub struct MultiJobExperiment<S> {
     sprint_top_class: bool,
     jobs: usize,
     warmup: Option<usize>,
+    faults: FaultTrace,
+    slos: Option<Vec<f64>>,
+    degrade: Option<DegradationPolicy>,
 }
 
 /// Driver-side record of one submitted job.
@@ -201,6 +233,8 @@ struct JobMeta {
     arrival_secs: f64,
     seq: usize,
     evictions: u32,
+    /// The subset of `evictions` inflicted by slot failures.
+    failure_evictions: u32,
     /// Dispatch count of the job so far (bumped per attempt); sprint timers
     /// are armed per attempt and die with it on eviction.
     attempt: u32,
@@ -237,6 +271,9 @@ impl<S: JobSource> MultiJobExperiment<S> {
             sprint_top_class: false,
             jobs: 1000,
             warmup: None,
+            faults: FaultTrace::empty(),
+            slos: None,
+            degrade: None,
         }
     }
 
@@ -296,6 +333,50 @@ impl<S: JobSource> MultiJobExperiment<S> {
         self
     }
 
+    /// Injects a deterministic fault stream: each [`FaultTrace`] event is
+    /// applied to the engine at its timestamp, interleaved with engine
+    /// events, sprint bookkeeping and arrivals at a fixed tie order (engine
+    /// event → budget depletion → sprint timers → faults → arrival).
+    /// Failure victims re-queue at the head of the pending queue and are
+    /// accounted as failure evictions. An empty trace (the default)
+    /// reproduces the fault-free run bit for bit.
+    #[must_use]
+    pub fn faults(mut self, trace: FaultTrace) -> Self {
+        self.faults = trace;
+        self
+    }
+
+    /// Sets per-class response-time SLO targets in seconds (index 0 = lowest
+    /// class). Each completed measured job whose arrival→completion response
+    /// is within its class target counts toward
+    /// [`MultiClassStats::slo_attained`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any target is not positive.
+    #[must_use]
+    pub fn slos(mut self, targets: &[f64]) -> Self {
+        assert!(
+            targets.iter().all(|t| *t > 0.0),
+            "SLO targets must be positive"
+        );
+        self.slos = Some(targets.to_vec());
+        self
+    }
+
+    /// Installs a graceful-degradation controller: the policy's *base* drop
+    /// vector replaces [`MultiJobExperiment::drops`], and whenever the fault
+    /// stream changes the effective slot pool the controller escalates
+    /// per-class drop fractions toward the policy's caps
+    /// ([`DegradationPolicy::thetas_for`]). Escalated thetas apply to jobs
+    /// *arriving* after the capacity change (in-flight jobs keep their drop
+    /// decision, exactly like the paper's dispatch-time deflator).
+    #[must_use]
+    pub fn degrade(mut self, policy: DegradationPolicy) -> Self {
+        self.degrade = Some(policy);
+        self
+    }
+
     /// Convenience for the simplest differential rule: top-class jobs sprint
     /// their own gangs from dispatch with no budget limit — shorthand for
     /// [`MultiJobExperiment::sprint`] with
@@ -336,6 +417,24 @@ impl<S: JobSource> MultiJobExperiment<S> {
                 });
             }
         }
+        if let Some(t) = &self.slos {
+            if t.len() != classes {
+                return Err(ExperimentError::ClassMismatch {
+                    policy: t.len(),
+                    source: classes,
+                });
+            }
+        }
+        if let Some(d) = &self.degrade {
+            if d.classes() != classes {
+                return Err(ExperimentError::ClassMismatch {
+                    policy: d.classes(),
+                    source: classes,
+                });
+            }
+            // The degradation controller owns the drop vector from here on.
+            self.thetas = Some(d.base().to_vec());
+        }
         let sprint_policy = match self.sprint.take() {
             Some(p) => {
                 if p.timeouts.len() != classes {
@@ -351,7 +450,7 @@ impl<S: JobSource> MultiJobExperiment<S> {
         };
         let mut sprinter =
             sprint_policy.map(|p| MultiSprinter::new(p, self.cluster.sprint_extra_slot_power_w()));
-        let mut engine = ClusterSim::with_scheduler(self.cluster.clone(), self.scheduler);
+        let mut engine = ClusterSim::with_scheduler(self.cluster.clone(), self.scheduler)?;
         let mut report = MultiJobReport {
             scheduler: engine.scheduler_label().to_string(),
             per_class: vec![MultiClassStats::default(); classes],
@@ -360,6 +459,10 @@ impl<S: JobSource> MultiJobExperiment<S> {
 
         let mut meta: HashMap<JobId, JobMeta> = HashMap::new();
         let mut timers: Vec<SprintTimer> = Vec::new();
+        let fault_events = self.faults.events();
+        let mut fault_idx = 0usize;
+        let total_slots = self.cluster.slots();
+        let mut last_effective = total_slots;
         let mut next_arrival = self.source.next_job();
         let warmup = self.warmup.unwrap_or(self.jobs / 10);
         let target = warmup + self.jobs;
@@ -392,7 +495,17 @@ impl<S: JobSource> MultiJobExperiment<S> {
                     && engine.job_frequency(t.job).is_some()
             });
             let timer_t = timers.iter().map(|t| t.at).min();
-            let Some(next_t) = [engine_t, depletion_t, timer_t, arrival_t]
+            // Fault events only matter while work remains (arrivals ahead or
+            // jobs running/pending): once the run is winding down, a tail of
+            // repairs must not stretch the horizon with phantom idle time.
+            let fault_t = if next_arrival.is_some() || !engine.is_idle() {
+                fault_events
+                    .get(fault_idx)
+                    .map(|e| SimTime::from_secs(e.at_secs))
+            } else {
+                None
+            };
+            let Some(next_t) = [engine_t, depletion_t, timer_t, fault_t, arrival_t]
                 .iter()
                 .flatten()
                 .copied()
@@ -402,8 +515,8 @@ impl<S: JobSource> MultiJobExperiment<S> {
             };
 
             // Tie-breaking at equal timestamps is fixed — engine event, then
-            // budget depletion, then sprint timers, then the arrival — so
-            // runs are deterministic whatever the configuration.
+            // budget depletion, then sprint timers, then faults, then the
+            // arrival — so runs are deterministic whatever the configuration.
             if engine_t == Some(next_t) {
                 if let EngineEvent::JobFinished { job, metrics } = engine.advance()? {
                     if let Some(s) = sprinter.as_mut() {
@@ -436,6 +549,12 @@ impl<S: JobSource> MultiJobExperiment<S> {
                             metrics.tasks_dropped as f64 / total_tasks as f64
                         });
                         stats.evictions += u64::from(m.evictions);
+                        stats.failure_evictions += u64::from(m.failure_evictions);
+                        if let Some(slos) = &self.slos {
+                            if response <= slos[m.class] {
+                                stats.slo_attained += 1;
+                            }
+                        }
                     }
                     harvest_energy(&mut engine, &meta, m.class, job, &mut report);
                 }
@@ -475,6 +594,46 @@ impl<S: JobSource> MultiJobExperiment<S> {
                             .expect("timer fired for a running job");
                     }
                 }
+            } else if fault_t == Some(next_t) {
+                // Fault batch: apply every trace event due at this timestamp
+                // in trace order. Victims of failed slots re-queue at the
+                // pending head inside the engine; here they are accounted
+                // exactly like preemption victims, plus the failure counters.
+                engine.idle_until(next_t);
+                while let Some(e) = fault_events.get(fault_idx) {
+                    if SimTime::from_secs(e.at_secs) != next_t {
+                        break;
+                    }
+                    fault_idx += 1;
+                    for (victim, lost) in engine.apply_fault(e)? {
+                        report.evictions += 1;
+                        report.failure_evictions += 1;
+                        report.wasted_work_secs += lost.work_secs;
+                        report.failure_lost_work_secs += lost.work_secs;
+                        if let Some(s) = sprinter.as_mut() {
+                            // A failed sprinting gang stops draining the
+                            // budget; its timer dies with the attempt.
+                            s.stop(next_t, victim);
+                        }
+                        if let Some(vm) = meta.get_mut(&victim) {
+                            vm.evictions += 1;
+                            vm.failure_evictions += 1;
+                        }
+                        let vclass = meta.get(&victim).map_or(0, |vm| vm.class);
+                        harvest_energy(&mut engine, &meta, vclass, victim, &mut report);
+                    }
+                }
+                // Degradation reacts to the *batch*, not each event: the
+                // controller sees the post-batch pool once, and the timeline
+                // records one point per change.
+                let effective = engine.effective_slots();
+                if effective != last_effective {
+                    last_effective = effective;
+                    report.capacity_timeline.push((next_t.as_secs(), effective));
+                    if let Some(d) = &self.degrade {
+                        self.thetas = Some(d.thetas_for(total_slots, effective));
+                    }
+                }
             } else {
                 // Arrival: hand it straight to the engine's scheduler.
                 let instance = next_arrival.take().expect("candidate implies presence");
@@ -491,6 +650,7 @@ impl<S: JobSource> MultiJobExperiment<S> {
                         arrival_secs: instance.arrival_secs,
                         seq: arrival_seq,
                         evictions: 0,
+                        failure_evictions: 0,
                         attempt: 0,
                         first_dispatch: None,
                         last_dispatch: instance.arrival_secs,

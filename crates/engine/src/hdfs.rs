@@ -7,6 +7,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::sim::EngineError;
+
 /// Metadata of one RDD partition backed by HDFS blocks.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PartitionMeta {
@@ -43,11 +45,27 @@ impl HdfsLayout {
     ///
     /// # Panics
     ///
-    /// Panics if `size_mb < 0`.
+    /// Panics if `size_mb < 0` — use [`HdfsLayout::try_blocks_for`] to handle
+    /// malformed sizes without panicking.
     #[must_use]
     pub fn blocks_for(&self, size_mb: f64) -> usize {
-        assert!(size_mb >= 0.0, "dataset size cannot be negative");
-        (size_mb / self.block_mb).ceil().max(1.0) as usize
+        self.try_blocks_for(size_mb)
+            .expect("dataset size cannot be negative")
+    }
+
+    /// Fallible [`HdfsLayout::blocks_for`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BadLayout`] when `size_mb` is negative or not
+    /// finite.
+    pub fn try_blocks_for(&self, size_mb: f64) -> Result<usize, EngineError> {
+        if !size_mb.is_finite() || size_mb < 0.0 {
+            return Err(EngineError::BadLayout(format!(
+                "dataset size {size_mb} MB must be finite and non-negative"
+            )));
+        }
+        Ok((size_mb / self.block_mb).ceil().max(1.0) as usize)
     }
 
     /// Splits a dataset into `partitions` equal partitions, mapping each onto the
@@ -55,13 +73,38 @@ impl HdfsLayout {
     ///
     /// # Panics
     ///
-    /// Panics if `partitions == 0` or `size_mb <= 0`.
+    /// Panics if `partitions == 0` or `size_mb <= 0` — use
+    /// [`HdfsLayout::try_partition`] to handle malformed inputs without
+    /// panicking.
     #[must_use]
     pub fn partition(&self, size_mb: f64, partitions: usize) -> Vec<PartitionMeta> {
-        assert!(partitions > 0, "need at least one partition");
-        assert!(size_mb > 0.0, "dataset must be non-empty");
+        self.try_partition(size_mb, partitions)
+            .expect("dataset must be non-empty with at least one partition")
+    }
+
+    /// Fallible [`HdfsLayout::partition`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BadLayout`] when `partitions == 0` or `size_mb`
+    /// is not a positive finite number.
+    pub fn try_partition(
+        &self,
+        size_mb: f64,
+        partitions: usize,
+    ) -> Result<Vec<PartitionMeta>, EngineError> {
+        if partitions == 0 {
+            return Err(EngineError::BadLayout(
+                "need at least one partition".to_string(),
+            ));
+        }
+        if !size_mb.is_finite() || size_mb <= 0.0 {
+            return Err(EngineError::BadLayout(format!(
+                "dataset size {size_mb} MB must be finite and positive"
+            )));
+        }
         let per = size_mb / partitions as f64;
-        (0..partitions)
+        Ok((0..partitions)
             .map(|i| {
                 let start_mb = per * i as f64;
                 let end_mb = per * (i + 1) as f64;
@@ -74,7 +117,7 @@ impl HdfsLayout {
                     block_span: last_block - first_block + 1,
                 }
             })
-            .collect()
+            .collect())
     }
 
     /// Total bytes stored for a dataset, including replication, in MB.
@@ -89,12 +132,32 @@ impl HdfsLayout {
 ///
 /// # Panics
 ///
-/// Panics if `theta` is outside `[0, 1]`.
+/// Panics if `theta` is outside `[0, 1]` — use [`try_bytes_read_mb`] to handle
+/// malformed ratios without panicking.
 #[must_use]
 pub fn bytes_read_mb(size_mb: f64, partitions: usize, theta: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&theta), "theta must be in [0,1]");
+    try_bytes_read_mb(size_mb, partitions, theta).expect("theta must be in [0,1]")
+}
+
+/// Fallible [`bytes_read_mb`].
+///
+/// # Errors
+///
+/// Returns [`EngineError::BadLayout`] when `theta` is outside `[0, 1]` or
+/// `partitions == 0`.
+pub fn try_bytes_read_mb(size_mb: f64, partitions: usize, theta: f64) -> Result<f64, EngineError> {
+    if partitions == 0 {
+        return Err(EngineError::BadLayout(
+            "need at least one partition".to_string(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&theta) {
+        return Err(EngineError::BadLayout(format!(
+            "drop ratio {theta} must be in [0, 1]"
+        )));
+    }
     let kept = (partitions as f64 * (1.0 - theta)).ceil();
-    size_mb * kept / partitions as f64
+    Ok(size_mb * kept / partitions as f64)
 }
 
 #[cfg(test)]
@@ -124,14 +187,53 @@ mod tests {
     #[test]
     fn partition_block_ranges_are_consistent() {
         let h = HdfsLayout::default();
-        let parts = h.partition(1000.0, 10);
+        let parts = h.try_partition(1000.0, 10).expect("valid layout");
+        assert_eq!(parts.len(), 10);
         for p in &parts {
             assert!(p.block_span >= 1);
             assert!(p.first_block < h.blocks_for(1000.0));
         }
         // The last partition's range must not exceed the dataset's blocks.
-        let last = parts.last().unwrap();
+        let last = &parts[9];
         assert!(last.first_block + last.block_span <= h.blocks_for(1000.0));
+    }
+
+    #[test]
+    fn malformed_layouts_are_rejected_without_panicking() {
+        let h = HdfsLayout::default();
+        assert!(matches!(
+            h.try_blocks_for(-1.0),
+            Err(EngineError::BadLayout(_))
+        ));
+        assert!(matches!(
+            h.try_blocks_for(f64::NAN),
+            Err(EngineError::BadLayout(_))
+        ));
+        assert!(matches!(
+            h.try_partition(0.0, 10),
+            Err(EngineError::BadLayout(_))
+        ));
+        assert!(matches!(
+            h.try_partition(1000.0, 0),
+            Err(EngineError::BadLayout(_))
+        ));
+        assert!(matches!(
+            try_bytes_read_mb(1000.0, 50, 1.5),
+            Err(EngineError::BadLayout(_))
+        ));
+        assert!(matches!(
+            try_bytes_read_mb(1000.0, 0, 0.5),
+            Err(EngineError::BadLayout(_))
+        ));
+        // The fallible paths agree with the panicking ones on valid input.
+        assert_eq!(
+            h.try_blocks_for(1117.0).expect("valid"),
+            h.blocks_for(1117.0)
+        );
+        assert_eq!(
+            try_bytes_read_mb(1000.0, 50, 0.2).expect("valid"),
+            bytes_read_mb(1000.0, 50, 0.2)
+        );
     }
 
     #[test]

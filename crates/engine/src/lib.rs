@@ -26,7 +26,11 @@
 //!   accounting every machine-second it had consumed as waste (the preemptive
 //!   baseline's behaviour), and
 //! * **energy metering** — integrating a busy-slot power model over simulated
-//!   time, with the active share attributed per job ([`JobEnergy`]).
+//!   time, with the active share attributed per job ([`JobEnergy`]), and
+//! * **fault injection & elastic capacity** ([`faults`]) — deterministic
+//!   per-slot failure/repair/drain/straggler streams ([`FaultTrace`]) applied
+//!   through [`ClusterSim::fail_slot`] and friends; non-up slots surface to
+//!   schedulers as phantom blocked ranges so placement routes around them.
 //!
 //! The controller in `dias-core` drives [`ClusterSim`] one event at a time and
 //! interleaves it with job arrivals and sprint timers.
@@ -72,7 +76,7 @@
 //! let mut sim = ClusterSim::with_scheduler(
 //!     ClusterSpec::paper_reference(),
 //!     Box::new(GangBinPack),
-//! );
+//! ).unwrap();
 //! let mut rng = StdRng::seed_from_u64(7);
 //! for id in 0..2u64 {
 //!     let spec = JobSpec::builder(id, 0)
@@ -100,6 +104,7 @@
 
 mod cluster;
 mod energy;
+pub mod faults;
 pub mod hdfs;
 mod job;
 pub mod sched;
@@ -107,10 +112,12 @@ mod sim;
 
 pub use cluster::{ClusterSpec, FreqLevel, PowerModel};
 pub use energy::{EnergyMeter, JobEnergy};
+pub use faults::{FaultEvent, FaultKind, FaultTrace, SlotHealth};
 pub use job::{JobId, JobInstance, JobSpec, JobSpecBuilder, StageKind, StageSpec};
 pub use sched::{
     Fifo, GangBinPack, PendingView, PriorityPreempt, RunningView, Scheduler, SlotRange,
 };
 pub use sim::{
     ClusterSim, DispatchRecord, EngineError, EngineEvent, EvictedWork, JobRunMetrics, Submission,
+    BLOCKED_SLOT_CLASS, BLOCKED_SLOT_JOB,
 };

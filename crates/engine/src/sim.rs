@@ -17,6 +17,19 @@
 //! [`ClusterSim::set_frequency`], which applies one level to every domain
 //! *and* to jobs dispatched later — driving only the global switch reproduces
 //! the historical engine bit for bit.
+//!
+//! Capacity is *elastic*: [`ClusterSim::fail_slot`] kills a slot (evicting
+//! the overlapping run to the head of the pending queue, like a preemption
+//! victim), [`ClusterSim::drain_slot`] removes it gracefully once its
+//! occupant departs, [`ClusterSim::repair_slot`] brings it back, and
+//! [`ClusterSim::slow_slot`] turns it into a straggler (the overlapping gang
+//! is retimed to the max factor across its slots — a wave is only as fast as
+//! its slowest slot). Non-up slots are surfaced to schedulers as phantom
+//! blocked ranges (job [`BLOCKED_SLOT_JOB`], class [`BLOCKED_SLOT_CLASS`])
+//! so every placement policy routes around dead capacity with no trait
+//! change; a phantom is never a legal preemption victim. With no faults
+//! injected, every fast path reduces to the PR 5 engine bit for bit
+//! (`slow == 1.0` divisions and phantom-free views are exact no-ops).
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -25,6 +38,7 @@ use serde::{Deserialize, Serialize};
 
 use dias_des::{EventHandle, EventQueue, SimTime};
 
+use crate::faults::{FaultEvent, FaultKind, SlotHealth};
 use crate::sched::{PendingView, RunningView, Scheduler, SlotRange};
 use crate::{ClusterSpec, EnergyMeter, Fifo, FreqLevel, JobEnergy, JobId, JobInstance};
 
@@ -42,6 +56,13 @@ pub enum EngineError {
     InvalidSpec(String),
     /// The referenced job is not running.
     UnknownJob(JobId),
+    /// A fault-injection parameter is invalid (bad timestamp or straggler
+    /// factor).
+    BadFault(String),
+    /// The referenced slot index is outside the cluster.
+    UnknownSlot(usize),
+    /// An HDFS layout parameter is malformed (see [`crate::hdfs`]).
+    BadLayout(String),
 }
 
 impl fmt::Display for EngineError {
@@ -52,6 +73,9 @@ impl fmt::Display for EngineError {
             EngineError::BadDrops(msg) => write!(f, "invalid drop ratios: {msg}"),
             EngineError::InvalidSpec(msg) => write!(f, "invalid cluster spec: {msg}"),
             EngineError::UnknownJob(id) => write!(f, "{id} is not running"),
+            EngineError::BadFault(msg) => write!(f, "invalid fault: {msg}"),
+            EngineError::UnknownSlot(slot) => write!(f, "slot {slot} is outside the cluster"),
+            EngineError::BadLayout(msg) => write!(f, "invalid HDFS layout: {msg}"),
         }
     }
 }
@@ -212,6 +236,10 @@ struct Run {
     /// The run's frequency domain: the level its in-flight work executes at
     /// and the rate its busy slots are charged at.
     freq: FreqLevel,
+    /// Straggler factor of the run's slowest slot (≥ 1.0; 1.0 = full speed).
+    /// A gang executes in lockstep waves, so the whole run slows to its
+    /// slowest slot: effective speed = `speed_at(freq) / slow`.
+    slow: f64,
     work_done: f64,
     sprint_secs: f64,
     sprint_since: Option<SimTime>,
@@ -266,7 +294,31 @@ pub struct ClusterSim {
     scheduler: Box<dyn Scheduler>,
     meter: EnergyMeter,
     dispatched: Vec<DispatchRecord>,
+    /// Per-slot fault state, indexed by slot. All-`Up`/`1.0` on a healthy
+    /// cluster; the `unavailable`/`stragglers` counters fast-path that case
+    /// so fault-free runs pay nothing.
+    slot_states: Vec<SlotState>,
+    /// Number of slots whose health is not [`SlotHealth::Up`].
+    unavailable: usize,
+    /// Number of slots with a straggler factor other than 1.0.
+    stragglers: usize,
 }
+
+/// Fault state of one slot.
+#[derive(Debug, Clone, Copy)]
+struct SlotState {
+    health: SlotHealth,
+    /// Straggler factor (≥ 1.0; 1.0 = full speed).
+    slow: f64,
+}
+
+/// Priority class of the phantom "blocked" views fault injection inserts for
+/// out-of-service slots: never a legal preemption victim (no arriving class
+/// exceeds it), so schedulers route around dead capacity for free.
+pub const BLOCKED_SLOT_CLASS: usize = usize::MAX;
+
+/// Job id of the phantom "blocked" views (never a real run's id).
+pub const BLOCKED_SLOT_JOB: JobId = JobId(u64::MAX);
 
 impl ClusterSim {
     /// Creates an idle cluster at time zero under the [`Fifo`] policy — the
@@ -274,23 +326,27 @@ impl ClusterSim {
     ///
     /// # Panics
     ///
-    /// Panics if `spec` fails validation; use [`ClusterSpec::validate`] to
-    /// check first.
+    /// Panics if `spec` fails validation; use [`ClusterSim::with_scheduler`]
+    /// for the fallible constructor.
     #[must_use]
     pub fn new(spec: ClusterSpec) -> Self {
-        Self::with_scheduler(spec, Box::new(Fifo))
+        Self::with_scheduler(spec, Box::new(Fifo)).expect("invalid cluster spec")
     }
 
     /// Creates an idle cluster at time zero driven by `scheduler`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `spec` fails validation.
-    #[must_use]
-    pub fn with_scheduler(spec: ClusterSpec, scheduler: Box<dyn Scheduler>) -> Self {
-        spec.validate().expect("invalid cluster spec");
+    /// Returns [`EngineError::InvalidSpec`] when `spec` fails
+    /// [`ClusterSpec::validate`].
+    pub fn with_scheduler(
+        spec: ClusterSpec,
+        scheduler: Box<dyn Scheduler>,
+    ) -> Result<Self, EngineError> {
+        spec.validate().map_err(EngineError::InvalidSpec)?;
         let meter = EnergyMeter::new(&spec, SimTime::ZERO);
-        ClusterSim {
+        let slots = spec.slots();
+        Ok(ClusterSim {
             spec,
             time: SimTime::ZERO,
             freq: FreqLevel::Base,
@@ -300,7 +356,16 @@ impl ClusterSim {
             scheduler,
             meter,
             dispatched: Vec::new(),
-        }
+            slot_states: vec![
+                SlotState {
+                    health: SlotHealth::Up,
+                    slow: 1.0,
+                };
+                slots
+            ],
+            unavailable: 0,
+            stragglers: 0,
+        })
     }
 
     /// Name of the scheduling policy driving this cluster.
@@ -478,8 +543,16 @@ impl ClusterSim {
     }
 
     /// Read-only running-job views for the scheduler.
+    ///
+    /// Out-of-service slots (failed, draining) appear as *phantom* blocked
+    /// views — class [`BLOCKED_SLOT_CLASS`], job [`BLOCKED_SLOT_JOB`] — so
+    /// placement policies route around dead capacity with no trait change. A
+    /// phantom is never a legal preemption victim, and [`Fifo`] (which only
+    /// places on an empty view set) treats any capacity loss as a full
+    /// outage — the paper's whole-cluster gang semantics.
     fn running_views(&self) -> Vec<RunningView> {
-        self.runs
+        let mut views: Vec<RunningView> = self
+            .runs
             .iter()
             .map(|r| RunningView {
                 job: r.work.job,
@@ -487,7 +560,28 @@ impl ClusterSim {
                 slots: r.slots,
                 started: r.started,
             })
-            .collect()
+            .collect();
+        if self.unavailable > 0 {
+            let mut s = 0;
+            let n = self.slot_states.len();
+            while s < n {
+                if self.slot_states[s].health == SlotHealth::Up {
+                    s += 1;
+                    continue;
+                }
+                let start = s;
+                while s < n && self.slot_states[s].health != SlotHealth::Up {
+                    s += 1;
+                }
+                views.push(RunningView {
+                    job: BLOCKED_SLOT_JOB,
+                    class: BLOCKED_SLOT_CLASS,
+                    slots: SlotRange::new(start, s - start),
+                    started: SimTime::ZERO,
+                });
+            }
+        }
+        views
     }
 
     /// Dispatches `instance` with per-stage drop ratios `drops` at the current
@@ -572,11 +666,28 @@ impl ClusterSim {
         }
     }
 
+    /// Straggler factor governing a range: the max over its slots' factors
+    /// (a gang's waves are as slow as their slowest slot). 1.0 when no slot
+    /// anywhere straggles — the fault-free fast path.
+    fn range_slow(&self, slots: SlotRange) -> f64 {
+        if self.stragglers == 0 {
+            return 1.0;
+        }
+        let mut slow = 1.0f64;
+        for s in slots.start..slots.end().min(self.slot_states.len()) {
+            slow = slow.max(self.slot_states[s].slow);
+        }
+        slow
+    }
+
     /// Dispatches prepared work onto `slots` at the current time; the new
-    /// run's frequency domain starts at the cluster's default level.
+    /// run's frequency domain starts at the cluster's default level and its
+    /// straggler factor at the slowest slot of its range (`x / 1.0 == x`
+    /// bitwise, so a straggler-free dispatch is unchanged).
     fn dispatch(&mut self, work: JobWork, slots: SlotRange) {
         let freq = self.freq;
-        let speed = self.spec.speed_at(freq);
+        let slow = self.range_slow(slots);
+        let speed = self.spec.speed_at(freq) / slow;
         let job = work.job;
         let handle = self.queue.push(
             self.time + work.setup_secs / speed,
@@ -595,6 +706,7 @@ impl ClusterSim {
             },
             started: self.time,
             freq,
+            slow,
             work_done: 0.0,
             sprint_secs: 0.0,
             sprint_since: (freq == FreqLevel::Sprint).then_some(self.time),
@@ -700,7 +812,7 @@ impl ClusterSim {
     /// re-submission record.
     fn do_evict(&mut self, idx: usize) -> (EvictedWork, Pending) {
         let mut run = self.runs.remove(idx);
-        let speed = self.spec.speed_at(run.freq);
+        let speed = self.spec.speed_at(run.freq) / run.slow;
         // Credit partial work of in-flight activities since their last
         // reschedule point (earlier segments were credited at those points).
         match &run.phase {
@@ -723,6 +835,7 @@ impl ClusterSim {
         }
         let sprint_secs = run.sprint_secs + run.sprint_since.map_or(0.0, |s| self.time - s);
         self.meter.retire_job(self.time, run.work.job);
+        self.complete_drains(run.slots);
         let lost = EvictedWork {
             wall_secs: self.time - run.started,
             work_secs: run.work_done,
@@ -738,14 +851,18 @@ impl ClusterSim {
     /// (decrease/increase-key on the indexed calendar) rather than cancelled
     /// and re-pushed; the handles stay valid and the FIFO tie-breaking is
     /// identical to the old cancel+repush (a rescheduled event ties as if
-    /// newly pushed). No-op when the run is already at `freq`.
-    fn retime_run(&mut self, idx: usize, freq: FreqLevel) {
+    /// newly pushed). No-op when the run is already at `freq` and `slow`.
+    ///
+    /// `slow` is the straggler factor of the run's slowest slot (≥ 1.0);
+    /// straggling rescales *time*, not power, so the energy ledger only sees
+    /// the (possibly unchanged) frequency level.
+    fn retime_run(&mut self, idx: usize, freq: FreqLevel, slow: f64) {
         let run = &mut self.runs[idx];
-        if run.freq == freq {
+        if run.freq == freq && run.slow == slow {
             return;
         }
-        let old_speed = self.spec.speed_at(run.freq);
-        let new_speed = self.spec.speed_at(freq);
+        let old_speed = self.spec.speed_at(run.freq) / run.slow;
+        let new_speed = self.spec.speed_at(freq) / slow;
         let now = self.time;
 
         // Account sprint wall-time before the switch.
@@ -782,6 +899,7 @@ impl ClusterSim {
             run.sprint_since = Some(now);
         }
         run.freq = freq;
+        run.slow = slow;
         let (job, busy) = (run.work.job, run.busy());
         self.meter.update_job(now, job, busy, freq);
     }
@@ -792,7 +910,8 @@ impl ClusterSim {
     /// [`ClusterSim::set_job_frequency`] would.
     pub fn set_frequency(&mut self, freq: FreqLevel) {
         for idx in 0..self.runs.len() {
-            self.retime_run(idx, freq);
+            let slow = self.runs[idx].slow;
+            self.retime_run(idx, freq, slow);
         }
         self.freq = freq;
     }
@@ -808,7 +927,8 @@ impl ClusterSim {
     /// jobs have no domain yet; they inherit the default at dispatch).
     pub fn set_job_frequency(&mut self, job: JobId, freq: FreqLevel) -> Result<(), EngineError> {
         let idx = self.run_index(job)?;
-        self.retime_run(idx, freq);
+        let slow = self.runs[idx].slow;
+        self.retime_run(idx, freq, slow);
         Ok(())
     }
 
@@ -855,7 +975,7 @@ impl ClusterSim {
     ) -> Result<EngineEvent, EngineError> {
         let time = self.time;
         let idx = self.run_index(job)?;
-        let speed = self.spec.speed_at(self.runs[idx].freq);
+        let speed = self.spec.speed_at(self.runs[idx].freq) / self.runs[idx].slow;
         let run = &mut self.runs[idx];
         let (tasks_left, stage_done) = match &mut run.phase {
             Phase::Stage {
@@ -933,7 +1053,7 @@ impl ClusterSim {
         let time = self.time;
         let run = &mut self.runs[idx];
         let freq = run.freq;
-        let speed = self.spec.speed_at(freq);
+        let speed = self.spec.speed_at(freq) / run.slow;
         let job = run.work.job;
         let slots = run.slots.count;
         if stage >= run.work.stage_tasks.len() {
@@ -987,6 +1107,7 @@ impl ClusterSim {
         let run = self.runs.remove(idx);
         let sprint_secs = run.sprint_secs + run.sprint_since.map_or(0.0, |s| self.time - s);
         self.meter.retire_job(self.time, run.work.job);
+        self.complete_drains(run.slots);
         let event = EngineEvent::JobFinished {
             job: run.work.job,
             metrics: JobRunMetrics {
@@ -999,6 +1120,221 @@ impl ClusterSim {
         };
         self.backfill();
         event
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection & elastic capacity
+    // ------------------------------------------------------------------
+
+    /// Health of slot `slot` ([`SlotHealth::Up`] on a fresh cluster).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownSlot`] when `slot` is out of range.
+    pub fn slot_health(&self, slot: usize) -> Result<SlotHealth, EngineError> {
+        self.check_slot(slot)?;
+        Ok(self.slot_states[slot].health)
+    }
+
+    /// Straggler factor of slot `slot` (1.0 = full speed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownSlot`] when `slot` is out of range.
+    pub fn slot_slow(&self, slot: usize) -> Result<f64, EngineError> {
+        self.check_slot(slot)?;
+        Ok(self.slot_states[slot].slow)
+    }
+
+    /// Number of slots currently schedulable ([`SlotHealth::Up`]). Draining
+    /// and down slots are excluded; stragglers still count (they are slow,
+    /// not gone).
+    #[must_use]
+    pub fn effective_slots(&self) -> usize {
+        self.spec.slots() - self.unavailable
+    }
+
+    /// Kills slot `slot`: any run overlapping it is evicted (its partial
+    /// work lost, its calendar events cancelled, its energy ledger retired)
+    /// and pushed back to the *head* of the pending queue, exactly like a
+    /// preemption victim; the slot then reads as down and the scheduler
+    /// routes around it. Returns the evicted victims (at most one under
+    /// disjoint gangs) so the caller can account re-execution loss.
+    ///
+    /// Failing a slot that is already down is a no-op. Failing a draining
+    /// slot completes the drain immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownSlot`] when `slot` is out of range.
+    pub fn fail_slot(&mut self, slot: usize) -> Result<Vec<(JobId, EvictedWork)>, EngineError> {
+        self.check_slot(slot)?;
+        let mut victims = Vec::new();
+        while let Some(idx) = self
+            .runs
+            .iter()
+            .position(|r| r.slots.start <= slot && slot < r.slots.end())
+        {
+            let job = self.runs[idx].work.job;
+            let (lost, pending) = self.do_evict(idx);
+            self.pending.push_front(pending);
+            victims.push((job, lost));
+        }
+        self.set_health(slot, SlotHealth::Down);
+        self.backfill();
+        Ok(victims)
+    }
+
+    /// Brings slot `slot` back up at full speed: clears any straggler factor
+    /// (retiming an overlapping run, though none can exist while the slot is
+    /// down), marks it up, and backfills pending jobs into the recovered
+    /// capacity. Repairing an up slot only clears its straggler factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownSlot`] when `slot` is out of range.
+    pub fn repair_slot(&mut self, slot: usize) -> Result<(), EngineError> {
+        self.check_slot(slot)?;
+        self.apply_slow(slot, 1.0);
+        self.set_health(slot, SlotHealth::Up);
+        self.backfill();
+        Ok(())
+    }
+
+    /// Gracefully removes slot `slot`: if no run occupies it the slot goes
+    /// down immediately (returns `Ok(true)`); otherwise it is marked
+    /// draining — invisible to the scheduler but the occupying run keeps it
+    /// until departure, at which point the drain completes (returns
+    /// `Ok(false)`). Draining a slot that is already down is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownSlot`] when `slot` is out of range.
+    pub fn drain_slot(&mut self, slot: usize) -> Result<bool, EngineError> {
+        self.check_slot(slot)?;
+        if self.slot_states[slot].health == SlotHealth::Down {
+            return Ok(true);
+        }
+        let occupied = self
+            .runs
+            .iter()
+            .any(|r| r.slots.start <= slot && slot < r.slots.end());
+        if occupied {
+            self.set_health(slot, SlotHealth::Draining);
+            Ok(false)
+        } else {
+            self.set_health(slot, SlotHealth::Down);
+            Ok(true)
+        }
+    }
+
+    /// Sets slot `slot`'s straggler factor to `factor` (≥ 1.0; 1.0 restores
+    /// full speed). A run overlapping the slot is retimed in place to the
+    /// max factor across its gang — a gang wave is only as fast as its
+    /// slowest slot. Power rates are unchanged: straggling stretches busy
+    /// time, it does not change the frequency level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownSlot`] when `slot` is out of range and
+    /// [`EngineError::BadFault`] when `factor` is not finite or below 1.0.
+    pub fn slow_slot(&mut self, slot: usize, factor: f64) -> Result<(), EngineError> {
+        self.check_slot(slot)?;
+        if !factor.is_finite() || factor < 1.0 {
+            return Err(EngineError::BadFault(format!(
+                "straggler factor {factor} must be finite and >= 1.0"
+            )));
+        }
+        self.apply_slow(slot, factor);
+        Ok(())
+    }
+
+    /// Applies one [`FaultEvent`]'s kind to its slot (the event's timestamp
+    /// is the *caller's* clock — the engine applies it at the current sim
+    /// time). Returns failure victims for [`FaultKind::Fail`], empty
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineError::UnknownSlot`] / [`EngineError::BadFault`]
+    /// from the underlying mutation.
+    pub fn apply_fault(
+        &mut self,
+        event: &FaultEvent,
+    ) -> Result<Vec<(JobId, EvictedWork)>, EngineError> {
+        match event.kind {
+            FaultKind::Fail => self.fail_slot(event.slot),
+            FaultKind::Repair => self.repair_slot(event.slot).map(|()| Vec::new()),
+            FaultKind::Drain => self.drain_slot(event.slot).map(|_| Vec::new()),
+            FaultKind::Slow { factor } => self.slow_slot(event.slot, factor).map(|()| Vec::new()),
+        }
+    }
+
+    fn check_slot(&self, slot: usize) -> Result<(), EngineError> {
+        if slot < self.spec.slots() {
+            Ok(())
+        } else {
+            Err(EngineError::UnknownSlot(slot))
+        }
+    }
+
+    /// Transitions slot `slot` to `health`, keeping the `unavailable`
+    /// (non-[`SlotHealth::Up`]) count in sync.
+    fn set_health(&mut self, slot: usize, health: SlotHealth) {
+        let state = &mut self.slot_states[slot];
+        let was_up = state.health == SlotHealth::Up;
+        let is_up = health == SlotHealth::Up;
+        state.health = health;
+        match (was_up, is_up) {
+            (true, false) => self.unavailable += 1,
+            (false, true) => self.unavailable -= 1,
+            _ => {}
+        }
+    }
+
+    /// Sets slot `slot`'s straggler factor, keeping the `stragglers` count
+    /// in sync (the count gates the zero-fault fast path in `range_slow`).
+    fn set_slow(&mut self, slot: usize, factor: f64) {
+        let state = &mut self.slot_states[slot];
+        let was_slow = state.slow != 1.0;
+        let is_slow = factor != 1.0;
+        state.slow = factor;
+        match (was_slow, is_slow) {
+            (false, true) => self.stragglers += 1,
+            (true, false) => self.stragglers -= 1,
+            _ => {}
+        }
+    }
+
+    /// Sets slot `slot`'s straggler factor and retimes the overlapping run
+    /// (if any) to the new max factor across its gang.
+    fn apply_slow(&mut self, slot: usize, factor: f64) {
+        self.set_slow(slot, factor);
+        if let Some(idx) = self
+            .runs
+            .iter()
+            .position(|r| r.slots.start <= slot && slot < r.slots.end())
+        {
+            let slots = self.runs[idx].slots;
+            let freq = self.runs[idx].freq;
+            let slow = self.range_slow(slots);
+            self.retime_run(idx, freq, slow);
+        }
+    }
+
+    /// Completes pending drains in a departing run's slot range: every
+    /// [`SlotHealth::Draining`] slot in `slots` goes down. Called from
+    /// `do_evict` and `finish_job` *before* backfill, so the scheduler never
+    /// re-places work onto a slot that was waiting for its occupant to leave.
+    fn complete_drains(&mut self, slots: SlotRange) {
+        if self.unavailable == 0 {
+            return;
+        }
+        for slot in slots.start..slots.end() {
+            if self.slot_states[slot].health == SlotHealth::Draining {
+                self.set_health(slot, SlotHealth::Down);
+            }
+        }
     }
 }
 
@@ -1239,7 +1575,8 @@ mod tests {
     #[test]
     fn gang_runs_narrow_jobs_concurrently() {
         let mut sim =
-            ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(GangBinPack));
+            ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(GangBinPack))
+                .unwrap();
         // Two 8-wide jobs fit the 20-slot cluster side by side.
         let a = sim.submit_job(&narrow_job(1, 0, 8, 16.0), &[0.0]).unwrap();
         let b = sim.submit_job(&narrow_job(2, 0, 8, 16.0), &[0.0]).unwrap();
@@ -1265,7 +1602,8 @@ mod tests {
     #[test]
     fn gang_queues_when_cluster_is_full_and_backfills() {
         let mut sim =
-            ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(GangBinPack));
+            ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(GangBinPack))
+                .unwrap();
         sim.submit_job(&narrow_job(1, 0, 12, 10.0), &[0.0]).unwrap();
         sim.submit_job(&narrow_job(2, 0, 8, 10.0), &[0.0]).unwrap();
         // 12 + 8 fill the cluster; a 4-wide job must wait.
@@ -1286,7 +1624,8 @@ mod tests {
     #[test]
     fn priority_preempt_evicts_low_class_mid_stage() {
         let mut sim =
-            ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(PriorityPreempt));
+            ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(PriorityPreempt))
+                .unwrap();
         // A wide low-class job takes the whole cluster.
         sim.submit_job(&narrow_job(1, 0, 20, 50.0), &[0.0]).unwrap();
         // Setup done at t=2, tasks run to t=52.
@@ -1324,7 +1663,8 @@ mod tests {
     #[test]
     fn same_class_never_preempts() {
         let mut sim =
-            ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(PriorityPreempt));
+            ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(PriorityPreempt))
+                .unwrap();
         sim.submit_job(&narrow_job(1, 1, 20, 10.0), &[0.0]).unwrap();
         let sub = sim.submit_job(&narrow_job(2, 1, 20, 10.0), &[0.0]).unwrap();
         assert_eq!(sub, Submission::Queued { evicted: vec![] });
@@ -1333,7 +1673,8 @@ mod tests {
     #[test]
     fn evict_job_targets_a_specific_run() {
         let mut sim =
-            ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(GangBinPack));
+            ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(GangBinPack))
+                .unwrap();
         sim.submit_job(&narrow_job(1, 0, 8, 10.0), &[0.0]).unwrap();
         sim.submit_job(&narrow_job(2, 0, 8, 10.0), &[0.0]).unwrap();
         assert_eq!(
@@ -1350,7 +1691,8 @@ mod tests {
     #[test]
     fn per_job_energy_is_attributed() {
         let mut sim =
-            ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(GangBinPack));
+            ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(GangBinPack))
+                .unwrap();
         sim.submit_job(&narrow_job(1, 0, 8, 16.0), &[0.0]).unwrap();
         sim.submit_job(&narrow_job(2, 0, 4, 16.0), &[0.0]).unwrap();
         while !sim.is_idle() {
@@ -1375,7 +1717,8 @@ mod tests {
         let sim = ClusterSim::new(ClusterSpec::paper_reference());
         assert_eq!(sim.scheduler_label(), "FIFO");
         let sim =
-            ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(PriorityPreempt));
+            ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(PriorityPreempt))
+                .unwrap();
         assert_eq!(sim.scheduler_label(), "PriorityPreempt");
     }
 }
@@ -1406,5 +1749,196 @@ mod setup_scaling_tests {
         let mut sim2 = ClusterSim::new(ClusterSpec::paper_reference());
         sim2.start_job(&inst, &[0.0]).unwrap();
         assert!((sim2.next_event_time().unwrap().as_secs() - 10.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::{GangBinPack, JobSpec, SlotHealth, StageKind, StageSpec};
+    use dias_stochastic::Dist;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn constant_job(map_tasks: usize, map_secs: f64) -> JobInstance {
+        let spec = JobSpec::builder(1, 0)
+            .input_mb(473.0)
+            .setup(Dist::constant(10.0))
+            .shuffle(Dist::constant(5.0))
+            .stage(StageSpec::new(
+                StageKind::Map,
+                map_tasks,
+                Dist::constant(map_secs),
+            ))
+            .stage(StageSpec::new(StageKind::Reduce, 10, Dist::constant(8.0)))
+            .build();
+        let mut rng = StdRng::seed_from_u64(1);
+        JobInstance::sample(&spec, &mut rng)
+    }
+
+    fn narrow_job(id: u64, width: usize, secs: f64) -> JobInstance {
+        let spec = JobSpec::builder(id, 0)
+            .setup(Dist::constant(2.0))
+            .stage(StageSpec::new(StageKind::Map, width, Dist::constant(secs)))
+            .build();
+        let mut rng = StdRng::seed_from_u64(id);
+        JobInstance::sample(&spec, &mut rng)
+    }
+
+    fn run_to_completion(sim: &mut ClusterSim) -> JobRunMetrics {
+        loop {
+            if let EngineEvent::JobFinished { metrics, .. } = sim.advance().unwrap() {
+                return metrics;
+            }
+        }
+    }
+
+    #[test]
+    fn straggler_slows_whole_gang() {
+        // 20 map tasks of 100 s on 20 slots under Fifo: one wave.
+        let mut sim = ClusterSim::new(ClusterSpec::paper_reference());
+        sim.start_job(&constant_job(20, 100.0), &[0.0, 0.0])
+            .unwrap();
+        sim.advance().unwrap(); // setup done at t = 10
+        sim.idle_until(SimTime::from_secs(15.0));
+        // One slot at factor 2 halves the whole gang: 95 s left -> 190 s.
+        sim.slow_slot(3, 2.0).unwrap();
+        let m = run_to_completion(&mut sim);
+        // Map ends 15 + 190 = 205; shuffle 5*2 = 10; reduce 8*2 = 16.
+        let expected = 205.0 + 10.0 + 16.0;
+        assert!(
+            (m.execution_secs - expected).abs() < 1e-9,
+            "{} vs {expected}",
+            m.execution_secs
+        );
+        // Work is counted in base-equivalents: straggling stretches wall
+        // time, not work.
+        assert!((m.work_secs - (10.0 + 2000.0 + 5.0 + 80.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repair_restores_full_speed() {
+        let mut sim = ClusterSim::new(ClusterSpec::paper_reference());
+        sim.start_job(&constant_job(20, 100.0), &[0.0, 0.0])
+            .unwrap();
+        sim.advance().unwrap();
+        sim.idle_until(SimTime::from_secs(15.0));
+        sim.slow_slot(3, 2.0).unwrap();
+        assert_eq!(sim.slot_slow(3).unwrap(), 2.0);
+        // Half speed for 10 s (5 s of work), then repaired: 90 s left at full.
+        sim.idle_until(SimTime::from_secs(25.0));
+        sim.repair_slot(3).unwrap();
+        assert_eq!(sim.slot_slow(3).unwrap(), 1.0);
+        let m = run_to_completion(&mut sim);
+        let expected = 115.0 + 5.0 + 8.0;
+        assert!(
+            (m.execution_secs - expected).abs() < 1e-9,
+            "{} vs {expected}",
+            m.execution_secs
+        );
+    }
+
+    #[test]
+    fn fail_slot_evicts_and_redispatches_around_it() {
+        let mut sim =
+            ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(GangBinPack))
+                .unwrap();
+        let job = narrow_job(7, 8, 16.0);
+        assert!(matches!(
+            sim.submit_job(&job, &[0.0]).unwrap(),
+            Submission::Dispatched { .. }
+        ));
+        let assigned = sim.assignments()[0].1;
+        assert_eq!((assigned.start, assigned.count), (0, 8));
+        sim.advance().unwrap(); // setup done at t = 2
+        sim.idle_until(SimTime::from_secs(6.0));
+        // Kill a slot inside the gang: the job is evicted and immediately
+        // re-dispatched around the dead slot.
+        let victims = sim.fail_slot(2).unwrap();
+        assert_eq!(victims.len(), 1);
+        assert_eq!(victims[0].0, JobId(7));
+        // Lost: 2 s setup + 8 slots * 4 s of partial map work.
+        assert!((victims[0].1.work_secs - (2.0 + 32.0)).abs() < 1e-9);
+        assert_eq!(sim.effective_slots(), 19);
+        assert_eq!(sim.slot_health(2).unwrap(), SlotHealth::Down);
+        // Re-dispatched on the gap after the dead slot, starting over.
+        assert_eq!(sim.running_jobs(), vec![JobId(7)]);
+        let re = sim.assignments()[0].1;
+        assert!(re.start > 2, "gang {re:?} must avoid the dead slot");
+        let m = run_to_completion(&mut sim);
+        assert!((m.execution_secs - 18.0).abs() < 1e-9);
+        // Repair restores the full pool.
+        sim.repair_slot(2).unwrap();
+        assert_eq!(sim.effective_slots(), 20);
+        assert_eq!(sim.slot_health(2).unwrap(), SlotHealth::Up);
+    }
+
+    #[test]
+    fn drain_waits_for_occupant_then_completes() {
+        let mut sim =
+            ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(GangBinPack))
+                .unwrap();
+        let job = narrow_job(1, 8, 16.0);
+        sim.submit_job(&job, &[0.0]).unwrap();
+        // Slot 3 is occupied by the 8-wide gang: the drain must wait.
+        assert!(!sim.drain_slot(3).unwrap());
+        assert_eq!(sim.slot_health(3).unwrap(), SlotHealth::Draining);
+        // Draining capacity is already unavailable to new placements.
+        assert_eq!(sim.effective_slots(), 19);
+        run_to_completion(&mut sim);
+        // The occupant left: the drain completed.
+        assert_eq!(sim.slot_health(3).unwrap(), SlotHealth::Down);
+        // An unoccupied slot drains immediately.
+        assert!(sim.drain_slot(15).unwrap());
+        assert_eq!(sim.effective_slots(), 18);
+        // New gangs route around both dead slots.
+        sim.submit_job(&narrow_job(2, 8, 16.0), &[0.0]).unwrap();
+        let re = sim.assignments()[0].1;
+        assert!(re.start >= 4, "gang {re:?} must avoid drained slot 3");
+        assert!(re.end() <= 15 || re.start > 15);
+    }
+
+    #[test]
+    fn fault_parameters_are_validated() {
+        let mut sim = ClusterSim::new(ClusterSpec::paper_reference());
+        assert_eq!(sim.fail_slot(20), Err(EngineError::UnknownSlot(20)));
+        assert_eq!(sim.repair_slot(99), Err(EngineError::UnknownSlot(99)));
+        assert_eq!(sim.slot_health(20), Err(EngineError::UnknownSlot(20)));
+        assert!(matches!(
+            sim.slow_slot(0, 0.5),
+            Err(EngineError::BadFault(_))
+        ));
+        assert!(matches!(
+            sim.slow_slot(0, f64::NAN),
+            Err(EngineError::BadFault(_))
+        ));
+    }
+
+    #[test]
+    fn apply_fault_dispatches_by_kind() {
+        use crate::faults::{FaultEvent, FaultKind};
+        let mut sim = ClusterSim::new(ClusterSpec::paper_reference());
+        let fail = FaultEvent {
+            at_secs: 0.0,
+            slot: 4,
+            kind: FaultKind::Fail,
+        };
+        assert!(sim.apply_fault(&fail).unwrap().is_empty());
+        assert_eq!(sim.slot_health(4).unwrap(), SlotHealth::Down);
+        let slow = FaultEvent {
+            at_secs: 0.0,
+            slot: 5,
+            kind: FaultKind::Slow { factor: 2.0 },
+        };
+        sim.apply_fault(&slow).unwrap();
+        assert_eq!(sim.slot_slow(5).unwrap(), 2.0);
+        let repair = FaultEvent {
+            at_secs: 0.0,
+            slot: 4,
+            kind: FaultKind::Repair,
+        };
+        sim.apply_fault(&repair).unwrap();
+        assert_eq!(sim.slot_health(4).unwrap(), SlotHealth::Up);
+        assert_eq!(sim.effective_slots(), 20);
     }
 }

@@ -134,7 +134,7 @@ fn drive(
     toggle_every: usize,
     toggle: Toggle,
 ) -> Result<ClusterSim, String> {
-    let mut sim = ClusterSim::with_scheduler(dyadic_cluster(), scheduler);
+    let mut sim = ClusterSim::with_scheduler(dyadic_cluster(), scheduler).unwrap();
     let mut arrival = 0.0f64;
     let mut events = 0usize;
     fn flip(sim: &mut ClusterSim, toggle: Toggle, events: usize) {

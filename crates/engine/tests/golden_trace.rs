@@ -188,7 +188,8 @@ const EXPECTED: &[&str] = &[
 /// Per-job energy attribution is recorded at the end.
 fn drive_preempt() -> Vec<String> {
     let mut sim =
-        ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(PriorityPreempt));
+        ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(PriorityPreempt))
+            .unwrap();
     let mut log = Vec::new();
 
     let low = variable_job_class(1, 11, 0);
@@ -314,7 +315,8 @@ fn narrow_variable_job(id: u64, seed: u64, class: usize, map_tasks: usize) -> Jo
 /// later drops the high domain back to base mid-flight. Domain levels and
 /// per-job energy attributions are logged alongside every event.
 fn drive_domains() -> Vec<String> {
-    let mut sim = ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(GangBinPack));
+    let mut sim =
+        ClusterSim::with_scheduler(ClusterSpec::paper_reference(), Box::new(GangBinPack)).unwrap();
     let mut log = Vec::new();
 
     let low = narrow_variable_job(1, 21, 0, 8);

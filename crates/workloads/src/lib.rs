@@ -15,6 +15,10 @@
 //!   and "147", the 1117 MB / 473 MB two-priority reference, the three-priority mix,
 //!   the GraphX-style triangle job) and Poisson [`JobStream`]s over them, with
 //!   profiling-based calibration of arrival rates to a target utilization.
+//! * [`faults`] — failure/straggler/autoscaling schedules
+//!   ([`dias_engine::FaultTrace`]s) for the chaos harness: crash/repair
+//!   renewal at a given MTBF/MTTR, straggler episodes, and a deterministic
+//!   scale-down/scale-up square wave.
 //!
 //! # Examples
 //!
@@ -33,11 +37,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod graph;
 pub mod profiles;
 pub mod stream;
 pub mod text;
 
+pub use faults::{autoscaling_trace, slot_failure_trace, straggler_trace};
 pub use profiles::{
     dataset_126, dataset_147, equal_size_two_priority, heterogeneous_width_two_priority,
     inverted_ratio_two_priority, profile_473, reference_two_priority, sharded_two_priority,

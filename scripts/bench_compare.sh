@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the criterion micro benches (including the engine/multi_job/* family:
-# gang packing, per-gang DVFS churn, preemption churn), writes a fresh result
-# file (default BENCH_pr6.json at the repo root), and prints a per-benchmark
+# gang packing, per-gang DVFS churn, preemption churn, fault churn), writes a
+# fresh result file (default BENCH_pr7.json at the repo root), and prints a per-benchmark
 # delta table against the committed baseline. Exits non-zero when any
 # benchmark present in the baseline regressed by more than the threshold.
 #
@@ -14,10 +14,10 @@
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-out="${1:-$repo_root/BENCH_pr6.json}"
+out="${1:-$repo_root/BENCH_pr7.json}"
 baseline="${DIAS_BENCH_BASELINE:-BENCH_baseline.json}"
 # Anchor a relative baseline at the repo root so the gate does not depend on
-# the caller's cwd (CI passes DIAS_BENCH_BASELINE=BENCH_pr5.json).
+# the caller's cwd (CI passes DIAS_BENCH_BASELINE=BENCH_pr6.json).
 case "$baseline" in
   /*) ;;
   *) baseline="$repo_root/$baseline" ;;
