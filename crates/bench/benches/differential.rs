@@ -105,6 +105,116 @@ fn main() {
         "-",
         &format!("{replica_factor:.1}x fewer replicas"),
     );
+
+    // The branch section measures *work avoidance*, so it runs single-
+    // threaded: with enough cores a 10-cell grid is one wall-clock run
+    // either way, and the saved events show up as freed cores, not time.
+    branch_section(1);
+}
+
+/// `sweep/differential` part two — checkpoint-and-branch suffix replay.
+///
+/// A theta-only sweep whose grid points diverge *late*: every job draws an
+/// 8-task map that all five thetas deflate to the same 6 kept tasks, except
+/// one 40-task job at 3/4 of the run where the grid splits 28/28/26/26/30.
+/// The reference point records a checkpoint trace; every other point restores
+/// the latest checkpoint before its divergence index and simulates only the
+/// suffix. Reported: simulated-events-skipped and wall-clock vs full replay
+/// of the identical grid (the two report grids are asserted bit-identical).
+fn branch_section(threads: usize) {
+    use dias_core::sweep::{run_multi_experiments_branch, run_multi_experiments_differential};
+    use dias_core::{MultiJobExperiment, VecJobSource};
+    use dias_engine::{GangBinPack, JobInstance, JobSpec, StageKind, StageSpec};
+    use dias_stochastic::Dist;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    banner(
+        "sweep/differential (branch)",
+        "checkpoint-and-branch suffix replay vs full replay",
+    );
+    let jobs = scaled(600);
+    let replicas = 2;
+    let warmup = jobs / 10;
+    let target = jobs + warmup;
+    let wide_at = (target * 3 / 4) as u64;
+    let workload = move |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let instances: Vec<JobInstance> = (0..(2 * target) as u64)
+            .map(|i| {
+                let map_tasks = if i == wide_at { 40 } else { 8 };
+                let spec = JobSpec::builder(i, 0)
+                    .setup(Dist::constant(1.0))
+                    .shuffle(Dist::constant(0.5))
+                    .stage(StageSpec::new(
+                        StageKind::Map,
+                        map_tasks,
+                        Dist::exponential(2.0),
+                    ))
+                    .stage(StageSpec::new(StageKind::Reduce, 4, Dist::constant(1.0)))
+                    .build();
+                let mut inst = JobInstance::sample(&spec, &mut rng);
+                inst.arrival_secs = i as f64 * 6.0;
+                inst
+            })
+            .collect();
+        VecJobSource::new(instances, 1)
+    };
+    // ⌈8(1−θ)⌉ = 6 for every point; ⌈40(1−θ)⌉ = 28/28/26/26/30 — the 0.32
+    // point never diverges at all (full prefix skip).
+    let thetas: Vec<Vec<f64>> = [0.30, 0.32, 0.35, 0.37, 0.26]
+        .iter()
+        .map(|&t| vec![t])
+        .collect();
+    // One sampled stream per replica, shared by every point of both paths
+    // (the CRN contract); `VecJobSource` clones are O(1) cursor copies, so
+    // the timed region measures simulation, not job sampling.
+    let sources: Vec<VecJobSource> = (0..replicas).map(|r| workload(211 + r as u64)).collect();
+    let base = move |r: usize| {
+        MultiJobExperiment::new(sources[r].clone(), Box::new(GangBinPack)).jobs(jobs)
+    };
+    println!(
+        "grid: {} theta points x {replicas} replicas, {jobs} jobs each (wide job at arrival {wide_at})",
+        thetas.len()
+    );
+
+    let start = Instant::now();
+    let full = run_multi_experiments_differential(thetas.len(), replicas, threads, |p, r| {
+        base(r).drops(&thetas[p])
+    })
+    .expect("valid full grid");
+    let full_secs = start.elapsed().as_secs_f64();
+
+    // Checkpoints cost O(outstanding state) each, so the stride scales with
+    // the run: ~8 checkpoints regardless of the job count.
+    let stride = (target / 8).max(1);
+    let start = Instant::now();
+    let (branched, stats) = run_multi_experiments_branch(&thetas, replicas, threads, stride, base)
+        .expect("valid branch grid");
+    let branch_secs = start.elapsed().as_secs_f64();
+
+    for p in 0..full.points() {
+        assert!(
+            branched.point(p) == full.point(p),
+            "branch grid diverged from full replay at point {p}"
+        );
+    }
+    println!("  full replay:   {full_secs:>6.2}s wall-clock");
+    println!("  suffix replay: {branch_secs:>6.2}s wall-clock (bit-identical grid)");
+    println!(
+        "  suffix cells: {} | events skipped: {} of {} ({:.0}%) | arrivals skipped: {} of {}",
+        stats.suffix_cells,
+        stats.events_skipped,
+        stats.events_full,
+        stats.skip_fraction() * 100.0,
+        stats.arrivals_skipped,
+        stats.arrivals_total
+    );
+    compare(
+        "branch sweep wall-clock speedup (target >= 2x)",
+        ">= 2x",
+        &format!("{:.1}x", full_secs / branch_secs.max(1e-9)),
+    );
 }
 
 fn report(metric: &str, grid: &DifferentialReport<ExperimentReport>, paired: f64, indep: f64) {

@@ -2,7 +2,6 @@
 //! drops → engine, with optional sprinting — the harness behind every evaluation
 //! figure.
 
-use std::collections::VecDeque;
 use std::fmt;
 
 use dias_des::SimTime;
@@ -26,9 +25,16 @@ pub trait JobSource {
 }
 
 /// A [`JobSource`] over a pre-built vector of instances.
+///
+/// The instances are `Arc`-shared and the source keeps only a cursor, so
+/// cloning is O(1) however long the stream — checkpoint-and-branch
+/// re-execution snapshots the source at every checkpoint, and a deep copy of
+/// every undelivered instance would make recording quadratic in the run
+/// length.
 #[derive(Debug, Clone)]
 pub struct VecJobSource {
-    jobs: VecDeque<JobInstance>,
+    jobs: std::sync::Arc<[JobInstance]>,
+    next: usize,
     classes: usize,
 }
 
@@ -51,6 +57,7 @@ impl VecJobSource {
         }
         VecJobSource {
             jobs: jobs.into(),
+            next: 0,
             classes,
         }
     }
@@ -62,7 +69,9 @@ impl JobSource for VecJobSource {
     }
 
     fn next_job(&mut self) -> Option<JobInstance> {
-        self.jobs.pop_front()
+        let inst = self.jobs.get(self.next)?.clone();
+        self.next += 1;
+        Some(inst)
     }
 }
 

@@ -70,11 +70,12 @@ pub use buffers::{PriorityBuffers, QueuedJob};
 pub use degrade::DegradationPolicy;
 pub use experiment::{Experiment, ExperimentError, JobSource, VecJobSource};
 pub use metrics::{ClassStats, ExperimentReport};
-pub use multi::{MultiClassStats, MultiJobExperiment, MultiJobReport};
+pub use multi::{MultiClassStats, MultiJobExperiment, MultiJobReport, MultiRunTrace};
 pub use multi_sprint::MultiSprinter;
 pub use policy::{ClassPolicy, Policy, Scheduling};
 pub use sprinter::{SprintBudget, SprintPolicy, Sprinter};
 pub use sweep::{
     run_experiments, run_experiments_differential, run_multi_experiments,
-    run_multi_experiments_differential, run_parallel, Contrast, DifferentialReport, ExperimentSpec,
+    run_multi_experiments_branch, run_multi_experiments_differential, run_parallel, BranchStats,
+    Contrast, DifferentialReport, ExperimentSpec,
 };

@@ -30,14 +30,15 @@ use std::collections::HashMap;
 use dias_des::stats::SampleSet;
 use dias_des::SimTime;
 use dias_engine::{
-    ClusterSim, ClusterSpec, EngineEvent, FaultTrace, FreqLevel, JobId, Scheduler, Submission,
+    Checkpoint as EngineCheckpoint, ClusterSim, ClusterSpec, EngineEvent, FaultTrace, FreqLevel,
+    JobId, JobInstance, Scheduler, Submission,
 };
 use dias_models::accuracy::{AccuracyCurve, SamplingErrorModel};
 
 use crate::{DegradationPolicy, ExperimentError, JobSource, MultiSprinter, SprintPolicy};
 
 /// Per-class outcomes of a [`MultiJobExperiment`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MultiClassStats {
     /// Completed measured jobs of the class.
     pub completed: u64,
@@ -104,7 +105,11 @@ impl MultiClassStats {
 }
 
 /// The full outcome of one multi-job run.
-#[derive(Debug, Clone, Default)]
+///
+/// Reports compare with `==` bit-exactly: the branch-equivalence property
+/// suite relies on a resumed suffix replay producing a report identical to a
+/// full run's, float for float.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MultiJobReport {
     /// Label of the scheduler policy that produced this report.
     pub scheduler: String,
@@ -228,6 +233,7 @@ pub struct MultiJobExperiment<S> {
 }
 
 /// Driver-side record of one submitted job.
+#[derive(Debug, Clone)]
 struct JobMeta {
     class: usize,
     arrival_secs: f64,
@@ -406,10 +412,346 @@ impl<S: JobSource> MultiJobExperiment<S> {
     /// wrapped engine error if submission fails, or
     /// [`ExperimentError::Starved`] when a measured job cannot complete under
     /// the offered load.
-    #[allow(clippy::too_many_lines)]
-    pub fn run(mut self) -> Result<MultiJobReport, ExperimentError> {
-        let classes = self.source.classes();
-        if let Some(t) = &self.thetas {
+    pub fn run(self) -> Result<MultiJobReport, ExperimentError> {
+        let mut driver = MultiDriver::build(self)?;
+        driver.drive(&mut NoHook)?;
+        Ok(driver.finalize())
+    }
+}
+
+impl<S: JobSource + Clone> MultiJobExperiment<S> {
+    /// Whether this configuration is eligible for checkpoint-and-branch
+    /// re-execution ([`MultiJobExperiment::run_recording`] /
+    /// [`MultiJobExperiment::run_from`]).
+    ///
+    /// Graceful degradation couples the drop vector to the fault schedule at
+    /// run time (the divergence index could not be computed from the sweep
+    /// parameters alone), and SLO-scored runs are excluded conservatively;
+    /// both fall back to full replay in the branch-aware sweep runner.
+    #[must_use]
+    pub fn branchable(&self) -> bool {
+        self.degrade.is_none() && self.slos.is_none()
+    }
+
+    /// Runs exactly like [`MultiJobExperiment::run`] while recording a
+    /// branchable [`MultiRunTrace`]: a resume checkpoint every `stride`
+    /// arrivals (engine snapshot, driver books, fault cursor, and the cloned
+    /// source — its replay RNG positioned at the checkpoint's draw offset)
+    /// plus a per-arrival drop signature for divergence detection.
+    ///
+    /// Recording does not perturb the run: the returned report is
+    /// bit-identical to what [`MultiJobExperiment::run`] produces.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`MultiJobExperiment::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero or the configuration is not
+    /// [`MultiJobExperiment::branchable`].
+    pub fn run_recording(
+        self,
+        stride: usize,
+    ) -> Result<(MultiJobReport, MultiRunTrace<S>), ExperimentError> {
+        assert!(stride > 0, "checkpoint stride must be positive");
+        assert!(
+            self.branchable(),
+            "degradation/SLO runs conservatively disable branching"
+        );
+        let thetas = self.thetas.clone();
+        let mut driver = MultiDriver::build(self)?;
+        let mut hook = TraceHook {
+            stride,
+            checkpoints: Vec::new(),
+            signatures: Vec::new(),
+        };
+        driver.drive(&mut hook)?;
+        let events_total = driver.events_done;
+        let report = driver.finalize();
+        let trace = MultiRunTrace {
+            thetas,
+            checkpoints: hook.checkpoints,
+            signatures: hook.signatures,
+            events_total,
+        };
+        Ok((report, trace))
+    }
+
+    /// Replays only this experiment's *suffix* against a recorded reference
+    /// run: restores the latest checkpoint at or before the divergence index
+    /// — the first arrival that the reference thetas and this experiment's
+    /// thetas deflate differently — and drives to completion from there.
+    ///
+    /// This experiment must be configured identically to the recorded
+    /// reference in everything except the drop vector: same source stream,
+    /// cluster, scheduler policy, sprint policy, fault trace and measurement
+    /// window. Under that contract the result is bit-identical to a full
+    /// [`MultiJobExperiment::run`]: before the divergence index every
+    /// arrival's post-drop work is equal by construction, so the reference
+    /// prefix *is* this point's prefix.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`MultiJobExperiment::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is not [`MultiJobExperiment::branchable`].
+    pub fn run_from(self, trace: &MultiRunTrace<S>) -> Result<MultiJobReport, ExperimentError> {
+        assert!(
+            self.branchable(),
+            "degradation/SLO runs conservatively disable branching"
+        );
+        let divergence = trace.divergence_index(self.thetas.as_deref());
+        let Some(cp) = trace
+            .checkpoints
+            .iter()
+            .rev()
+            .find(|c| c.arrival_idx <= divergence)
+        else {
+            // Nothing recorded before the divergence (empty trace): replay in
+            // full.
+            return self.run();
+        };
+        let mut driver = MultiDriver::build(self)?;
+        driver.resume(cp);
+        driver.drive(&mut NoHook)?;
+        Ok(driver.finalize())
+    }
+}
+
+/// One arrival's drop-relevant shape: its class plus each stage's drawn task
+/// count and droppability — everything needed to decide whether two theta
+/// vectors deflate the job identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ArrivalSignature {
+    class: usize,
+    /// Per stage: `(drawn task count, droppable)`.
+    stages: Vec<(usize, bool)>,
+}
+
+impl ArrivalSignature {
+    fn of(instance: &JobInstance) -> Self {
+        ArrivalSignature {
+            class: instance.class(),
+            stages: instance
+                .task_secs
+                .iter()
+                .zip(&instance.spec.stages)
+                .map(|(ts, s)| (ts.len(), s.kind.droppable()))
+                .collect(),
+        }
+    }
+
+    /// Whether theta vectors `a` and `b` deflate this arrival identically.
+    ///
+    /// Behaviour-exact, not merely theta-equality: the engine keeps
+    /// `⌈n(1−θ)⌉` tasks per droppable stage and derives *everything* else
+    /// (width, setup scaling, drop counts) from those kept counts, so two
+    /// different thetas that round to the same kept count per stage simulate
+    /// bit-identically. That is what makes fine-grained theta grids diverge
+    /// late: nearby points share long prefixes.
+    fn same_drops(&self, a: Option<&[f64]>, b: Option<&[f64]>) -> bool {
+        let ta = a.map_or(0.0, |t| t[self.class]);
+        let tb = b.map_or(0.0, |t| t[self.class]);
+        if ta == tb {
+            return true;
+        }
+        self.stages
+            .iter()
+            .all(|&(n, droppable)| !droppable || keep_count(n, ta) == keep_count(n, tb))
+    }
+}
+
+/// Kept-task count of an `n`-task stage under drop ratio `theta` — the exact
+/// float expression the engine's deflator uses, mirrored so divergence
+/// detection never disagrees with the simulation.
+fn keep_count(n: usize, theta: f64) -> usize {
+    ((n as f64) * (1.0 - theta)).ceil() as usize
+}
+
+/// A resume point of a recorded reference run, captured immediately before
+/// arrival `arrival_idx` was submitted: the engine snapshot plus every piece
+/// of driver state the loop carries across iterations.
+struct MultiCheckpoint<S> {
+    /// Arrivals already submitted when the checkpoint was taken (also the
+    /// sequence number of `next_arrival`).
+    arrival_idx: usize,
+    /// Engine events the reference run had processed — what a branch that
+    /// resumes here skips re-simulating.
+    events_done: u64,
+    engine: EngineCheckpoint,
+    /// The source cloned at the boundary: its RNG sits exactly at the
+    /// checkpoint's draw offset, so the remaining arrival stream replays bit
+    /// for bit (see [`dias_stochastic::DrawTrace::replay_from`]).
+    source: S,
+    /// The already-drawn instance about to be submitted.
+    next_arrival: Option<JobInstance>,
+    meta: HashMap<JobId, JobMeta>,
+    timers: Vec<SprintTimer>,
+    sprinter: Option<MultiSprinter>,
+    /// The fault-trace cursor (cf. [`FaultTrace::index_at`]).
+    fault_idx: usize,
+    last_effective: usize,
+    measured_done: usize,
+    total_completions: usize,
+    report: MultiJobReport,
+}
+
+/// The branchable record of one reference run, produced by
+/// [`MultiJobExperiment::run_recording`]: resume checkpoints at arrival
+/// boundaries plus per-arrival drop signatures for divergence detection.
+///
+/// One trace serves every other sweep point of a theta-only sweep:
+/// [`MultiJobExperiment::run_from`] restores the latest checkpoint at or
+/// before the point's divergence index and replays only the suffix.
+pub struct MultiRunTrace<S> {
+    /// The reference run's theta vector (divergence is measured against it).
+    thetas: Option<Vec<f64>>,
+    checkpoints: Vec<MultiCheckpoint<S>>,
+    signatures: Vec<ArrivalSignature>,
+    events_total: u64,
+}
+
+impl<S> MultiRunTrace<S> {
+    /// Arrivals the reference run submitted.
+    #[must_use]
+    pub fn arrivals(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// Engine events the reference run processed — the cost a full replay of
+    /// one sweep point would pay again.
+    #[must_use]
+    pub fn events_total(&self) -> u64 {
+        self.events_total
+    }
+
+    /// Resume checkpoints recorded (one per `stride` arrivals).
+    #[must_use]
+    pub fn checkpoints(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// The divergence index of a sweep point with drop vector `thetas`: the
+    /// first arrival the reference and the point deflate differently, or
+    /// [`MultiRunTrace::arrivals`] when the two simulate identically
+    /// throughout.
+    #[must_use]
+    pub fn divergence_index(&self, thetas: Option<&[f64]>) -> usize {
+        self.signatures
+            .iter()
+            .position(|sig| !sig.same_drops(self.thetas.as_deref(), thetas))
+            .unwrap_or(self.signatures.len())
+    }
+
+    /// The checkpoint a resume at `divergence` restores, as `(arrival index,
+    /// engine events skipped)`; `None` when nothing was recorded at or before
+    /// it.
+    #[must_use]
+    pub fn resume_point(&self, divergence: usize) -> Option<(usize, u64)> {
+        self.checkpoints
+            .iter()
+            .rev()
+            .find(|c| c.arrival_idx <= divergence)
+            .map(|c| (c.arrival_idx, c.events_done))
+    }
+}
+
+/// Observer of the driver loop's arrival boundaries; the recording run plugs
+/// [`TraceHook`] in, plain runs pay nothing through [`NoHook`].
+trait RunHook<S> {
+    /// Called at the top of the arrival arm, *before* the pending arrival in
+    /// [`MultiDriver::next_arrival`] is submitted.
+    fn on_arrival(&mut self, driver: &MultiDriver<S>);
+}
+
+/// The no-op hook of a plain run.
+struct NoHook;
+
+impl<S> RunHook<S> for NoHook {
+    fn on_arrival(&mut self, _: &MultiDriver<S>) {}
+}
+
+/// Records the branchable trace: every arrival's signature, and a full
+/// checkpoint every `stride` arrivals (always including arrival 0, so a
+/// resume point at or before any divergence index exists).
+struct TraceHook<S> {
+    stride: usize,
+    checkpoints: Vec<MultiCheckpoint<S>>,
+    signatures: Vec<ArrivalSignature>,
+}
+
+impl<S: Clone> RunHook<S> for TraceHook<S> {
+    fn on_arrival(&mut self, driver: &MultiDriver<S>) {
+        let instance = driver
+            .next_arrival
+            .as_ref()
+            .expect("hook fires on an arrival");
+        self.signatures.push(ArrivalSignature::of(instance));
+        if driver.arrival_seq.is_multiple_of(self.stride) {
+            self.checkpoints.push(MultiCheckpoint {
+                arrival_idx: driver.arrival_seq,
+                events_done: driver.events_done,
+                engine: driver.engine.checkpoint(),
+                source: driver.source.clone(),
+                next_arrival: driver.next_arrival.clone(),
+                meta: driver.meta.clone(),
+                timers: driver.timers.clone(),
+                sprinter: driver.sprinter.clone(),
+                fault_idx: driver.fault_idx,
+                last_effective: driver.last_effective,
+                measured_done: driver.measured_done,
+                total_completions: driver.total_completions,
+                report: driver.report.clone(),
+            });
+        }
+    }
+}
+
+/// The closed-loop driver behind [`MultiJobExperiment::run`], factored out so
+/// a run can be checkpointed at arrival boundaries and resumed from one.
+///
+/// Everything the loop carries across iterations lives in a field here;
+/// [`TraceHook`] clones the lot into a [`MultiCheckpoint`] and
+/// [`MultiDriver::resume`] puts it back. The loop body itself is the PR 4–7
+/// driver unchanged, so a plain run is bit-identical to the pre-refactor
+/// code.
+struct MultiDriver<S> {
+    // Immutable configuration.
+    thetas: Option<Vec<f64>>,
+    slos: Option<Vec<f64>>,
+    degrade: Option<DegradationPolicy>,
+    faults: FaultTrace,
+    cluster: ClusterSpec,
+    classes: usize,
+    warmup: usize,
+    target: usize,
+    jobs: usize,
+    completion_cap: usize,
+    total_slots: usize,
+    // Mutable run state (captured wholesale by checkpoints).
+    source: S,
+    engine: ClusterSim,
+    report: MultiJobReport,
+    meta: HashMap<JobId, JobMeta>,
+    timers: Vec<SprintTimer>,
+    sprinter: Option<MultiSprinter>,
+    fault_idx: usize,
+    last_effective: usize,
+    next_arrival: Option<JobInstance>,
+    arrival_seq: usize,
+    measured_done: usize,
+    total_completions: usize,
+    events_done: u64,
+}
+
+impl<S: JobSource> MultiDriver<S> {
+    /// Validates the experiment and sets up the start-of-run state.
+    fn build(mut exp: MultiJobExperiment<S>) -> Result<Self, ExperimentError> {
+        let classes = exp.source.classes();
+        if let Some(t) = &exp.thetas {
             if t.len() != classes {
                 return Err(ExperimentError::ClassMismatch {
                     policy: t.len(),
@@ -417,7 +759,7 @@ impl<S: JobSource> MultiJobExperiment<S> {
                 });
             }
         }
-        if let Some(t) = &self.slos {
+        if let Some(t) = &exp.slos {
             if t.len() != classes {
                 return Err(ExperimentError::ClassMismatch {
                     policy: t.len(),
@@ -425,7 +767,7 @@ impl<S: JobSource> MultiJobExperiment<S> {
                 });
             }
         }
-        if let Some(d) = &self.degrade {
+        if let Some(d) = &exp.degrade {
             if d.classes() != classes {
                 return Err(ExperimentError::ClassMismatch {
                     policy: d.classes(),
@@ -433,9 +775,9 @@ impl<S: JobSource> MultiJobExperiment<S> {
                 });
             }
             // The degradation controller owns the drop vector from here on.
-            self.thetas = Some(d.base().to_vec());
+            exp.thetas = Some(d.base().to_vec());
         }
-        let sprint_policy = match self.sprint.take() {
+        let sprint_policy = match exp.sprint.take() {
             Some(p) => {
                 if p.timeouts.len() != classes {
                     return Err(ExperimentError::ClassMismatch {
@@ -445,62 +787,121 @@ impl<S: JobSource> MultiJobExperiment<S> {
                 }
                 Some(p)
             }
-            None if self.sprint_top_class => Some(SprintPolicy::unlimited_for_top(classes)),
+            None if exp.sprint_top_class => Some(SprintPolicy::unlimited_for_top(classes)),
             None => None,
         };
-        let mut sprinter =
-            sprint_policy.map(|p| MultiSprinter::new(p, self.cluster.sprint_extra_slot_power_w()));
-        let mut engine = ClusterSim::with_scheduler(self.cluster.clone(), self.scheduler)?;
-        let mut report = MultiJobReport {
+        let sprinter =
+            sprint_policy.map(|p| MultiSprinter::new(p, exp.cluster.sprint_extra_slot_power_w()));
+        let engine = ClusterSim::with_scheduler(exp.cluster.clone(), exp.scheduler)?;
+        let report = MultiJobReport {
             scheduler: engine.scheduler_label().to_string(),
             per_class: vec![MultiClassStats::default(); classes],
             ..Default::default()
         };
+        let total_slots = exp.cluster.slots();
+        let next_arrival = exp.source.next_job();
+        let warmup = exp.warmup.unwrap_or(exp.jobs / 10);
+        let target = warmup + exp.jobs;
+        Ok(MultiDriver {
+            thetas: exp.thetas,
+            slos: exp.slos,
+            degrade: exp.degrade,
+            faults: exp.faults,
+            cluster: exp.cluster,
+            classes,
+            warmup,
+            target,
+            jobs: exp.jobs,
+            // Termination guard, as in `Experiment::run`: under saturating
+            // higher-class load a measured job may never complete.
+            completion_cap: target.saturating_mul(64).saturating_add(1024),
+            total_slots,
+            source: exp.source,
+            engine,
+            report,
+            meta: HashMap::new(),
+            timers: Vec::new(),
+            sprinter: None,
+            fault_idx: 0,
+            last_effective: total_slots,
+            next_arrival,
+            arrival_seq: 0,
+            measured_done: 0,
+            total_completions: 0,
+            events_done: 0,
+        }
+        .with_sprinter(sprinter))
+    }
 
-        let mut meta: HashMap<JobId, JobMeta> = HashMap::new();
-        let mut timers: Vec<SprintTimer> = Vec::new();
-        let fault_events = self.faults.events();
-        let mut fault_idx = 0usize;
-        let total_slots = self.cluster.slots();
-        let mut last_effective = total_slots;
-        let mut next_arrival = self.source.next_job();
-        let warmup = self.warmup.unwrap_or(self.jobs / 10);
-        let target = warmup + self.jobs;
-        let mut arrival_seq = 0usize;
-        let mut measured_done = 0usize;
-        // Termination guard, as in `Experiment::run`: under saturating
-        // higher-class load a measured job may never complete.
-        let completion_cap = target.saturating_mul(64).saturating_add(1024);
-        let mut total_completions = 0usize;
+    fn with_sprinter(mut self, sprinter: Option<MultiSprinter>) -> Self {
+        self.sprinter = sprinter;
+        self
+    }
 
-        while measured_done < self.jobs {
-            if total_completions > completion_cap {
+    /// Reinstates a checkpoint: engine and driver state revert to the arrival
+    /// boundary, configuration fields keep this experiment's values (the
+    /// divergent thetas are exactly the point of branching).
+    fn resume(&mut self, cp: &MultiCheckpoint<S>)
+    where
+        S: Clone,
+    {
+        self.engine.restore(&cp.engine);
+        self.source = cp.source.clone();
+        self.next_arrival = cp.next_arrival.clone();
+        self.meta = cp.meta.clone();
+        self.timers = cp.timers.clone();
+        self.sprinter = cp.sprinter.clone();
+        self.fault_idx = cp.fault_idx;
+        self.last_effective = cp.last_effective;
+        self.arrival_seq = cp.arrival_idx;
+        self.measured_done = cp.measured_done;
+        self.total_completions = cp.total_completions;
+        self.events_done = cp.events_done;
+        self.report = cp.report.clone();
+    }
+
+    /// The closed loop: engine events, sprint bookkeeping, faults and
+    /// arrivals at a fixed tie order, until the measured window completes or
+    /// the source drains.
+    #[allow(clippy::too_many_lines)]
+    fn drive<H: RunHook<S>>(&mut self, hook: &mut H) -> Result<(), ExperimentError> {
+        while self.measured_done < self.jobs {
+            if self.total_completions > self.completion_cap {
                 return Err(ExperimentError::Starved {
-                    measured_done,
+                    measured_done: self.measured_done,
                     target: self.jobs,
                 });
             }
-            let engine_t = engine.next_event_time();
-            let arrival_t = next_arrival
+            let engine_t = self.engine.next_event_time();
+            let arrival_t = self
+                .next_arrival
                 .as_ref()
                 .map(|j| SimTime::from_secs(j.arrival_secs));
-            let depletion_t = sprinter.as_ref().and_then(MultiSprinter::depletion_time);
+            let depletion_t = self
+                .sprinter
+                .as_ref()
+                .and_then(MultiSprinter::depletion_time);
             // Purge timers whose attempt is dead (job finished, or evicted —
             // a re-dispatch arms a fresh timer under a bumped attempt). A
             // stale timer must not keep the clock running past the last real
             // event, or a finite source's horizon (and idle energy) would
             // grow a phantom tail.
-            timers.retain(|t| {
-                meta.get(&t.job).is_some_and(|m| m.attempt == t.attempt)
-                    && engine.job_frequency(t.job).is_some()
-            });
-            let timer_t = timers.iter().map(|t| t.at).min();
+            {
+                let meta = &self.meta;
+                let engine = &self.engine;
+                self.timers.retain(|t| {
+                    meta.get(&t.job).is_some_and(|m| m.attempt == t.attempt)
+                        && engine.job_frequency(t.job).is_some()
+                });
+            }
+            let timer_t = self.timers.iter().map(|t| t.at).min();
             // Fault events only matter while work remains (arrivals ahead or
             // jobs running/pending): once the run is winding down, a tail of
             // repairs must not stretch the horizon with phantom idle time.
-            let fault_t = if next_arrival.is_some() || !engine.is_idle() {
-                fault_events
-                    .get(fault_idx)
+            let fault_t = if self.next_arrival.is_some() || !self.engine.is_idle() {
+                self.faults
+                    .events()
+                    .get(self.fault_idx)
                     .map(|e| SimTime::from_secs(e.at_secs))
             } else {
                 None
@@ -518,18 +919,20 @@ impl<S: JobSource> MultiJobExperiment<S> {
             // budget depletion, then sprint timers, then faults, then the
             // arrival — so runs are deterministic whatever the configuration.
             if engine_t == Some(next_t) {
-                if let EngineEvent::JobFinished { job, metrics } = engine.advance()? {
-                    if let Some(s) = sprinter.as_mut() {
+                let event = self.engine.advance()?;
+                self.events_done += 1;
+                if let EngineEvent::JobFinished { job, metrics } = event {
+                    if let Some(s) = self.sprinter.as_mut() {
                         s.stop(next_t, job);
                     }
-                    total_completions += 1;
-                    report.total_work_secs += metrics.work_secs;
-                    let m = meta.remove(&job).expect("finished job was submitted");
-                    let measured = (warmup..target).contains(&m.seq);
+                    self.total_completions += 1;
+                    self.report.total_work_secs += metrics.work_secs;
+                    let m = self.meta.remove(&job).expect("finished job was submitted");
+                    let measured = (self.warmup..self.target).contains(&m.seq);
                     if measured {
-                        measured_done += 1;
-                        let stats = &mut report.per_class[m.class];
-                        let response = engine.now().as_secs() - m.arrival_secs;
+                        self.measured_done += 1;
+                        let stats = &mut self.report.per_class[m.class];
+                        let response = self.engine.now().as_secs() - m.arrival_secs;
                         stats.completed += 1;
                         stats.response.push(response);
                         stats.execution.push(metrics.execution_secs);
@@ -556,24 +959,27 @@ impl<S: JobSource> MultiJobExperiment<S> {
                             }
                         }
                     }
-                    harvest_energy(&mut engine, &meta, m.class, job, &mut report);
+                    harvest_energy(&mut self.engine, &self.meta, m.class, job, &mut self.report);
                 }
             } else if depletion_t == Some(next_t) {
                 // Budget dry: every sprinting domain drops to base together.
-                engine.idle_until(next_t);
-                let s = sprinter.as_mut().expect("depletion implies a sprinter");
+                self.engine.idle_until(next_t);
+                let s = self
+                    .sprinter
+                    .as_mut()
+                    .expect("depletion implies a sprinter");
                 for job in s.stop_all(next_t) {
-                    engine
+                    self.engine
                         .set_job_frequency(job, FreqLevel::Base)
                         .expect("sprinting job is running");
                 }
             } else if timer_t == Some(next_t) {
                 // Per-attempt sprint timers: start each due job's domain if
                 // its attempt still runs and the budget has joules left.
-                engine.idle_until(next_t);
-                let s = sprinter.as_mut().expect("timers imply a sprinter");
+                self.engine.idle_until(next_t);
+                let s = self.sprinter.as_mut().expect("timers imply a sprinter");
                 let mut due = Vec::new();
-                timers.retain(|t| {
+                self.timers.retain(|t| {
                     if t.at == next_t {
                         due.push(*t);
                         false
@@ -582,14 +988,16 @@ impl<S: JobSource> MultiJobExperiment<S> {
                     }
                 });
                 for t in due {
-                    let Some(m) = meta.get(&t.job) else { continue };
+                    let Some(m) = self.meta.get(&t.job) else {
+                        continue;
+                    };
                     if m.attempt != t.attempt
-                        || engine.job_frequency(t.job) != Some(FreqLevel::Base)
+                        || self.engine.job_frequency(t.job) != Some(FreqLevel::Base)
                     {
                         continue; // attempt evicted/finished, or already sprinting
                     }
                     if s.try_start(next_t, t.job, m.width) {
-                        engine
+                        self.engine
                             .set_job_frequency(t.job, FreqLevel::Sprint)
                             .expect("timer fired for a running job");
                     }
@@ -599,56 +1007,70 @@ impl<S: JobSource> MultiJobExperiment<S> {
                 // in trace order. Victims of failed slots re-queue at the
                 // pending head inside the engine; here they are accounted
                 // exactly like preemption victims, plus the failure counters.
-                engine.idle_until(next_t);
-                while let Some(e) = fault_events.get(fault_idx) {
+                self.engine.idle_until(next_t);
+                while let Some(e) = self.faults.events().get(self.fault_idx).copied() {
                     if SimTime::from_secs(e.at_secs) != next_t {
                         break;
                     }
-                    fault_idx += 1;
-                    for (victim, lost) in engine.apply_fault(e)? {
-                        report.evictions += 1;
-                        report.failure_evictions += 1;
-                        report.wasted_work_secs += lost.work_secs;
-                        report.failure_lost_work_secs += lost.work_secs;
-                        if let Some(s) = sprinter.as_mut() {
+                    self.fault_idx += 1;
+                    for (victim, lost) in self.engine.apply_fault(&e)? {
+                        self.report.evictions += 1;
+                        self.report.failure_evictions += 1;
+                        self.report.wasted_work_secs += lost.work_secs;
+                        self.report.failure_lost_work_secs += lost.work_secs;
+                        if let Some(s) = self.sprinter.as_mut() {
                             // A failed sprinting gang stops draining the
                             // budget; its timer dies with the attempt.
                             s.stop(next_t, victim);
                         }
-                        if let Some(vm) = meta.get_mut(&victim) {
+                        if let Some(vm) = self.meta.get_mut(&victim) {
                             vm.evictions += 1;
                             vm.failure_evictions += 1;
                         }
-                        let vclass = meta.get(&victim).map_or(0, |vm| vm.class);
-                        harvest_energy(&mut engine, &meta, vclass, victim, &mut report);
+                        let vclass = self.meta.get(&victim).map_or(0, |vm| vm.class);
+                        harvest_energy(
+                            &mut self.engine,
+                            &self.meta,
+                            vclass,
+                            victim,
+                            &mut self.report,
+                        );
                     }
                 }
                 // Degradation reacts to the *batch*, not each event: the
                 // controller sees the post-batch pool once, and the timeline
                 // records one point per change.
-                let effective = engine.effective_slots();
-                if effective != last_effective {
-                    last_effective = effective;
-                    report.capacity_timeline.push((next_t.as_secs(), effective));
+                let effective = self.engine.effective_slots();
+                if effective != self.last_effective {
+                    self.last_effective = effective;
+                    self.report
+                        .capacity_timeline
+                        .push((next_t.as_secs(), effective));
                     if let Some(d) = &self.degrade {
-                        self.thetas = Some(d.thetas_for(total_slots, effective));
+                        self.thetas = Some(d.thetas_for(self.total_slots, effective));
                     }
                 }
             } else {
-                // Arrival: hand it straight to the engine's scheduler.
-                let instance = next_arrival.take().expect("candidate implies presence");
-                next_arrival = self.source.next_job();
+                // Arrival: hand it straight to the engine's scheduler. The
+                // hook observes the pre-submission state — this is the
+                // checkpoint boundary branch re-execution resumes at.
+                hook.on_arrival(self);
+                let instance = self
+                    .next_arrival
+                    .take()
+                    .expect("candidate implies presence");
+                self.next_arrival = self.source.next_job();
                 let class = instance.class();
-                assert!(class < classes, "job class out of range");
+                assert!(class < self.classes, "job class out of range");
                 let drops = drops_for(&instance, self.thetas.as_deref());
-                engine.idle_until(next_t);
-                let submission = engine.submit_job(&instance, &drops)?;
-                meta.insert(
+                self.engine.idle_until(next_t);
+                let submission = self.engine.submit_job(&instance, &drops)?;
+                self.meta.insert(
                     instance.spec.id,
                     JobMeta {
                         class,
                         arrival_secs: instance.arrival_secs,
-                        seq: arrival_seq,
+                        seq: self.arrival_seq,
                         evictions: 0,
                         failure_evictions: 0,
                         attempt: 0,
@@ -657,7 +1079,7 @@ impl<S: JobSource> MultiJobExperiment<S> {
                         width: 0,
                     },
                 );
-                arrival_seq += 1;
+                self.arrival_seq += 1;
                 // A preempting scheduler reports destroyed work whether or
                 // not the arrival was ultimately placed.
                 let evicted = match submission {
@@ -667,28 +1089,37 @@ impl<S: JobSource> MultiJobExperiment<S> {
                     Submission::Dispatched { .. } => Vec::new(),
                 };
                 for (victim, lost) in evicted {
-                    report.evictions += 1;
-                    report.wasted_work_secs += lost.work_secs;
-                    if let Some(s) = sprinter.as_mut() {
+                    self.report.evictions += 1;
+                    self.report.wasted_work_secs += lost.work_secs;
+                    if let Some(s) = self.sprinter.as_mut() {
                         // A sprinting victim stops draining the budget; its
                         // timer dies with the attempt (stale-attempt check).
                         s.stop(next_t, victim);
                     }
-                    if let Some(vm) = meta.get_mut(&victim) {
+                    if let Some(vm) = self.meta.get_mut(&victim) {
                         vm.evictions += 1;
                     }
                     // The evicted attempt's energy ledger retired with
                     // the eviction; attribute it now.
-                    let vclass = meta.get(&victim).map_or(0, |vm| vm.class);
-                    harvest_energy(&mut engine, &meta, vclass, victim, &mut report);
+                    let vclass = self.meta.get(&victim).map_or(0, |vm| vm.class);
+                    harvest_energy(
+                        &mut self.engine,
+                        &self.meta,
+                        vclass,
+                        victim,
+                        &mut self.report,
+                    );
                 }
             }
 
             // Drain the engine's dispatch log: every placement (arrival,
             // backfill, eviction re-dispatch) stamps the attempt and arms its
             // sprint timer.
-            for d in engine.take_dispatched() {
-                let m = meta.get_mut(&d.job).expect("dispatched job was submitted");
+            for d in self.engine.take_dispatched() {
+                let m = self
+                    .meta
+                    .get_mut(&d.job)
+                    .expect("dispatched job was submitted");
                 m.attempt += 1;
                 let secs = d.time.as_secs();
                 if m.first_dispatch.is_none() {
@@ -696,9 +1127,9 @@ impl<S: JobSource> MultiJobExperiment<S> {
                 }
                 m.last_dispatch = secs;
                 m.width = d.slots.count;
-                if let Some(s) = sprinter.as_ref() {
+                if let Some(s) = self.sprinter.as_ref() {
                     if let Some(timeout) = s.timeout_for(m.class) {
-                        timers.push(SprintTimer {
+                        self.timers.push(SprintTimer {
                             at: d.time + timeout,
                             job: d.job,
                             attempt: m.attempt,
@@ -707,7 +1138,12 @@ impl<S: JobSource> MultiJobExperiment<S> {
                 }
             }
         }
+        Ok(())
+    }
 
+    /// Closes the books: in-flight energy attribution, horizon, utilization
+    /// and sprint-budget totals.
+    fn finalize(mut self) -> MultiJobReport {
         // Jobs still running when the measured window closes have accrued
         // active energy the cluster total includes; attribute their in-flight
         // ledgers so the per-class split stays lossless: idle + Σ per-class
@@ -715,35 +1151,35 @@ impl<S: JobSource> MultiJobExperiment<S> {
         // drained at eviction time, so `job_energy` is None for them here.)
         // Summation order is arrival order — a HashMap walk would randomize
         // float rounding across identically seeded runs.
-        let mut leftover: Vec<(&JobId, &JobMeta)> = meta.iter().collect();
+        let mut leftover: Vec<(&JobId, &JobMeta)> = self.meta.iter().collect();
         leftover.sort_by_key(|(_, m)| m.seq);
         for (job, m) in leftover {
-            if let Some(energy) = engine.job_energy(*job) {
-                let stats = &mut report.per_class[m.class];
+            if let Some(energy) = self.engine.job_energy(*job) {
+                let stats = &mut self.report.per_class[m.class];
                 stats.active_energy_joules += energy.active_joules;
                 stats.busy_slot_secs += energy.busy_slot_secs;
                 stats.sprint_slot_secs += energy.sprint_slot_secs;
-                report.busy_slot_secs += energy.busy_slot_secs;
+                self.report.busy_slot_secs += energy.busy_slot_secs;
             }
         }
 
-        let horizon = engine.now().as_secs();
-        report.horizon_secs = horizon;
-        report.energy_joules = engine.energy_joules();
-        report.idle_energy_joules = self.cluster.cluster_power_w(0, FreqLevel::Base) * horizon;
-        if let Some(s) = sprinter.as_mut() {
-            s.advance_to(engine.now());
-            report.sprint_budget_spent_j = s.spent_j();
-            report.sprint_budget_replenished_j = s.replenished_j();
-            report.sprint_budget_remaining_j = s.budget_j();
+        let horizon = self.engine.now().as_secs();
+        self.report.horizon_secs = horizon;
+        self.report.energy_joules = self.engine.energy_joules();
+        self.report.idle_energy_joules = self.cluster.cluster_power_w(0, FreqLevel::Base) * horizon;
+        if let Some(s) = self.sprinter.as_mut() {
+            s.advance_to(self.engine.now());
+            self.report.sprint_budget_spent_j = s.spent_j();
+            self.report.sprint_budget_replenished_j = s.replenished_j();
+            self.report.sprint_budget_remaining_j = s.budget_j();
         }
         let capacity = horizon * self.cluster.slots() as f64;
-        report.utilization = if capacity > 0.0 {
-            (report.busy_slot_secs / capacity).min(1.0)
+        self.report.utilization = if capacity > 0.0 {
+            (self.report.busy_slot_secs / capacity).min(1.0)
         } else {
             0.0
         };
-        Ok(report)
+        self.report
     }
 }
 

@@ -432,6 +432,132 @@ where
     collect_grid(cells, points, replicas)
 }
 
+/// Work-avoidance accounting of one [`run_multi_experiments_branch`] sweep:
+/// how much of the grid was served by suffix replay instead of simulated
+/// from scratch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BranchStats {
+    /// Grid cells (point ≥ 1 × replica) evaluated as suffix replays.
+    pub suffix_cells: usize,
+    /// Engine events the suffix replays skipped re-simulating (Σ over cells
+    /// of the restored checkpoint's event count).
+    pub events_skipped: u64,
+    /// Engine events a full replay of those cells would have processed
+    /// (Σ over cells of the reference run's event total).
+    pub events_full: u64,
+    /// Arrivals the suffix replays resumed past (Σ of restored checkpoint
+    /// arrival indices).
+    pub arrivals_skipped: usize,
+    /// Arrivals a full replay of those cells would have submitted.
+    pub arrivals_total: usize,
+}
+
+impl BranchStats {
+    /// Fraction of the non-reference grid's engine events skipped by
+    /// branching (0 when branching never engaged).
+    #[must_use]
+    pub fn skip_fraction(&self) -> f64 {
+        if self.events_full == 0 {
+            0.0
+        } else {
+            self.events_skipped as f64 / self.events_full as f64
+        }
+    }
+}
+
+/// Checkpoint-and-branch mode of [`run_multi_experiments_differential`] for
+/// **theta-only** sweeps: point 0 runs in full once per replica, recording a
+/// [`MultiRunTrace`](crate::MultiRunTrace) (a resume checkpoint every `stride` arrivals plus
+/// per-arrival drop signatures); every other point restores the latest
+/// checkpoint at or before its divergence index — the first arrival its drop
+/// vector deflates differently from the reference — and replays only the
+/// suffix.
+///
+/// `make(replica)` builds the replica's **base** experiment *without* a drop
+/// vector; the runner applies `point_thetas[p]` itself, so the
+/// identical-except-thetas contract that makes prefix sharing sound holds by
+/// construction. The reports are bit-identical to
+/// [`run_multi_experiments_differential`] over the same grid (the branch
+/// property suite asserts `==` on the grids).
+///
+/// Configurations that are not [`MultiJobExperiment::branchable`]
+/// (degradation or SLO scoring) conservatively fall back to full replay for
+/// every cell, reported as a default [`BranchStats`].
+///
+/// # Errors
+///
+/// Propagates the first [`ExperimentError`] any cell reports (reference
+/// replicas first, then suffix cells in grid order).
+///
+/// # Panics
+///
+/// Panics if `point_thetas` is empty or `stride` is zero.
+pub fn run_multi_experiments_branch<S, F>(
+    point_thetas: &[Vec<f64>],
+    replicas: usize,
+    threads: usize,
+    stride: usize,
+    make: F,
+) -> Result<(DifferentialReport<MultiJobReport>, BranchStats), ExperimentError>
+where
+    S: JobSource + Clone + Send + Sync,
+    F: Fn(usize) -> MultiJobExperiment<S> + Sync,
+{
+    assert!(
+        !point_thetas.is_empty(),
+        "a branch sweep needs a reference point"
+    );
+    assert!(stride > 0, "checkpoint stride must be positive");
+    let points = point_thetas.len();
+    if !make(0).drops(&point_thetas[0]).branchable() {
+        let report = run_multi_experiments_differential(points, replicas, threads, |p, r| {
+            make(r).drops(&point_thetas[p])
+        })?;
+        return Ok((report, BranchStats::default()));
+    }
+
+    // Phase A: the reference point in full, once per replica, recording the
+    // branchable trace.
+    let refs = {
+        let cells = run_parallel((0..replicas).collect(), threads, |_, r| {
+            make(r).drops(&point_thetas[0]).run_recording(stride)
+        });
+        let mut refs = Vec::with_capacity(replicas);
+        for cell in cells {
+            refs.push(cell?);
+        }
+        refs
+    };
+
+    // Phase B: every other cell resumes its replica's trace at the latest
+    // checkpoint before divergence.
+    let grid: Vec<(usize, usize)> = (1..points)
+        .flat_map(|p| (0..replicas).map(move |r| (p, r)))
+        .collect();
+    let mut stats = BranchStats::default();
+    for &(p, r) in &grid {
+        let trace = &refs[r].1;
+        let divergence = trace.divergence_index(Some(&point_thetas[p]));
+        let (arrivals, events) = trace.resume_point(divergence).unwrap_or((0, 0));
+        stats.suffix_cells += 1;
+        stats.events_skipped += events;
+        stats.events_full += trace.events_total();
+        stats.arrivals_skipped += arrivals;
+        stats.arrivals_total += trace.arrivals();
+    }
+    let cells = run_parallel(grid, threads, |_, (p, r)| {
+        make(r).drops(&point_thetas[p]).run_from(&refs[r].1)
+    });
+
+    let mut rows: Vec<Vec<MultiJobReport>> =
+        (0..points).map(|_| Vec::with_capacity(replicas)).collect();
+    rows[0] = refs.into_iter().map(|(report, _)| report).collect();
+    for (i, cell) in cells.into_iter().enumerate() {
+        rows[1 + i / replicas].push(cell?);
+    }
+    Ok((DifferentialReport { reports: rows }, stats))
+}
+
 /// Reassembles a flat `points × replicas` cell vector (grid order) into rows,
 /// propagating the first error.
 fn collect_grid<R>(

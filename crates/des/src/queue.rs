@@ -67,7 +67,7 @@ impl Entry {
 /// Slot `pos` value marking a handle whose event is no longer queued.
 const VACANT: u32 = u32::MAX;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Slot<E> {
     /// Index of the slot's entry in the heap, or [`VACANT`].
     pos: u32,
@@ -100,7 +100,7 @@ struct Slot<E> {
 /// assert_eq!(q.pop(), Some((SimTime::from_secs(1.0), "early")));
 /// assert_eq!(q.pop(), None);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     heap: Vec<Entry>,
     slots: Vec<Slot<E>>,
@@ -135,6 +135,35 @@ impl<E> EventQueue<E> {
             free: Vec::new(),
             next_seq: 0,
         }
+    }
+
+    /// An owned deep copy of the calendar — the branch primitive for
+    /// checkpoint/restore simulation.
+    ///
+    /// The heap slab, parked payloads, handle table (slot positions *and*
+    /// generations) and the FIFO sequence counter are all copied verbatim, so
+    /// every [`EventHandle`] issued by this queue stays valid in the snapshot
+    /// and resolves to the same event. From here on the two queues evolve
+    /// independently; identical operation sequences produce bit-identical pop
+    /// streams.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dias_des::{EventQueue, SimTime};
+    ///
+    /// let mut q = EventQueue::new();
+    /// let h = q.push(SimTime::from_secs(2.0), "task");
+    /// let mut branch = q.snapshot();
+    /// assert!(branch.cancel(h)); // pre-snapshot handles work in the branch
+    /// assert!(q.cancel(h)); // ...without disturbing the original
+    /// ```
+    #[must_use]
+    pub fn snapshot(&self) -> Self
+    where
+        E: Clone,
+    {
+        self.clone()
     }
 
     /// Schedules `payload` to fire at `time` and returns a handle for later
@@ -525,6 +554,53 @@ mod tests {
         assert_eq!((t, h, payload), (SimTime::from_secs(1.0), h2, "a"));
         let (_, h, _) = q.pop_with_handle().unwrap();
         assert_eq!(h, h1);
+    }
+
+    #[test]
+    fn snapshot_pops_bit_identically_and_keeps_handles_valid() {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = (0..50)
+            .map(|i| q.push(SimTime::from_secs(f64::from((i * 13) % 20)), i))
+            .collect();
+        // Fire the three time-0 events and cancel a few others so the
+        // snapshot sees reused slots and a non-trivial free list.
+        q.pop();
+        q.pop();
+        q.pop();
+        q.cancel(handles[10]);
+        q.cancel(handles[11]);
+        q.push(SimTime::from_secs(0.5), 99);
+
+        let mut branch = q.snapshot();
+        // Pre-snapshot handles resolve to the same events in the branch...
+        assert!(branch.reschedule(handles[3], SimTime::from_secs(0.25)));
+        assert_eq!(branch.pop(), Some((SimTime::from_secs(0.25), 3)));
+        // ...stale handles stay stale (generations were preserved)...
+        assert!(!branch.cancel(handles[10]));
+        // ...and the original is untouched by branch operations.
+        assert!(q.cancel(handles[3]));
+
+        // With the one divergent event removed from both, the remaining pop
+        // streams are bit-identical, including FIFO tie order.
+        let a: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        let b: Vec<_> = std::iter::from_fn(|| branch.pop()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snapshot_and_original_diverge_independently() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1.0), "shared");
+        let mut branch = q.snapshot();
+        // New pushes after the snapshot get distinct slots per queue; FIFO
+        // sequence numbers continue from the same counter in both.
+        let hq = q.push(SimTime::from_secs(1.0), "orig");
+        let hb = branch.push(SimTime::from_secs(1.0), "branch");
+        assert_eq!(hq, hb, "branched counters start identical");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("shared"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("orig"));
+        assert_eq!(branch.pop().map(|(_, e)| e), Some("shared"));
+        assert_eq!(branch.pop().map(|(_, e)| e), Some("branch"));
     }
 
     #[test]

@@ -247,6 +247,18 @@ impl FaultTrace {
         self.events.len()
     }
 
+    /// The fault cursor at time `secs`: the index of the first event firing
+    /// at or after that timestamp.
+    ///
+    /// This is the cursor a checkpointing driver stores alongside its engine
+    /// [`Checkpoint`](crate::Checkpoint) — a branch that resumes a run at
+    /// `secs` picks up the trace at exactly this index, so the replayed fault
+    /// schedule is bit-identical to an uninterrupted run's.
+    #[must_use]
+    pub fn index_at(&self, secs: f64) -> usize {
+        self.events.partition_point(|e| e.at_secs < secs)
+    }
+
     /// Whether the schedule is empty (engine behaviour is then bit-identical
     /// to a cluster without fault injection).
     #[must_use]
@@ -284,6 +296,28 @@ mod tests {
         assert_eq!(trace.len(), 3);
         assert!(!trace.is_empty());
         assert!(FaultTrace::empty().is_empty());
+    }
+
+    #[test]
+    fn index_at_is_the_resume_cursor() {
+        let trace = FaultTrace::new(
+            [2.0, 2.0, 5.0, 9.0]
+                .iter()
+                .enumerate()
+                .map(|(slot, &at_secs)| FaultEvent {
+                    at_secs,
+                    slot,
+                    kind: FaultKind::Fail,
+                })
+                .collect(),
+        )
+        .unwrap();
+        assert_eq!(trace.index_at(0.0), 0);
+        assert_eq!(trace.index_at(2.0), 0, "events at the timestamp replay");
+        assert_eq!(trace.index_at(2.5), 2);
+        assert_eq!(trace.index_at(5.0), 2);
+        assert_eq!(trace.index_at(100.0), 4);
+        assert_eq!(FaultTrace::empty().index_at(3.0), 0);
     }
 
     #[test]

@@ -118,6 +118,6 @@ pub use sched::{
     Fifo, GangBinPack, PendingView, PriorityPreempt, RunningView, Scheduler, SlotRange,
 };
 pub use sim::{
-    ClusterSim, DispatchRecord, EngineError, EngineEvent, EvictedWork, JobRunMetrics, Submission,
-    BLOCKED_SLOT_CLASS, BLOCKED_SLOT_JOB,
+    Checkpoint, ClusterSim, DispatchRecord, EngineError, EngineEvent, EvictedWork, JobRunMetrics,
+    Submission, BLOCKED_SLOT_CLASS, BLOCKED_SLOT_JOB,
 };

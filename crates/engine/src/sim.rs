@@ -222,12 +222,12 @@ struct JobWork {
     tasks_dropped: usize,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Pending {
     work: JobWork,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Run {
     work: JobWork,
     slots: SlotRange,
@@ -310,6 +310,51 @@ struct SlotState {
     health: SlotHealth,
     /// Straggler factor (≥ 1.0; 1.0 = full speed).
     slow: f64,
+}
+
+/// A bitwise-exact snapshot of a [`ClusterSim`]'s mutable state, captured by
+/// [`ClusterSim::checkpoint`] and reinstated by [`ClusterSim::restore`] (or
+/// branched into a fresh sim by [`ClusterSim::branch`]).
+///
+/// A checkpoint owns everything that evolves during a run: the wall clock,
+/// the default frequency level, the event calendar (a deep
+/// [`EventQueue::snapshot`] with handle generations preserved, so the
+/// calendar handles stored in the run table stay valid), the run and pending
+/// tables, the per-job energy ledgers, the undrained dispatch log, and the
+/// per-slot fault state (health, straggler factors, and the derived
+/// unavailable/straggler counters — the fault *cursor* of a driver-level
+/// fault trace lives with the driver, which snapshots it alongside). It does
+/// **not** capture the cluster spec or the scheduler: both are fixed at
+/// construction and the shipped schedulers are stateless.
+///
+/// Checkpoints are plain owned data — `Clone`, `Send` and `Sync` — so one
+/// reference run can fan out to many concurrent branches.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    time: SimTime,
+    freq: FreqLevel,
+    queue: EventQueue<Internal>,
+    runs: Vec<Run>,
+    pending: VecDeque<Pending>,
+    meter: EnergyMeter,
+    dispatched: Vec<DispatchRecord>,
+    slot_states: Vec<SlotState>,
+    unavailable: usize,
+    stragglers: usize,
+}
+
+impl Checkpoint {
+    /// The simulated time the checkpoint was taken at.
+    #[must_use]
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// Number of events pending in the captured calendar.
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
 }
 
 /// Priority class of the phantom "blocked" views fault injection inserts for
@@ -487,6 +532,81 @@ impl ClusterSim {
     /// log pay one `Vec` push per dispatch.
     pub fn take_dispatched(&mut self) -> Vec<DispatchRecord> {
         std::mem::take(&mut self.dispatched)
+    }
+
+    /// Captures the simulation's complete mutable state as an owned
+    /// [`Checkpoint`].
+    ///
+    /// The snapshot owns the event calendar (handle generations preserved —
+    /// see [`EventQueue::snapshot`] — so the calendar handles inside the run
+    /// table stay valid), the run and pending tables, the per-job energy
+    /// ledgers, the undrained dispatch log, per-slot fault state and the
+    /// per-gang frequency domains. Restoring it into a sim built with the
+    /// same spec and scheduler is bitwise-exact: the branch's event stream,
+    /// dispatch log and energy books replay identically to an uninterrupted
+    /// run.
+    #[must_use]
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            time: self.time,
+            freq: self.freq,
+            queue: self.queue.snapshot(),
+            runs: self.runs.clone(),
+            pending: self.pending.clone(),
+            meter: self.meter.clone(),
+            dispatched: self.dispatched.clone(),
+            slot_states: self.slot_states.clone(),
+            unavailable: self.unavailable,
+            stragglers: self.stragglers,
+        }
+    }
+
+    /// Reinstates a state captured by [`ClusterSim::checkpoint`], overwriting
+    /// every mutable field (the clock may move backwards).
+    ///
+    /// The checkpoint must come from a sim with the *same* cluster spec; the
+    /// scheduler is not part of the snapshot — all shipped schedulers are
+    /// stateless ([`Fifo`], [`crate::GangBinPack`],
+    /// [`crate::PriorityPreempt`]), so any policy-compatible sim restores
+    /// exactly. Restoring under a stateful custom scheduler, or into a sim
+    /// with a different spec, is a logic error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's slot count does not match this sim's spec.
+    pub fn restore(&mut self, cp: &Checkpoint) {
+        assert_eq!(
+            cp.slot_states.len(),
+            self.spec.slots(),
+            "checkpoint is from a cluster with a different slot count"
+        );
+        self.time = cp.time;
+        self.freq = cp.freq;
+        self.queue = cp.queue.snapshot();
+        self.runs = cp.runs.clone();
+        self.pending = cp.pending.clone();
+        self.meter = cp.meter.clone();
+        self.dispatched = cp.dispatched.clone();
+        self.slot_states = cp.slot_states.clone();
+        self.unavailable = cp.unavailable;
+        self.stragglers = cp.stragglers;
+    }
+
+    /// A new independent simulation branched from this one's current state:
+    /// shorthand for building a sim with the same spec and `scheduler`, then
+    /// restoring [`ClusterSim::checkpoint`] into it.
+    ///
+    /// `scheduler` must be the same (stateless) policy this sim runs — see
+    /// [`ClusterSim::restore`] for the determinism rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidSpec`] when the spec fails validation
+    /// (it cannot in practice: this sim was built from the same spec).
+    pub fn branch(&self, scheduler: Box<dyn Scheduler>) -> Result<ClusterSim, EngineError> {
+        let mut sim = ClusterSim::with_scheduler(self.spec.clone(), scheduler)?;
+        sim.restore(&self.checkpoint());
+        Ok(sim)
     }
 
     /// Validates `drops` against `instance` and prepares the post-drop work.

@@ -22,7 +22,7 @@ use proptest::prelude::*;
 
 use dias_des::SimTime;
 use dias_engine::{
-    ClusterSim, ClusterSpec, FreqLevel, GangBinPack, JobInstance, JobSpec, PowerModel,
+    ClusterSim, ClusterSpec, EngineEvent, FreqLevel, GangBinPack, JobInstance, JobSpec, PowerModel,
     PriorityPreempt, Scheduler, SlotHealth, StageKind, StageSpec,
 };
 use dias_stochastic::Dist;
@@ -239,6 +239,91 @@ fn assert_exact_split(sim: &ClusterSim) -> Result<(), String> {
     Ok(())
 }
 
+/// The arrival loop of [`drive_with_faults`] without the final drain:
+/// returns the mid-flight simulator, its step counter and the fault cursor —
+/// the index into `faults` a checkpointing driver stores (cf.
+/// [`dias_engine::FaultTrace::index_at`]).
+fn drive_to_final_drain(
+    jobs: &[GenJob],
+    faults: &[FaultAction],
+    scheduler: Box<dyn Scheduler>,
+    cadence: usize,
+) -> (ClusterSim, usize, usize) {
+    let mut sim = ClusterSim::with_scheduler(dyadic_cluster(), scheduler).unwrap();
+    let mut fi = 0usize;
+    let mut arrival = 0.0f64;
+    let mut steps = 0usize;
+    for (id, job) in jobs.iter().enumerate() {
+        arrival += f64::from(job.gap_eighths) / 8.0;
+        while let Some(t) = sim.next_event_time() {
+            if t.as_secs() > arrival {
+                break;
+            }
+            sim.advance().expect("running events");
+            steps += 1;
+            if cadence > 0 && steps.is_multiple_of(cadence) {
+                if let Some(f) = faults.get(fi) {
+                    fi += 1;
+                    apply(&mut sim, *f);
+                }
+            }
+        }
+        sim.idle_until(SimTime::from_secs(arrival));
+        let inst = instance_of(id as u64, job);
+        sim.submit_job(&inst, &vec![0.0; job.stages.len()])
+            .expect("valid submission");
+        steps += 1;
+        if cadence > 0 && steps.is_multiple_of(cadence) {
+            if let Some(f) = faults.get(fi) {
+                fi += 1;
+                apply(&mut sim, *f);
+            }
+        }
+    }
+    (sim, steps, fi)
+}
+
+/// Drains the simulator to idle (or `stop_after` events), recording every
+/// `(time, event)` pair while replaying the fault schedule from cursor `fi`
+/// — the full-repair unblock path included. The recorded stream is the
+/// replay oracle.
+fn drain_recording(
+    sim: &mut ClusterSim,
+    mut steps: usize,
+    faults: &[FaultAction],
+    mut fi: usize,
+    cadence: usize,
+    stop_after: Option<usize>,
+) -> Vec<(f64, EngineEvent)> {
+    let mut stream = Vec::new();
+    while !sim.is_idle() {
+        if stop_after.is_some_and(|k| stream.len() >= k) {
+            break;
+        }
+        if sim.next_event_time().is_none() {
+            // Dead/draining slots starve the pending queue: repair the whole
+            // cluster (the autoscale-up path) so every victim re-dispatches.
+            for slot in 0..SLOTS {
+                sim.repair_slot(slot).expect("valid slot");
+            }
+            if sim.is_idle() {
+                break;
+            }
+            continue;
+        }
+        let ev = sim.advance().expect("pending events while jobs run");
+        steps += 1;
+        stream.push((sim.now().as_secs(), ev));
+        if cadence > 0 && steps.is_multiple_of(cadence) {
+            if let Some(f) = faults.get(fi) {
+                fi += 1;
+                apply(sim, *f);
+            }
+        }
+    }
+    stream
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -280,5 +365,44 @@ proptest! {
         let sim = drive_with_faults(&jobs, &faults, Box::new(GangBinPack), cadence)?;
         assert_exact_split(&sim)?;
         prop_assert_eq!(sim.meter().finished_jobs().len(), jobs.len());
+    }
+
+    #[test]
+    fn checkpoint_restore_readvances_bit_identically_under_faults(
+        jobs in prop::collection::vec(arb_job(), 2..=6),
+        faults in prop::collection::vec(arb_fault(), 0..=24),
+        cadence in 1usize..=4,
+        k in 0usize..=48,
+        preempt in any::<bool>(),
+    ) {
+        // PR 8 checkpoint pin, fault edition: the checkpoint captures slot
+        // health, straggler slowdowns and the blocked-capacity bookkeeping;
+        // the test driver stores the fault cursor beside it. Snapshot
+        // mid-flight, advance k events (replaying faults from the cursor),
+        // restore, re-advance — the replay must reproduce the reference
+        // stream, clock and dyadic energy books float for float.
+        let scheduler: Box<dyn Scheduler> = if preempt {
+            Box::new(PriorityPreempt)
+        } else {
+            Box::new(GangBinPack)
+        };
+        let (mut sim, steps, fi) = drive_to_final_drain(&jobs, &faults, scheduler, cadence);
+        let cp = sim.checkpoint();
+        let reference = drain_recording(&mut sim, steps, &faults, fi, cadence, None);
+        let now_ref = sim.now();
+        let energy_ref = sim.energy_joules();
+        let meter_ref = sim.meter().clone();
+
+        sim.restore(&cp);
+        drain_recording(&mut sim, steps, &faults, fi, cadence, Some(k));
+        sim.restore(&cp);
+        let replay = drain_recording(&mut sim, steps, &faults, fi, cadence, None);
+        prop_assert_eq!(replay, reference);
+        prop_assert_eq!(sim.now(), now_ref);
+        prop_assert_eq!(sim.energy_joules(), energy_ref);
+        prop_assert!(
+            sim.meter() == &meter_ref,
+            "per-job energy books diverged after restore"
+        );
     }
 }

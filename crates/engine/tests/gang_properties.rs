@@ -25,7 +25,7 @@ use proptest::prelude::*;
 
 use dias_des::SimTime;
 use dias_engine::{
-    ClusterSim, ClusterSpec, FreqLevel, GangBinPack, JobInstance, JobSpec, PowerModel,
+    ClusterSim, ClusterSpec, EngineEvent, FreqLevel, GangBinPack, JobInstance, JobSpec, PowerModel,
     PriorityPreempt, Scheduler, StageKind, StageSpec,
 };
 use dias_stochastic::Dist;
@@ -125,6 +125,34 @@ enum Toggle {
     PerJob,
 }
 
+/// Applies one deterministic frequency toggle: a pure function of the event
+/// counter and the simulator state, so replays flip identically.
+fn flip(sim: &mut ClusterSim, toggle: Toggle, events: usize) {
+    match toggle {
+        Toggle::Global => {
+            let next = if sim.frequency() == FreqLevel::Base {
+                FreqLevel::Sprint
+            } else {
+                FreqLevel::Base
+            };
+            sim.set_frequency(next);
+        }
+        Toggle::PerJob => {
+            let running = sim.running_jobs();
+            if running.is_empty() {
+                return;
+            }
+            let job = running[events % running.len()];
+            let next = match sim.job_frequency(job) {
+                Some(FreqLevel::Base) => FreqLevel::Sprint,
+                _ => FreqLevel::Base,
+            };
+            sim.set_job_frequency(job, next)
+                .expect("toggled job is running");
+        }
+    }
+}
+
 /// Drives `jobs` through a scheduler, checking disjointness at every state
 /// change and toggling frequencies at (dyadic) event times; returns the
 /// driven simulator after all jobs completed.
@@ -137,31 +165,6 @@ fn drive(
     let mut sim = ClusterSim::with_scheduler(dyadic_cluster(), scheduler).unwrap();
     let mut arrival = 0.0f64;
     let mut events = 0usize;
-    fn flip(sim: &mut ClusterSim, toggle: Toggle, events: usize) {
-        match toggle {
-            Toggle::Global => {
-                let next = if sim.frequency() == FreqLevel::Base {
-                    FreqLevel::Sprint
-                } else {
-                    FreqLevel::Base
-                };
-                sim.set_frequency(next);
-            }
-            Toggle::PerJob => {
-                let running = sim.running_jobs();
-                if running.is_empty() {
-                    return;
-                }
-                let job = running[events % running.len()];
-                let next = match sim.job_frequency(job) {
-                    Some(FreqLevel::Base) => FreqLevel::Sprint,
-                    _ => FreqLevel::Base,
-                };
-                sim.set_job_frequency(job, next)
-                    .expect("toggled job is running");
-            }
-        }
-    }
     for (id, job) in jobs.iter().enumerate() {
         arrival += f64::from(job.gap_eighths) / 8.0;
         // Process engine events that precede the arrival.
@@ -207,6 +210,63 @@ fn assert_exact_split(sim: &ClusterSim) -> Result<(), String> {
     // identity holds with `==`, not within an epsilon.
     prop_assert_eq!(sim.energy_joules(), idle + attributed);
     Ok(())
+}
+
+/// The arrival loop of [`drive`] without the final drain: returns the
+/// mid-flight simulator (jobs running, pending, possibly mid-sprint) and its
+/// event counter — the state the checkpoint property snapshots.
+fn drive_to_final_drain(
+    jobs: &[GenJob],
+    scheduler: Box<dyn Scheduler>,
+    toggle_every: usize,
+    toggle: Toggle,
+) -> (ClusterSim, usize) {
+    let mut sim = ClusterSim::with_scheduler(dyadic_cluster(), scheduler).unwrap();
+    let mut arrival = 0.0f64;
+    let mut events = 0usize;
+    for (id, job) in jobs.iter().enumerate() {
+        arrival += f64::from(job.gap_eighths) / 8.0;
+        while let Some(t) = sim.next_event_time() {
+            if t.as_secs() > arrival {
+                break;
+            }
+            sim.advance().expect("running events");
+            events += 1;
+            if toggle_every > 0 && events.is_multiple_of(toggle_every) {
+                flip(&mut sim, toggle, events);
+            }
+        }
+        sim.idle_until(SimTime::from_secs(arrival));
+        let inst = instance_of(id as u64, job);
+        sim.submit_job(&inst, &vec![0.0; job.stages.len()])
+            .expect("valid submission");
+    }
+    (sim, events)
+}
+
+/// Drains the simulator to idle (or `stop_after` events), recording every
+/// `(time, event)` pair and applying the deterministic toggles; the recorded
+/// stream is the replay oracle.
+fn drain_recording(
+    sim: &mut ClusterSim,
+    mut events: usize,
+    toggle_every: usize,
+    toggle: Toggle,
+    stop_after: Option<usize>,
+) -> Vec<(f64, EngineEvent)> {
+    let mut stream = Vec::new();
+    while !sim.is_idle() {
+        if stop_after.is_some_and(|k| stream.len() >= k) {
+            break;
+        }
+        let ev = sim.advance().expect("pending events while jobs run");
+        events += 1;
+        stream.push((sim.now().as_secs(), ev));
+        if toggle_every > 0 && events.is_multiple_of(toggle_every) {
+            flip(sim, toggle, events);
+        }
+    }
+    stream
 }
 
 proptest! {
@@ -273,5 +333,43 @@ proptest! {
         // while its base-frequency neighbours keep accruing at theirs.
         let sim = drive(&jobs, Box::new(PriorityPreempt), toggle, Toggle::PerJob)?;
         assert_exact_split(&sim)?;
+    }
+
+    #[test]
+    fn checkpoint_restore_readvances_bit_identically(
+        jobs in prop::collection::vec(arb_job(), 2..=8),
+        toggle in 1usize..=4,
+        k in 0usize..=48,
+        preempt in any::<bool>(),
+    ) {
+        // PR 8 checkpoint pin: snapshot a mid-flight simulator (concurrent
+        // gangs, heterogeneous sprint domains, preemption victims pending),
+        // advance an arbitrary k events, restore, and re-advance — the replay
+        // must reproduce the reference event stream, clock and dyadic energy
+        // books float for float.
+        let scheduler: Box<dyn Scheduler> = if preempt {
+            Box::new(PriorityPreempt)
+        } else {
+            Box::new(GangBinPack)
+        };
+        let (mut sim, events_at_cp) =
+            drive_to_final_drain(&jobs, scheduler, toggle, Toggle::PerJob);
+        let cp = sim.checkpoint();
+        let reference = drain_recording(&mut sim, events_at_cp, toggle, Toggle::PerJob, None);
+        let now_ref = sim.now();
+        let energy_ref = sim.energy_joules();
+        let meter_ref = sim.meter().clone();
+
+        sim.restore(&cp);
+        drain_recording(&mut sim, events_at_cp, toggle, Toggle::PerJob, Some(k));
+        sim.restore(&cp);
+        let replay = drain_recording(&mut sim, events_at_cp, toggle, Toggle::PerJob, None);
+        prop_assert_eq!(replay, reference);
+        prop_assert_eq!(sim.now(), now_ref);
+        prop_assert_eq!(sim.energy_joules(), energy_ref);
+        prop_assert!(
+            sim.meter() == &meter_ref,
+            "per-job energy books diverged after restore"
+        );
     }
 }

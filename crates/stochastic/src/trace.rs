@@ -97,9 +97,32 @@ impl DrawTrace {
     /// A fresh replay of the stream from its beginning.
     #[must_use]
     pub fn replay(&self) -> ReplayRng {
+        self.replay_from(0)
+    }
+
+    /// A replay resuming mid-stream at word `offset` — the offset-cursor
+    /// primitive checkpoint-and-branch re-execution uses: a branched run
+    /// whose prefix consumed `offset` words continues with exactly the words
+    /// the live stream would have produced next, recorded prefix and tail
+    /// alike.
+    ///
+    /// The tail state is only ever consumed after the *whole* recorded
+    /// prefix, so a resume at any `offset ≤ len` is bit-identical to a
+    /// from-zero replay advanced by `offset` draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` exceeds the recorded length.
+    #[must_use]
+    pub fn replay_from(&self, offset: usize) -> ReplayRng {
+        assert!(
+            offset <= self.words.len(),
+            "offset {offset} past the {}-word recording",
+            self.words.len()
+        );
         ReplayRng {
             words: Arc::clone(&self.words),
-            pos: 0,
+            pos: offset,
             tail: self.tail.clone(),
         }
     }
@@ -121,6 +144,17 @@ impl ReplayRng {
     #[must_use]
     pub fn remaining(&self) -> usize {
         self.words.len() - self.pos
+    }
+
+    /// The replay cursor: words consumed so far (recorded prefix only — once
+    /// past the recording the cursor stays at the recorded length).
+    ///
+    /// A driver that checkpoints mid-run stores this offset; resuming with
+    /// [`DrawTrace::replay_from`] at the stored offset reproduces the
+    /// remaining stream bit for bit.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
     }
 }
 
@@ -171,6 +205,37 @@ mod tests {
         let mut b = trace.replay();
         let b_stream: Vec<u64> = (0..25).map(|_| b.next_u64()).collect();
         assert_eq!(a_stream, b_stream);
+    }
+
+    #[test]
+    fn replay_from_matches_live_stream_at_arbitrary_offsets() {
+        let mut live = StdRng::seed_from_u64(41);
+        let mut recorder = RecordingRng::new(StdRng::seed_from_u64(41));
+        for _ in 0..64 {
+            recorder.next_u64();
+        }
+        let trace = recorder.into_trace();
+        // The live stream extended past the recording, so offsets near the
+        // end also exercise the prefix → tail hand-off.
+        let extended: Vec<u64> = (0..128).map(|_| live.next_u64()).collect();
+        // Every offset, including 0 and len: the resumed stream must equal
+        // the live stream advanced by `offset` draws, word for word, across
+        // the prefix/tail boundary.
+        for offset in 0..=trace.len() {
+            let mut resumed = trace.replay_from(offset);
+            assert_eq!(resumed.position(), offset);
+            for (i, want) in extended[offset..].iter().enumerate() {
+                assert_eq!(resumed.next_u64(), *want, "offset {offset}, word {i}");
+            }
+            assert_eq!(resumed.position(), trace.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "past the")]
+    fn replay_from_rejects_offsets_past_the_recording() {
+        let trace = RecordingRng::new(StdRng::seed_from_u64(1)).into_trace();
+        let _ = trace.replay_from(1);
     }
 
     #[test]

@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# Runs the criterion micro benches (including the engine/multi_job/* family:
-# gang packing, per-gang DVFS churn, preemption churn, fault churn), writes a
-# fresh result file (default BENCH_pr7.json at the repo root), and prints a per-benchmark
-# delta table against the committed baseline. Exits non-zero when any
-# benchmark present in the baseline regressed by more than the threshold.
+# Runs the criterion micro benches (including the engine/multi_job/* family
+# and the sweep/branch checkpoint-replay pair), writes a fresh result file
+# (default BENCH_pr8.json at the repo root), and prints a per-benchmark delta
+# table against the committed baseline. Exits non-zero when any benchmark
+# present in the baseline regressed by more than the threshold.
+#
+# The bench suite is run DIAS_BENCH_REPEATS times and each benchmark's
+# *minimum* mean across repeats is what gets recorded and gated: the minimum
+# is the estimator least contaminated by scheduler noise on a shared runner,
+# which is what made single-shot gating flaky.
 #
 # Usage: scripts/bench_compare.sh [output-path]
 #
@@ -11,21 +16,59 @@
 #   DIAS_BENCH_BASELINE        baseline file (default: BENCH_baseline.json)
 #   DIAS_BENCH_MAX_REGRESSION  allowed slowdown fraction (default: 0.25)
 #   DIAS_BENCH_SAMPLES         per-benchmark sample count (harness default 30)
+#   DIAS_BENCH_REPEATS         full-suite repeats to take the minimum over (default: 3)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-out="${1:-$repo_root/BENCH_pr7.json}"
+out="${1:-$repo_root/BENCH_pr8.json}"
 baseline="${DIAS_BENCH_BASELINE:-BENCH_baseline.json}"
 # Anchor a relative baseline at the repo root so the gate does not depend on
-# the caller's cwd (CI passes DIAS_BENCH_BASELINE=BENCH_pr6.json).
+# the caller's cwd (CI passes DIAS_BENCH_BASELINE=BENCH_pr7.json).
 case "$baseline" in
   /*) ;;
   *) baseline="$repo_root/$baseline" ;;
 esac
 threshold="${DIAS_BENCH_MAX_REGRESSION:-0.25}"
+repeats="${DIAS_BENCH_REPEATS:-3}"
 
-echo "running micro benches (this builds the bench profile first)..."
-DIAS_BENCH_JSON="$out" cargo bench -q --manifest-path "$repo_root/Cargo.toml" --bench micro
+echo "running micro benches x$repeats (this builds the bench profile first)..."
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+for i in $(seq 1 "$repeats"); do
+  echo "--- repeat $i/$repeats ---"
+  DIAS_BENCH_JSON="$tmpdir/run_$i.json" \
+    cargo bench -q --manifest-path "$repo_root/Cargo.toml" --bench micro
+done
+
+python3 - "$out" "$tmpdir"/run_*.json <<'PY'
+import json, sys
+
+out_path, run_paths = sys.argv[1], sys.argv[2:]
+best = {}
+samples = {}
+order = []
+for path in run_paths:
+    for r in json.load(open(path)):
+        name = r["name"]
+        if name not in best:
+            order.append(name)
+        if name not in best or r["mean_ns"] < best[name]:
+            best[name] = r["mean_ns"]
+            samples[name] = r["samples"]
+merged = [
+    {"name": n, "mean_ns": round(best[n], 1), "samples": samples[n]}
+    for n in order
+]
+with open(out_path, "w") as f:
+    # One object per line, matching the harness's own DIAS_BENCH_JSON format.
+    f.write("[\n")
+    f.write(",\n".join(
+        f'  {{"name": {json.dumps(r["name"])}, "mean_ns": {r["mean_ns"]}, "samples": {r["samples"]}}}'
+        for r in merged
+    ))
+    f.write("\n]\n")
+print(f"merged per-bench minima of {len(run_paths)} run(s) into {out_path}")
+PY
 
 echo
 python3 - "$baseline" "$out" "$threshold" <<'PY'
