@@ -64,6 +64,7 @@ pub mod multi;
 mod multi_sprint;
 mod policy;
 mod sprinter;
+pub mod stream;
 pub mod sweep;
 
 pub use buffers::{PriorityBuffers, QueuedJob};
@@ -74,6 +75,7 @@ pub use multi::{MultiClassStats, MultiJobExperiment, MultiJobReport, MultiRunTra
 pub use multi_sprint::MultiSprinter;
 pub use policy::{ClassPolicy, Policy, Scheduling};
 pub use sprinter::{SprintBudget, SprintPolicy, Sprinter};
+pub use stream::{SoakExperiment, SoakReport, SoakWindow, SoakWindowClass, WarmupRule};
 pub use sweep::{
     run_experiments, run_experiments_differential, run_multi_experiments,
     run_multi_experiments_branch, run_multi_experiments_differential, run_parallel, BranchStats,

@@ -27,7 +27,7 @@
 
 use std::collections::HashMap;
 
-use dias_des::stats::SampleSet;
+use dias_des::stats::{SampleSet, SampleStats};
 use dias_des::SimTime;
 use dias_engine::{
     Checkpoint as EngineCheckpoint, ClusterSim, ClusterSpec, EngineEvent, FaultTrace, FreqLevel,
@@ -38,28 +38,35 @@ use dias_models::accuracy::{AccuracyCurve, SamplingErrorModel};
 use crate::{DegradationPolicy, ExperimentError, JobSource, MultiSprinter, SprintPolicy};
 
 /// Per-class outcomes of a [`MultiJobExperiment`].
+///
+/// Generic over the statistics backend `B`: closed fixed-N experiments use
+/// the default exact [`SampleSet`]; the open-system soak driver
+/// ([`SoakExperiment`](crate::SoakExperiment)) instantiates it with
+/// [`StreamingSummary`](dias_des::stats::StreamingSummary) so per-class
+/// memory stays O(1) over millions of jobs. The scalar counters and energy
+/// fields mean the same thing under either backend.
 #[derive(Debug, Clone, Default, PartialEq)]
-pub struct MultiClassStats {
+pub struct MultiClassStats<B: SampleStats = SampleSet> {
     /// Completed measured jobs of the class.
     pub completed: u64,
     /// End-to-end response times (arrival → completion) of measured jobs.
-    pub response: SampleSet,
+    pub response: B,
     /// Queueing + re-execution times, measured from the engine's dispatch
     /// log: arrival → final-attempt dispatch. Decomposes exactly into
     /// [`MultiClassStats::dispatch_wait`] + [`MultiClassStats::reexec_loss`].
-    pub queueing: SampleSet,
+    pub queueing: B,
     /// Plain waiting: arrival → *first* dispatch (time spent purely queued,
     /// no work lost).
-    pub dispatch_wait: SampleSet,
+    pub dispatch_wait: B,
     /// Preemption re-execution loss: first dispatch → final dispatch (the
     /// destroyed attempts plus the re-queue waits between them; 0 for jobs
     /// never evicted).
-    pub reexec_loss: SampleSet,
+    pub reexec_loss: B,
     /// Final-attempt execution times.
-    pub execution: SampleSet,
+    pub execution: B,
     /// Fraction of each measured job's tasks dropped by the deflator — the
     /// approximation the class absorbed (0 for exact classes).
-    pub drop_fraction: SampleSet,
+    pub drop_fraction: B,
     /// Evictions suffered by measured jobs of this class.
     pub evictions: u64,
     /// The subset of `evictions` caused by slot failures (as opposed to
@@ -77,11 +84,32 @@ pub struct MultiClassStats {
     pub sprint_slot_secs: f64,
 }
 
-impl MultiClassStats {
+impl<B: SampleStats> MultiClassStats<B> {
     /// Mean drop fraction of the class's measured jobs.
     #[must_use]
     pub fn mean_drop_fraction(&self) -> f64 {
         self.drop_fraction.mean()
+    }
+
+    /// Folds one measured completion into the class statistics — the single
+    /// recording path shared by the closed driver (exact backend) and the
+    /// open-system soak (streaming backend), so the two can never drift in
+    /// what they count. `slo` is the class's response-time target, if any.
+    pub(crate) fn record(&mut self, obs: &CompletionObs, slo: Option<f64>) {
+        self.completed += 1;
+        self.response.push(obs.response);
+        self.execution.push(obs.execution);
+        self.dispatch_wait.push(obs.dispatch_wait);
+        self.reexec_loss.push(obs.reexec_loss);
+        self.queueing.push(obs.queueing);
+        self.drop_fraction.push(obs.drop_fraction);
+        self.evictions += u64::from(obs.evictions);
+        self.failure_evictions += u64::from(obs.failure_evictions);
+        if let Some(target) = slo {
+            if obs.response <= target {
+                self.slo_attained += 1;
+            }
+        }
     }
 
     /// Expected relative analysis error (%) for the class's mean drop
@@ -710,31 +738,68 @@ impl<S: Clone> RunHook<S> for TraceHook<S> {
     }
 }
 
+/// One job completion as observed at the driver's `JobFinished` arm: every
+/// number [`MultiClassStats::record`] folds into a class, plus the sequence
+/// and timestamp bookkeeping an open-system window accountant needs.
+///
+/// Splitting observation (engine-side, here) from recording (backend-side,
+/// [`MultiClassStats::record`]) is what lets the soak driver route the same
+/// completions into streaming statistics and tumbling windows without the
+/// closed driver paying anything for it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CompletionObs {
+    /// Priority class of the completed job.
+    pub(crate) class: usize,
+    /// Whether the job's arrival falls in the driver's measured window
+    /// (`warmup..target` by arrival order).
+    pub(crate) measured: bool,
+    /// Arrival → completion, seconds.
+    pub(crate) response: f64,
+    /// Final-attempt execution time, seconds.
+    pub(crate) execution: f64,
+    /// Arrival → first dispatch, seconds.
+    pub(crate) dispatch_wait: f64,
+    /// First dispatch → final dispatch, seconds.
+    pub(crate) reexec_loss: f64,
+    /// Arrival → final dispatch, seconds.
+    pub(crate) queueing: f64,
+    /// Fraction of the job's tasks dropped by the deflator.
+    pub(crate) drop_fraction: f64,
+    /// Evictions the job suffered.
+    pub(crate) evictions: u32,
+    /// The subset of `evictions` caused by slot failures.
+    pub(crate) failure_evictions: u32,
+    /// Engine time of the completion, seconds.
+    pub(crate) completed_at_secs: f64,
+}
+
 /// The closed-loop driver behind [`MultiJobExperiment::run`], factored out so
 /// a run can be checkpointed at arrival boundaries and resumed from one.
 ///
 /// Everything the loop carries across iterations lives in a field here;
 /// [`TraceHook`] clones the lot into a [`MultiCheckpoint`] and
-/// [`MultiDriver::resume`] puts it back. The loop body itself is the PR 4–7
-/// driver unchanged, so a plain run is bit-identical to the pre-refactor
-/// code.
-struct MultiDriver<S> {
+/// [`MultiDriver::resume`] puts it back. The loop arms are factored into the
+/// `handle_*`/`admit`/`drain_dispatches` methods so the open-system soak
+/// driver (`crate::stream`) can re-compose them around a batched arrival
+/// stream; [`MultiDriver::drive`] recombines them into exactly the PR 4–7
+/// loop, so a plain run is bit-identical to the pre-refactor code.
+pub(crate) struct MultiDriver<S> {
     // Immutable configuration.
     thetas: Option<Vec<f64>>,
-    slos: Option<Vec<f64>>,
+    pub(crate) slos: Option<Vec<f64>>,
     degrade: Option<DegradationPolicy>,
     faults: FaultTrace,
     cluster: ClusterSpec,
-    classes: usize,
+    pub(crate) classes: usize,
     warmup: usize,
     target: usize,
     jobs: usize,
     completion_cap: usize,
     total_slots: usize,
     // Mutable run state (captured wholesale by checkpoints).
-    source: S,
-    engine: ClusterSim,
-    report: MultiJobReport,
+    pub(crate) source: S,
+    pub(crate) engine: ClusterSim,
+    pub(crate) report: MultiJobReport,
     meta: HashMap<JobId, JobMeta>,
     timers: Vec<SprintTimer>,
     sprinter: Option<MultiSprinter>,
@@ -743,13 +808,13 @@ struct MultiDriver<S> {
     next_arrival: Option<JobInstance>,
     arrival_seq: usize,
     measured_done: usize,
-    total_completions: usize,
+    pub(crate) total_completions: usize,
     events_done: u64,
 }
 
 impl<S: JobSource> MultiDriver<S> {
     /// Validates the experiment and sets up the start-of-run state.
-    fn build(mut exp: MultiJobExperiment<S>) -> Result<Self, ExperimentError> {
+    pub(crate) fn build(mut exp: MultiJobExperiment<S>) -> Result<Self, ExperimentError> {
         let classes = exp.source.classes();
         if let Some(t) = &exp.thetas {
             if t.len() != classes {
@@ -863,7 +928,6 @@ impl<S: JobSource> MultiDriver<S> {
     /// The closed loop: engine events, sprint bookkeeping, faults and
     /// arrivals at a fixed tie order, until the measured window completes or
     /// the source drains.
-    #[allow(clippy::too_many_lines)]
     fn drive<H: RunHook<S>>(&mut self, hook: &mut H) -> Result<(), ExperimentError> {
         while self.measured_done < self.jobs {
             if self.total_completions > self.completion_cap {
@@ -872,40 +936,12 @@ impl<S: JobSource> MultiDriver<S> {
                     target: self.jobs,
                 });
             }
-            let engine_t = self.engine.next_event_time();
             let arrival_t = self
                 .next_arrival
                 .as_ref()
                 .map(|j| SimTime::from_secs(j.arrival_secs));
-            let depletion_t = self
-                .sprinter
-                .as_ref()
-                .and_then(MultiSprinter::depletion_time);
-            // Purge timers whose attempt is dead (job finished, or evicted —
-            // a re-dispatch arms a fresh timer under a bumped attempt). A
-            // stale timer must not keep the clock running past the last real
-            // event, or a finite source's horizon (and idle energy) would
-            // grow a phantom tail.
-            {
-                let meta = &self.meta;
-                let engine = &self.engine;
-                self.timers.retain(|t| {
-                    meta.get(&t.job).is_some_and(|m| m.attempt == t.attempt)
-                        && engine.job_frequency(t.job).is_some()
-                });
-            }
-            let timer_t = self.timers.iter().map(|t| t.at).min();
-            // Fault events only matter while work remains (arrivals ahead or
-            // jobs running/pending): once the run is winding down, a tail of
-            // repairs must not stretch the horizon with phantom idle time.
-            let fault_t = if self.next_arrival.is_some() || !self.engine.is_idle() {
-                self.faults
-                    .events()
-                    .get(self.fault_idx)
-                    .map(|e| SimTime::from_secs(e.at_secs))
-            } else {
-                None
-            };
+            let [engine_t, depletion_t, timer_t, fault_t] =
+                self.machine_times(self.next_arrival.is_some());
             let Some(next_t) = [engine_t, depletion_t, timer_t, fault_t, arrival_t]
                 .iter()
                 .flatten()
@@ -919,137 +955,15 @@ impl<S: JobSource> MultiDriver<S> {
             // budget depletion, then sprint timers, then faults, then the
             // arrival — so runs are deterministic whatever the configuration.
             if engine_t == Some(next_t) {
-                let event = self.engine.advance()?;
-                self.events_done += 1;
-                if let EngineEvent::JobFinished { job, metrics } = event {
-                    if let Some(s) = self.sprinter.as_mut() {
-                        s.stop(next_t, job);
-                    }
-                    self.total_completions += 1;
-                    self.report.total_work_secs += metrics.work_secs;
-                    let m = self.meta.remove(&job).expect("finished job was submitted");
-                    let measured = (self.warmup..self.target).contains(&m.seq);
-                    if measured {
-                        self.measured_done += 1;
-                        let stats = &mut self.report.per_class[m.class];
-                        let response = self.engine.now().as_secs() - m.arrival_secs;
-                        stats.completed += 1;
-                        stats.response.push(response);
-                        stats.execution.push(metrics.execution_secs);
-                        // Queueing straight from the engine's dispatch log:
-                        // plain waiting before the first attempt, plus the
-                        // re-execution loss preemption inflicted after it.
-                        let first = m.first_dispatch.unwrap_or(m.arrival_secs);
-                        stats.dispatch_wait.push(first - m.arrival_secs);
-                        stats.reexec_loss.push(m.last_dispatch - first);
-                        stats.queueing.push(m.last_dispatch - m.arrival_secs);
-                        // The engine is the authority on what was dropped
-                        // (prefix-keep of ⌈n(1−θ)⌉ tasks per stage).
-                        let total_tasks = metrics.tasks_run + metrics.tasks_dropped;
-                        stats.drop_fraction.push(if total_tasks == 0 {
-                            0.0
-                        } else {
-                            metrics.tasks_dropped as f64 / total_tasks as f64
-                        });
-                        stats.evictions += u64::from(m.evictions);
-                        stats.failure_evictions += u64::from(m.failure_evictions);
-                        if let Some(slos) = &self.slos {
-                            if response <= slos[m.class] {
-                                stats.slo_attained += 1;
-                            }
-                        }
-                    }
-                    harvest_energy(&mut self.engine, &self.meta, m.class, job, &mut self.report);
+                if let Some(obs) = self.handle_engine_event(next_t)? {
+                    self.record_completion(&obs);
                 }
             } else if depletion_t == Some(next_t) {
-                // Budget dry: every sprinting domain drops to base together.
-                self.engine.idle_until(next_t);
-                let s = self
-                    .sprinter
-                    .as_mut()
-                    .expect("depletion implies a sprinter");
-                for job in s.stop_all(next_t) {
-                    self.engine
-                        .set_job_frequency(job, FreqLevel::Base)
-                        .expect("sprinting job is running");
-                }
+                self.handle_depletion(next_t);
             } else if timer_t == Some(next_t) {
-                // Per-attempt sprint timers: start each due job's domain if
-                // its attempt still runs and the budget has joules left.
-                self.engine.idle_until(next_t);
-                let s = self.sprinter.as_mut().expect("timers imply a sprinter");
-                let mut due = Vec::new();
-                self.timers.retain(|t| {
-                    if t.at == next_t {
-                        due.push(*t);
-                        false
-                    } else {
-                        true
-                    }
-                });
-                for t in due {
-                    let Some(m) = self.meta.get(&t.job) else {
-                        continue;
-                    };
-                    if m.attempt != t.attempt
-                        || self.engine.job_frequency(t.job) != Some(FreqLevel::Base)
-                    {
-                        continue; // attempt evicted/finished, or already sprinting
-                    }
-                    if s.try_start(next_t, t.job, m.width) {
-                        self.engine
-                            .set_job_frequency(t.job, FreqLevel::Sprint)
-                            .expect("timer fired for a running job");
-                    }
-                }
+                self.handle_timers(next_t);
             } else if fault_t == Some(next_t) {
-                // Fault batch: apply every trace event due at this timestamp
-                // in trace order. Victims of failed slots re-queue at the
-                // pending head inside the engine; here they are accounted
-                // exactly like preemption victims, plus the failure counters.
-                self.engine.idle_until(next_t);
-                while let Some(e) = self.faults.events().get(self.fault_idx).copied() {
-                    if SimTime::from_secs(e.at_secs) != next_t {
-                        break;
-                    }
-                    self.fault_idx += 1;
-                    for (victim, lost) in self.engine.apply_fault(&e)? {
-                        self.report.evictions += 1;
-                        self.report.failure_evictions += 1;
-                        self.report.wasted_work_secs += lost.work_secs;
-                        self.report.failure_lost_work_secs += lost.work_secs;
-                        if let Some(s) = self.sprinter.as_mut() {
-                            // A failed sprinting gang stops draining the
-                            // budget; its timer dies with the attempt.
-                            s.stop(next_t, victim);
-                        }
-                        if let Some(vm) = self.meta.get_mut(&victim) {
-                            vm.evictions += 1;
-                            vm.failure_evictions += 1;
-                        }
-                        let vclass = self.meta.get(&victim).map_or(0, |vm| vm.class);
-                        harvest_energy(
-                            &mut self.engine,
-                            &self.meta,
-                            vclass,
-                            victim,
-                            &mut self.report,
-                        );
-                    }
-                }
-                // Degradation reacts to the *batch*, not each event: the
-                // controller sees the post-batch pool once, and the timeline
-                // records one point per change.
-                let effective = self.engine.effective_slots();
-                if effective != self.last_effective {
-                    self.last_effective = effective;
-                    self.report
-                        .capacity_timeline
-                        .push((next_t.as_secs(), effective));
-                    if let Some(d) = &self.degrade {
-                        self.thetas = Some(d.thetas_for(self.total_slots, effective));
-                    }
-                }
+                self.handle_faults(next_t)?;
             } else {
                 // Arrival: hand it straight to the engine's scheduler. The
                 // hook observes the pre-submission state — this is the
@@ -1060,90 +974,326 @@ impl<S: JobSource> MultiDriver<S> {
                     .take()
                     .expect("candidate implies presence");
                 self.next_arrival = self.source.next_job();
-                let class = instance.class();
-                assert!(class < self.classes, "job class out of range");
-                let drops = drops_for(&instance, self.thetas.as_deref());
-                self.engine.idle_until(next_t);
-                let submission = self.engine.submit_job(&instance, &drops)?;
-                self.meta.insert(
-                    instance.spec.id,
-                    JobMeta {
-                        class,
-                        arrival_secs: instance.arrival_secs,
-                        seq: self.arrival_seq,
-                        evictions: 0,
-                        failure_evictions: 0,
-                        attempt: 0,
-                        first_dispatch: None,
-                        last_dispatch: instance.arrival_secs,
-                        width: 0,
-                    },
-                );
-                self.arrival_seq += 1;
-                // A preempting scheduler reports destroyed work whether or
-                // not the arrival was ultimately placed.
-                let evicted = match submission {
-                    Submission::Preempted { evicted, .. } | Submission::Queued { evicted } => {
-                        evicted
-                    }
-                    Submission::Dispatched { .. } => Vec::new(),
-                };
-                for (victim, lost) in evicted {
-                    self.report.evictions += 1;
-                    self.report.wasted_work_secs += lost.work_secs;
-                    if let Some(s) = self.sprinter.as_mut() {
-                        // A sprinting victim stops draining the budget; its
-                        // timer dies with the attempt (stale-attempt check).
-                        s.stop(next_t, victim);
-                    }
-                    if let Some(vm) = self.meta.get_mut(&victim) {
-                        vm.evictions += 1;
-                    }
-                    // The evicted attempt's energy ledger retired with
-                    // the eviction; attribute it now.
-                    let vclass = self.meta.get(&victim).map_or(0, |vm| vm.class);
-                    harvest_energy(
-                        &mut self.engine,
-                        &self.meta,
-                        vclass,
-                        victim,
-                        &mut self.report,
-                    );
-                }
+                self.admit(instance, next_t)?;
             }
 
-            // Drain the engine's dispatch log: every placement (arrival,
-            // backfill, eviction re-dispatch) stamps the attempt and arms its
-            // sprint timer.
-            for d in self.engine.take_dispatched() {
-                let m = self
-                    .meta
-                    .get_mut(&d.job)
-                    .expect("dispatched job was submitted");
-                m.attempt += 1;
-                let secs = d.time.as_secs();
-                if m.first_dispatch.is_none() {
-                    m.first_dispatch = Some(secs);
+            self.drain_dispatches();
+        }
+        Ok(())
+    }
+
+    /// Event times of the four machine-side event families in the loop's tie
+    /// order — engine event, sprint-budget depletion, sprint timers (stale
+    /// ones purged here) and faults. `arrivals_pending` tells the fault gate
+    /// whether the arrival stream still has undelivered work; the caller owns
+    /// the arrival time itself, which is what lets the soak driver batch
+    /// releases without re-implementing any of this.
+    pub(crate) fn machine_times(&mut self, arrivals_pending: bool) -> [Option<SimTime>; 4] {
+        let engine_t = self.engine.next_event_time();
+        let depletion_t = self
+            .sprinter
+            .as_ref()
+            .and_then(MultiSprinter::depletion_time);
+        // Purge timers whose attempt is dead (job finished, or evicted —
+        // a re-dispatch arms a fresh timer under a bumped attempt). A
+        // stale timer must not keep the clock running past the last real
+        // event, or a finite source's horizon (and idle energy) would
+        // grow a phantom tail.
+        {
+            let meta = &self.meta;
+            let engine = &self.engine;
+            self.timers.retain(|t| {
+                meta.get(&t.job).is_some_and(|m| m.attempt == t.attempt)
+                    && engine.job_frequency(t.job).is_some()
+            });
+        }
+        let timer_t = self.timers.iter().map(|t| t.at).min();
+        // Fault events only matter while work remains (arrivals ahead or
+        // jobs running/pending): once the run is winding down, a tail of
+        // repairs must not stretch the horizon with phantom idle time.
+        let fault_t = if arrivals_pending || !self.engine.is_idle() {
+            self.faults
+                .events()
+                .get(self.fault_idx)
+                .map(|e| SimTime::from_secs(e.at_secs))
+        } else {
+            None
+        };
+        [engine_t, depletion_t, timer_t, fault_t]
+    }
+
+    /// Advances the engine one event and, when a job finished, observes it:
+    /// completion counters, work/energy books, and the metadata-derived
+    /// response decomposition. Recording the observation into per-class
+    /// statistics is the caller's half ([`MultiDriver::record_completion`]
+    /// for the closed loop, window accountants for the soak), so the energy
+    /// ledger drain and the statistics pushes touch disjoint accumulators in
+    /// either composition.
+    pub(crate) fn handle_engine_event(
+        &mut self,
+        next_t: SimTime,
+    ) -> Result<Option<CompletionObs>, ExperimentError> {
+        let event = self.engine.advance()?;
+        self.events_done += 1;
+        let EngineEvent::JobFinished { job, metrics } = event else {
+            return Ok(None);
+        };
+        if let Some(s) = self.sprinter.as_mut() {
+            s.stop(next_t, job);
+        }
+        self.total_completions += 1;
+        self.report.total_work_secs += metrics.work_secs;
+        let m = self.meta.remove(&job).expect("finished job was submitted");
+        let response = self.engine.now().as_secs() - m.arrival_secs;
+        // Queueing straight from the engine's dispatch log: plain waiting
+        // before the first attempt, plus the re-execution loss preemption
+        // inflicted after it.
+        let first = m.first_dispatch.unwrap_or(m.arrival_secs);
+        // The engine is the authority on what was dropped (prefix-keep of
+        // ⌈n(1−θ)⌉ tasks per stage).
+        let total_tasks = metrics.tasks_run + metrics.tasks_dropped;
+        let obs = CompletionObs {
+            class: m.class,
+            measured: (self.warmup..self.target).contains(&m.seq),
+            response,
+            execution: metrics.execution_secs,
+            dispatch_wait: first - m.arrival_secs,
+            reexec_loss: m.last_dispatch - first,
+            queueing: m.last_dispatch - m.arrival_secs,
+            drop_fraction: if total_tasks == 0 {
+                0.0
+            } else {
+                metrics.tasks_dropped as f64 / total_tasks as f64
+            },
+            evictions: m.evictions,
+            failure_evictions: m.failure_evictions,
+            completed_at_secs: self.engine.now().as_secs(),
+        };
+        harvest_energy(&mut self.engine, &self.meta, m.class, job, &mut self.report);
+        Ok(Some(obs))
+    }
+
+    /// Folds a measured completion into the exact per-class report — the
+    /// closed loop's recording half. Unmeasured (warm-up) completions are
+    /// dropped here, after their side effects in
+    /// [`MultiDriver::handle_engine_event`] already happened.
+    fn record_completion(&mut self, obs: &CompletionObs) {
+        if !obs.measured {
+            return;
+        }
+        self.measured_done += 1;
+        let slo = self.slos.as_ref().map(|s| s[obs.class]);
+        self.report.per_class[obs.class].record(obs, slo);
+    }
+
+    /// Budget dry: every sprinting domain drops to base together.
+    pub(crate) fn handle_depletion(&mut self, next_t: SimTime) {
+        self.engine.idle_until(next_t);
+        let s = self
+            .sprinter
+            .as_mut()
+            .expect("depletion implies a sprinter");
+        for job in s.stop_all(next_t) {
+            self.engine
+                .set_job_frequency(job, FreqLevel::Base)
+                .expect("sprinting job is running");
+        }
+    }
+
+    /// Per-attempt sprint timers: start each due job's domain if its attempt
+    /// still runs and the budget has joules left.
+    pub(crate) fn handle_timers(&mut self, next_t: SimTime) {
+        self.engine.idle_until(next_t);
+        let s = self.sprinter.as_mut().expect("timers imply a sprinter");
+        let mut due = Vec::new();
+        self.timers.retain(|t| {
+            if t.at == next_t {
+                due.push(*t);
+                false
+            } else {
+                true
+            }
+        });
+        for t in due {
+            let Some(m) = self.meta.get(&t.job) else {
+                continue;
+            };
+            if m.attempt != t.attempt || self.engine.job_frequency(t.job) != Some(FreqLevel::Base) {
+                continue; // attempt evicted/finished, or already sprinting
+            }
+            if s.try_start(next_t, t.job, m.width) {
+                self.engine
+                    .set_job_frequency(t.job, FreqLevel::Sprint)
+                    .expect("timer fired for a running job");
+            }
+        }
+    }
+
+    /// Fault batch: apply every trace event due at `next_t` in trace order.
+    /// Victims of failed slots re-queue at the pending head inside the
+    /// engine; here they are accounted exactly like preemption victims, plus
+    /// the failure counters.
+    pub(crate) fn handle_faults(&mut self, next_t: SimTime) -> Result<(), ExperimentError> {
+        self.engine.idle_until(next_t);
+        while let Some(e) = self.faults.events().get(self.fault_idx).copied() {
+            if SimTime::from_secs(e.at_secs) != next_t {
+                break;
+            }
+            self.fault_idx += 1;
+            for (victim, lost) in self.engine.apply_fault(&e)? {
+                self.report.evictions += 1;
+                self.report.failure_evictions += 1;
+                self.report.wasted_work_secs += lost.work_secs;
+                self.report.failure_lost_work_secs += lost.work_secs;
+                if let Some(s) = self.sprinter.as_mut() {
+                    // A failed sprinting gang stops draining the
+                    // budget; its timer dies with the attempt.
+                    s.stop(next_t, victim);
                 }
-                m.last_dispatch = secs;
-                m.width = d.slots.count;
-                if let Some(s) = self.sprinter.as_ref() {
-                    if let Some(timeout) = s.timeout_for(m.class) {
-                        self.timers.push(SprintTimer {
-                            at: d.time + timeout,
-                            job: d.job,
-                            attempt: m.attempt,
-                        });
-                    }
+                if let Some(vm) = self.meta.get_mut(&victim) {
+                    vm.evictions += 1;
+                    vm.failure_evictions += 1;
                 }
+                let vclass = self.meta.get(&victim).map_or(0, |vm| vm.class);
+                harvest_energy(
+                    &mut self.engine,
+                    &self.meta,
+                    vclass,
+                    victim,
+                    &mut self.report,
+                );
+            }
+        }
+        // Degradation reacts to the *batch*, not each event: the
+        // controller sees the post-batch pool once, and the timeline
+        // records one point per change.
+        let effective = self.engine.effective_slots();
+        if effective != self.last_effective {
+            self.last_effective = effective;
+            self.report
+                .capacity_timeline
+                .push((next_t.as_secs(), effective));
+            if let Some(d) = &self.degrade {
+                self.thetas = Some(d.thetas_for(self.total_slots, effective));
             }
         }
         Ok(())
     }
 
+    /// Submits one drawn arrival to the engine's scheduler at `next_t` and
+    /// accounts any preemption evictions it causes. The caller decides *when*
+    /// to release the job (and has already drawn its successor, keeping the
+    /// source's draw order independent of release batching).
+    pub(crate) fn admit(
+        &mut self,
+        instance: JobInstance,
+        next_t: SimTime,
+    ) -> Result<(), ExperimentError> {
+        let class = instance.class();
+        assert!(class < self.classes, "job class out of range");
+        let drops = drops_for(&instance, self.thetas.as_deref());
+        self.engine.idle_until(next_t);
+        let submission = self.engine.submit_job(&instance, &drops)?;
+        self.meta.insert(
+            instance.spec.id,
+            JobMeta {
+                class,
+                arrival_secs: instance.arrival_secs,
+                seq: self.arrival_seq,
+                evictions: 0,
+                failure_evictions: 0,
+                attempt: 0,
+                first_dispatch: None,
+                last_dispatch: instance.arrival_secs,
+                width: 0,
+            },
+        );
+        self.arrival_seq += 1;
+        // A preempting scheduler reports destroyed work whether or
+        // not the arrival was ultimately placed.
+        let evicted = match submission {
+            Submission::Preempted { evicted, .. } | Submission::Queued { evicted } => evicted,
+            Submission::Dispatched { .. } => Vec::new(),
+        };
+        for (victim, lost) in evicted {
+            self.report.evictions += 1;
+            self.report.wasted_work_secs += lost.work_secs;
+            if let Some(s) = self.sprinter.as_mut() {
+                // A sprinting victim stops draining the budget; its
+                // timer dies with the attempt (stale-attempt check).
+                s.stop(next_t, victim);
+            }
+            if let Some(vm) = self.meta.get_mut(&victim) {
+                vm.evictions += 1;
+            }
+            // The evicted attempt's energy ledger retired with
+            // the eviction; attribute it now.
+            let vclass = self.meta.get(&victim).map_or(0, |vm| vm.class);
+            harvest_energy(
+                &mut self.engine,
+                &self.meta,
+                vclass,
+                victim,
+                &mut self.report,
+            );
+        }
+        Ok(())
+    }
+
+    /// Drains the engine's dispatch log: every placement (arrival, backfill,
+    /// eviction re-dispatch) stamps the attempt and arms its sprint timer.
+    pub(crate) fn drain_dispatches(&mut self) {
+        for d in self.engine.take_dispatched() {
+            let m = self
+                .meta
+                .get_mut(&d.job)
+                .expect("dispatched job was submitted");
+            m.attempt += 1;
+            let secs = d.time.as_secs();
+            if m.first_dispatch.is_none() {
+                m.first_dispatch = Some(secs);
+            }
+            m.last_dispatch = secs;
+            m.width = d.slots.count;
+            if let Some(s) = self.sprinter.as_ref() {
+                if let Some(timeout) = s.timeout_for(m.class) {
+                    self.timers.push(SprintTimer {
+                        at: d.time + timeout,
+                        job: d.job,
+                        attempt: m.attempt,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Hands over the eagerly drawn first arrival: an external arrival loop
+    /// (the soak driver) owns batching and draws the rest from
+    /// [`MultiDriver::source`] itself.
+    pub(crate) fn take_next_arrival(&mut self) -> Option<JobInstance> {
+        self.next_arrival.take()
+    }
+
+    /// Engine events processed so far.
+    pub(crate) fn events_done(&self) -> u64 {
+        self.events_done
+    }
+
+    /// Live driver+engine objects right now: calendar entries, pending and
+    /// running jobs, job metadata records and armed sprint timers. The soak
+    /// harness adds its own arrival buffer and sketch nodes on top to form
+    /// the peak-RSS proxy.
+    pub(crate) fn live_objects(&self) -> usize {
+        self.engine.pending_events()
+            + self.engine.pending_jobs()
+            + self.engine.running_count()
+            + self.meta.len()
+            + self.timers.len()
+    }
+
     /// Closes the books: in-flight energy attribution, horizon, utilization
     /// and sprint-budget totals.
-    fn finalize(mut self) -> MultiJobReport {
+    pub(crate) fn finalize(mut self) -> MultiJobReport {
         // Jobs still running when the measured window closes have accrued
         // active energy the cluster total includes; attribute their in-flight
         // ledgers so the per-class split stays lossless: idle + Σ per-class

@@ -465,6 +465,16 @@ impl ClusterSim {
         self.runs.iter().map(|r| r.work.job).collect()
     }
 
+    /// Number of currently running jobs, without allocating.
+    ///
+    /// The open-system soak driver samples this every iteration for its
+    /// live-object memory proxy, where [`ClusterSim::running_jobs`]'s `Vec`
+    /// would be pure overhead.
+    #[must_use]
+    pub fn running_count(&self) -> usize {
+        self.runs.len()
+    }
+
     /// Current slot assignments, one per running job, in dispatch order.
     /// Scheduler policies must keep these ranges pairwise disjoint.
     #[must_use]

@@ -61,6 +61,40 @@
 //!     - report.sprint_budget_remaining_j;
 //! assert!(residual.abs() < 1e-6);
 //! ```
+//!
+//! # Open-system soak quickstart
+//!
+//! The same driver loop over an **unbounded** arrival stream at O(1) memory
+//! per class: exact streaming moments (Welford) plus Greenwald–Khanna
+//! quantile sketches with a proven ε rank bound, MSER warm-up detection,
+//! tumbling telemetry windows, and a live-object high-water mark as the
+//! peak-RSS proxy. The README's 1M-job version only changes `.jobs(..)` —
+//! the doctest stays small so `cargo test --doc` stays fast:
+//!
+//! ```
+//! use dias_repro::core::{SoakExperiment, WarmupRule};
+//! use dias_repro::des::stats::SampleStats;
+//! use dias_repro::engine::GangBinPack;
+//! use dias_repro::workloads::heterogeneous_width_two_priority;
+//!
+//! let report = SoakExperiment::new(
+//!     heterogeneous_width_two_priority(0.7, 42),
+//!     Box::new(GangBinPack),
+//! )
+//! .jobs(2_000)
+//! .warmup(WarmupRule::Mser { calibration: 0 })
+//! .arrival_batch(4)
+//! .drops(&[0.2, 0.0])
+//! .run()
+//! .unwrap();
+//! assert_eq!(report.measured_jobs, 2_000);
+//! assert!(report.per_class[0].response.quantile(0.99) > 0.0);
+//! assert!(!report.windows.is_empty());
+//! // Per-job state died with the jobs: the peak live-object count is set by
+//! // queue depth and sketch size, not run length (the soak bench pins the
+//! // same bound at a million jobs).
+//! assert!(report.live_high_water < 20_000);
+//! ```
 
 pub use dias_core as core;
 pub use dias_des as des;
