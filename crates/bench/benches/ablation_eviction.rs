@@ -14,7 +14,7 @@
 //!    sweep shows the low-class execution gain of DA(0,20) across task-time SCVs.
 
 use dias_bench::{banner, bench_jobs, pct, rel};
-use dias_core::sweep::{default_threads, run_mc_replicated};
+use dias_core::sweep::run_mc_replicated;
 use dias_core::{Experiment, Policy};
 use dias_engine::ClusterSpec;
 use dias_models::mc::{Discipline, McQueue};
@@ -55,7 +55,8 @@ fn eviction_semantics() {
         // Four deterministic replications fanned across whatever cores the
         // machine has: the replica split is fixed, so the printed numbers are
         // identical at any thread count (and on a single core).
-        let r = run_mc_replicated(&base(d), 4, default_threads()).expect("stable configuration");
+        let r =
+            run_mc_replicated(&base(d), 4, dias_bench::threads()).expect("stable configuration");
         println!(
             "{:<26} {:>9.1}s {:>9.1}s {:>7.1}%",
             label,

@@ -141,11 +141,10 @@ fn main() {
             ));
         }
     }
-    let reports: Vec<MultiJobReport> =
-        run_multi_experiments(experiments, dias_core::sweep::default_threads())
-            .into_iter()
-            .map(|r| r.expect("experiment configuration is valid"))
-            .collect();
+    let reports: Vec<MultiJobReport> = run_multi_experiments(experiments, dias_bench::threads())
+        .into_iter()
+        .map(|r| r.expect("experiment configuration is valid"))
+        .collect();
     for (label, r) in labels.iter().zip(&reports) {
         print_report(label, r, &curve);
         println!();
@@ -214,7 +213,7 @@ fn main() {
             experiment(jobs, util, seed, &slos, wave.clone(), false),
             experiment(jobs, util, seed, &slos, wave, true),
         ],
-        dias_core::sweep::default_threads(),
+        dias_bench::threads(),
     )
     .into_iter()
     .map(|r| r.expect("experiment configuration is valid"))

@@ -21,8 +21,8 @@ use std::time::Instant;
 
 use dias_bench::{banner, compare, scaled};
 use dias_core::{
-    run_experiments_differential, sweep, DifferentialReport, ExperimentReport, ExperimentSpec,
-    JobSource, Policy,
+    run_experiments_differential, DifferentialReport, ExperimentReport, ExperimentSpec, JobSource,
+    Policy,
 };
 use dias_workloads::{reference_two_priority, JobStreamTrace};
 
@@ -33,7 +33,7 @@ fn main() {
     );
     let jobs = scaled(600);
     let replicas = 6;
-    let threads = sweep::default_threads();
+    let threads = dias_bench::threads();
     // Three sweep points: the preemptive baseline and two neighbouring drop
     // ratios. The headline contrast is the *sweep derivative* DA(0,30) vs
     // DA(0,50) — same discipline, nearby θ — where the replayed stream makes

@@ -673,6 +673,37 @@ fn bench_multi_job(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_federation(c: &mut Criterion) {
+    use dias_core::federation::{FederationExperiment, Router};
+    use dias_engine::GangBinPack;
+    use dias_workloads::heterogeneous_width_fleet;
+
+    // Four paper-reference shards under the fleet-rate two-priority stream:
+    // measures the coordinator loop (routing, epoch delivery, barrier
+    // bookkeeping) on top of the shard engines. One lane, so the gate tracks
+    // deterministic work rather than scheduler jitter on a shared runner.
+    let fleet_spec = ClusterSpec {
+        workers: 4 * ClusterSpec::paper_reference().workers,
+        ..ClusterSpec::paper_reference()
+    };
+    let mut group = c.benchmark_group("federation/4shards");
+    group.sample_size(10);
+    group.bench_function("hash_300jobs_1t", |b| {
+        b.iter(|| {
+            let shards = vec![ClusterSpec::paper_reference(); 4];
+            let stream = heterogeneous_width_fleet(&fleet_spec, 0.7, 42);
+            let report = FederationExperiment::new(stream, shards, |_| Box::new(GangBinPack))
+                .router(Router::Hash)
+                .epoch_secs(60.0)
+                .arrivals(300)
+                .run(1)
+                .expect("valid federation");
+            black_box(report.completed())
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
@@ -686,6 +717,7 @@ criterion_group!(
     bench_sweep,
     bench_branch_sweep,
     bench_engine,
-    bench_multi_job
+    bench_multi_job,
+    bench_federation
 );
 criterion_main!(benches);

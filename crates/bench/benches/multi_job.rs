@@ -90,11 +90,10 @@ fn main() {
         "GangBinPack + DA(0,20)",
         "GangBinPack + DA(0,20) + sprint",
     ];
-    let reports: Vec<MultiJobReport> =
-        run_multi_experiments(experiments, dias_core::sweep::default_threads())
-            .into_iter()
-            .map(|r| r.expect("experiment configuration is valid"))
-            .collect();
+    let reports: Vec<MultiJobReport> = run_multi_experiments(experiments, dias_bench::threads())
+        .into_iter()
+        .map(|r| r.expect("experiment configuration is valid"))
+        .collect();
 
     let curve = default_accuracy_curve();
     for (label, report) in labels.iter().zip(&reports) {
@@ -198,11 +197,10 @@ fn main() {
         "budgeted sprint (22 kJ, T=0)",
         "budgeted sprint (22 kJ, T=65s)",
     ];
-    let frontier: Vec<MultiJobReport> =
-        run_multi_experiments(sprint_points, dias_core::sweep::default_threads())
-            .into_iter()
-            .map(|r| r.expect("experiment configuration is valid"))
-            .collect();
+    let frontier: Vec<MultiJobReport> = run_multi_experiments(sprint_points, dias_bench::threads())
+        .into_iter()
+        .map(|r| r.expect("experiment configuration is valid"))
+        .collect();
     for (label, r) in sprint_labels.iter().zip(&frontier) {
         print_report(label, r, &curve);
         println!(

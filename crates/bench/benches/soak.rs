@@ -167,11 +167,18 @@ fn main() {
         "{:>6}  {:>14}  {:>12}  {:>12}  {:>10}",
         "batch", "sim jobs/sec", "low mean", "high mean", "HWM"
     );
-    for k in [1usize, 4, 16, 64] {
-        let r = base(curve_jobs)
-            .arrival_batch(k)
-            .run()
-            .expect("batched soak");
+    // The four batch sizes are independent runs: fan them across the
+    // DIAS_THREADS-aware worker pool. Results come back in input order.
+    let curve = dias_core::run_parallel(vec![1usize, 4, 16, 64], dias_bench::threads(), |_, k| {
+        (
+            k,
+            base(curve_jobs)
+                .arrival_batch(k)
+                .run()
+                .expect("batched soak"),
+        )
+    });
+    for (k, r) in curve {
         println!(
             "{k:>6}  {:>14.3e}  {:>11.1}s  {:>11.1}s  {:>10}",
             r.sim_jobs_per_sec,

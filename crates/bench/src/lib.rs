@@ -27,6 +27,17 @@ pub fn scaled(default: usize) -> usize {
     (default * bench_jobs() / 6000).max(3)
 }
 
+/// Worker-lane count for every parallel bench harness; override with the
+/// `DIAS_THREADS` environment variable (minimum 1), defaulting to the
+/// machine's available parallelism ([`dias_core::sweep::default_threads`]).
+#[must_use]
+pub fn threads() -> usize {
+    std::env::var("DIAS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map_or_else(dias_core::sweep::default_threads, |n: usize| n.max(1))
+}
+
 /// Prints the standard figure banner.
 pub fn banner(figure: &str, title: &str) {
     println!("==============================================================");
@@ -128,7 +139,7 @@ where
         .into_iter()
         .map(|p| dias_core::ExperimentSpec::new(make_stream(), p).jobs(jobs))
         .collect();
-    dias_core::run_experiments(specs, dias_core::sweep::default_threads())
+    dias_core::run_experiments(specs, threads())
         .into_iter()
         .map(|r| r.expect("experiment configuration is valid"))
         .collect()

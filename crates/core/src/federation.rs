@@ -1,0 +1,783 @@
+//! Sharded parallel federation: timely-style workers with deterministic
+//! epoch exchange.
+//!
+//! A [`FederationExperiment`] splits a fleet of clusters across worker
+//! threads the way timely dataflow splits operators across workers: each
+//! shard owns its [`ClusterSim`](dias_engine::ClusterSim) calendar outright
+//! and advances it privately, and the only cross-shard coordination is a
+//! barrier at fixed *epoch* boundaries (every `epoch_secs` of simulated
+//! time). A deterministic [`Router`] — a pure function of the arrival stream,
+//! never of simulation state — assigns every job drawn from the shared
+//! [`JobSource`] to a shard, so the per-shard sub-streams are identical no
+//! matter how many threads advance them.
+//!
+//! # Determinism contract
+//!
+//! The report is **bitwise identical** across thread counts *and* epoch
+//! lengths. Three rules make that hold structurally rather than by luck:
+//!
+//! 1. **Routing is stream-pure.** [`Router::Hash`] keys on the job id;
+//!    [`Router::LeastLoaded`] tracks the work it has already routed (scaled
+//!    by shard width) — both depend only on the arrival prefix, so every
+//!    configuration routes every job identically.
+//! 2. **Couplings are partitioned up front, not negotiated at runtime.** The
+//!    shared sprint budget ([`SprintPolicy`]) and the global power cap are
+//!    split across shards proportionally to slot share before the run
+//!    starts. The epoch exchange reads telemetry; it never moves joules
+//!    between shards, so no result can depend on barrier timing.
+//! 3. **Epoch boundaries are inert.** The coordinator delivers arrivals that
+//!    fall before the epoch horizon and lets each shard run its own event
+//!    arbiter (`MultiDriver` arms, identical to the monolithic
+//!    [`MultiJobExperiment`] loop) strictly below the horizon. Shards are
+//!    never idled *to* the horizon, and the run ends when every shard drains
+//!    — never at a boundary — so the choice of `epoch_secs` changes wall
+//!    clock, not results.
+//!
+//! A single-shard federation is bit-identical to [`MultiJobExperiment`] on
+//! the same stream: the slot share is exactly 1.0 (budget scaling is a
+//! bitwise no-op) and the arbiter processes the same arms at the same times,
+//! merely batched by epoch.
+//!
+//! # Examples
+//!
+//! ```
+//! use dias_core::federation::{FederationExperiment, Router};
+//! use dias_core::VecJobSource;
+//! use dias_engine::{ClusterSpec, GangBinPack, JobInstance, JobSpec, StageKind, StageSpec};
+//! use dias_stochastic::Dist;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let mut jobs = Vec::new();
+//! for i in 0..40u64 {
+//!     let spec = JobSpec::builder(i, usize::from(i % 5 == 0))
+//!         .setup(Dist::constant(0.5))
+//!         .stage(StageSpec::new(StageKind::Map, 16, Dist::exponential(2.0)))
+//!         .build();
+//!     let mut inst = JobInstance::sample(&spec, &mut rng);
+//!     inst.arrival_secs = i as f64 * 4.0;
+//!     jobs.push(inst);
+//! }
+//! let shards = vec![ClusterSpec::paper_reference(), ClusterSpec::paper_reference()];
+//! let report = FederationExperiment::new(VecJobSource::new(jobs, 2), shards, |_| {
+//!     Box::new(GangBinPack)
+//! })
+//! .router(Router::Hash)
+//! .epoch_secs(20.0)
+//! .run(2)
+//! .unwrap();
+//! assert_eq!(report.shards.len(), 2);
+//! assert_eq!(report.routed_jobs.iter().sum::<u64>(), 40);
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+
+use dias_des::SimTime;
+use dias_engine::{ClusterSpec, FaultTrace, JobId, JobInstance, Scheduler};
+
+use crate::multi::{CompletionObs, MultiDriver, NoHook};
+use crate::sweep::run_parallel;
+use crate::{
+    ExperimentError, JobSource, MultiClassStats, MultiJobExperiment, MultiJobReport, SprintBudget,
+    SprintPolicy,
+};
+
+/// Deterministic job-to-shard assignment policy.
+///
+/// Both variants are pure functions of the arrival stream prefix: they never
+/// observe queue depths, engine clocks or any other simulation state, which
+/// is what makes the per-shard sub-streams independent of thread count and
+/// epoch length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Router {
+    /// `splitmix64(job id) mod shards`: stateless, uniform in expectation,
+    /// and stable under re-sharding of everything but the shard count.
+    Hash,
+    /// Routes each job to the shard with the least *routed* work per slot so
+    /// far (estimated sequential seconds accumulated at routing time,
+    /// divided by the shard's slot count; ties break to the lowest shard
+    /// id). A deterministic stand-in for join-the-shortest-queue that only
+    /// reads its own past decisions.
+    LeastLoaded,
+}
+
+/// The routing state of one federation run: a [`Router`] plus the
+/// accumulated per-shard load its decisions have produced.
+///
+/// Exposed so property tests (and schedulers-of-schedulers built on top) can
+/// replay routing decisions without running a simulation.
+#[derive(Debug, Clone)]
+pub struct RouterCursor {
+    router: Router,
+    /// Slot count per shard, as weights for load normalisation.
+    slots: Vec<f64>,
+    /// Estimated routed work per slot, per shard.
+    loads: Vec<f64>,
+}
+
+impl RouterCursor {
+    /// Creates a cursor over `shard_slots.len()` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_slots` is empty or any shard has zero slots.
+    #[must_use]
+    pub fn new(router: Router, shard_slots: &[usize]) -> Self {
+        assert!(
+            !shard_slots.is_empty(),
+            "federation needs at least one shard"
+        );
+        assert!(
+            shard_slots.iter().all(|&s| s > 0),
+            "every shard needs at least one slot"
+        );
+        RouterCursor {
+            router,
+            slots: shard_slots.iter().map(|&s| s as f64).collect(),
+            loads: vec![0.0; shard_slots.len()],
+        }
+    }
+
+    /// Number of shards routed over.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Assigns `job` to a shard and updates the cursor's load books.
+    ///
+    /// Feeding the same job sequence to two cursors built with the same
+    /// configuration yields the same assignment sequence.
+    pub fn route(&mut self, job: &JobInstance) -> usize {
+        match self.router {
+            Router::Hash => (splitmix64(job.spec.id.0) % self.slots.len() as u64) as usize,
+            Router::LeastLoaded => {
+                let mut best = 0;
+                for i in 1..self.loads.len() {
+                    if self.loads[i] < self.loads[best] {
+                        best = i;
+                    }
+                }
+                self.loads[best] += estimate_work_secs(job) / self.slots[best];
+                best
+            }
+        }
+    }
+}
+
+/// Sequential-seconds estimate of a job instance: setup + shuffles + every
+/// sampled task duration. Used only for [`Router::LeastLoaded`] bookkeeping.
+fn estimate_work_secs(job: &JobInstance) -> f64 {
+    job.setup_secs
+        + job.shuffle_secs.iter().sum::<f64>()
+        + job
+            .task_secs
+            .iter()
+            .map(|stage| stage.iter().sum::<f64>())
+            .sum::<f64>()
+}
+
+/// Fast 64-bit mixer (splitmix64 finalizer); avalanches sequential job ids
+/// into uniform shard picks.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A shard's private arrival queue: jobs the coordinator has routed here but
+/// the shard's arbiter has not yet admitted. Implements [`JobSource`] so the
+/// shard's `MultiDriver` runs the exact monolithic event loop over it.
+#[derive(Debug)]
+struct ShardInbox {
+    queue: VecDeque<JobInstance>,
+    classes: usize,
+}
+
+impl JobSource for ShardInbox {
+    fn classes(&self) -> usize {
+        self.classes
+    }
+
+    fn next_job(&mut self) -> Option<JobInstance> {
+        self.queue.pop_front()
+    }
+}
+
+/// One worker's owned state: a full `MultiDriver` over the shard's inbox,
+/// plus the global-window bookkeeping the monolithic driver does internally.
+///
+/// The shard driver is built with a degenerate local measurement window
+/// (warmup 0, unbounded jobs) and does the *global* windowing itself: the
+/// coordinator stamps every delivered job with its global arrival sequence
+/// number, and completions are recorded into the shard report only when that
+/// global number falls inside the federation's `warmup..warmup+jobs` window
+/// — exactly the monolithic criterion.
+struct ShardDriver {
+    driver: MultiDriver<ShardInbox>,
+    /// Global arrival sequence number of every job currently routed here and
+    /// not yet completed.
+    global_seq: HashMap<JobId, usize>,
+    /// Jobs ever routed to this shard.
+    routed: u64,
+    /// Global measurement window (`warmup..warmup + jobs`).
+    window: (usize, usize),
+}
+
+impl ShardDriver {
+    /// Accepts one routed job carrying its global arrival index.
+    fn deliver(&mut self, seq: usize, inst: JobInstance) {
+        self.routed += 1;
+        self.global_seq.insert(inst.spec.id, seq);
+        self.driver.source.queue.push_back(inst);
+        self.driver.refill_next_arrival();
+    }
+
+    /// Sim time of this shard's next event, if any work remains.
+    fn peek(&mut self) -> Option<SimTime> {
+        self.driver.next_arm().map(|(t, _)| t)
+    }
+
+    /// Runs the shard's arbiter over every event strictly before `horizon`.
+    /// Identical to the monolithic drive loop except that recording uses the
+    /// global window and there is no starvation watchdog (the coordinator
+    /// delivers finite epochs).
+    fn advance_until(&mut self, horizon: SimTime) -> Result<(), ExperimentError> {
+        loop {
+            let Some((next_t, arm)) = self.driver.next_arm() else {
+                return Ok(());
+            };
+            if next_t >= horizon {
+                return Ok(());
+            }
+            if let Some(obs) = self.driver.step(next_t, arm, &mut NoHook)? {
+                self.observe(&obs);
+            }
+            self.driver.drain_dispatches();
+        }
+    }
+
+    /// Records a completion when its *global* arrival index is measured.
+    fn observe(&mut self, obs: &CompletionObs) {
+        let seq = self
+            .global_seq
+            .remove(&obs.job)
+            .expect("completed job was delivered to this shard");
+        if (self.window.0..self.window.1).contains(&seq) {
+            let slo = self.driver.slos.as_ref().map(|s| s[obs.class]);
+            self.driver.report.per_class[obs.class].record(obs, slo);
+        }
+    }
+}
+
+/// Telemetry snapshot taken at one epoch barrier, in shard order. All
+/// counters are cumulative since the start of the run.
+///
+/// Epoch records are *observations* of the exchange, not inputs to it —
+/// they depend on `epoch_secs` (shorter epochs mean more barriers), which is
+/// exactly why they live outside [`FederationReport`] and its equality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    /// Zero-based barrier index.
+    pub index: u64,
+    /// Epoch horizon in seconds (`f64::INFINITY` for the final drain pass).
+    pub horizon_secs: f64,
+    /// Jobs routed to shards so far.
+    pub delivered: usize,
+    /// Jobs completed across all shards so far.
+    pub completions: usize,
+    /// Engine events processed across all shards so far.
+    pub events: u64,
+    /// Joules drawn from the (partitioned) sprint budget across all shards
+    /// so far, summed in shard order.
+    pub sprint_spent_j: f64,
+}
+
+/// Per-epoch telemetry of one federation run, from
+/// [`FederationExperiment::run_with_log`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FederationRunLog {
+    /// One record per epoch barrier, in execution order. Epochs in which no
+    /// shard had an event are skipped entirely, so this also documents the
+    /// coordinator's skip-ahead.
+    pub epochs: Vec<EpochRecord>,
+}
+
+/// The outcome of a federation run.
+///
+/// Compares with `==` bit-exactly; the federation property suite relies on
+/// runs at different thread counts and epoch lengths producing reports that
+/// are identical float for float. Everything in here is therefore a pure
+/// function of (stream, shards, router, couplings) — per-epoch telemetry
+/// lives in [`FederationRunLog`] instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FederationReport {
+    /// Per-shard reports, in shard order, each over the shard's own horizon
+    /// and slot capacity.
+    pub shards: Vec<MultiJobReport>,
+    /// Fleet-wide per-class statistics: the shard-order merge of every
+    /// shard's measured completions.
+    pub per_class: Vec<MultiClassStats>,
+    /// Jobs routed to each shard.
+    pub routed_jobs: Vec<u64>,
+    /// Latest shard horizon, in seconds.
+    pub horizon_secs: f64,
+    /// Total energy across the fleet.
+    pub energy_joules: f64,
+    /// Idle-baseline energy across the fleet.
+    pub idle_energy_joules: f64,
+    /// Slot-seconds busy across the fleet.
+    pub busy_slot_secs: f64,
+    /// Busy slot-seconds over fleet capacity (total slots × fleet horizon);
+    /// early-draining shards count as idle capacity until the last shard
+    /// finishes.
+    pub utilization: f64,
+    /// Machine-seconds of completed work across the fleet.
+    pub total_work_secs: f64,
+    /// Machine-seconds destroyed by evictions across the fleet.
+    pub wasted_work_secs: f64,
+    /// Evictions across the fleet.
+    pub evictions: u64,
+    /// Slot-failure evictions across the fleet (subset of
+    /// [`FederationReport::evictions`]).
+    pub failure_evictions: u64,
+    /// Machine-seconds destroyed by slot failures across the fleet.
+    pub failure_lost_work_secs: f64,
+    /// Joules spent from the partitioned sprint budgets, summed in shard
+    /// order.
+    pub sprint_budget_spent_j: f64,
+    /// Joules replenished into the partitioned sprint budgets.
+    pub sprint_budget_replenished_j: f64,
+    /// Sprint budget remaining across shards at the end of the run.
+    pub sprint_budget_remaining_j: f64,
+}
+
+impl FederationReport {
+    /// Fleet-wide mean response time of class `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn mean_response(&self, k: usize) -> f64 {
+        self.per_class[k].response.mean()
+    }
+
+    /// Fleet-wide 95th-percentile response time of class `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn p95_response(&self, k: usize) -> f64 {
+        self.per_class[k].response.p95()
+    }
+
+    /// Measured completions across the fleet.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.per_class.iter().map(|c| c.completed).sum()
+    }
+
+    fn aggregate(
+        shard_reports: Vec<MultiJobReport>,
+        routed_jobs: Vec<u64>,
+        classes: usize,
+        total_slots: usize,
+    ) -> FederationReport {
+        let mut per_class = vec![MultiClassStats::default(); classes];
+        let mut out = FederationReport {
+            shards: Vec::new(),
+            per_class: Vec::new(),
+            routed_jobs,
+            horizon_secs: 0.0,
+            energy_joules: 0.0,
+            idle_energy_joules: 0.0,
+            busy_slot_secs: 0.0,
+            utilization: 0.0,
+            total_work_secs: 0.0,
+            wasted_work_secs: 0.0,
+            evictions: 0,
+            failure_evictions: 0,
+            failure_lost_work_secs: 0.0,
+            sprint_budget_spent_j: 0.0,
+            sprint_budget_replenished_j: 0.0,
+            sprint_budget_remaining_j: 0.0,
+        };
+        for rep in &shard_reports {
+            for (k, class) in rep.per_class.iter().enumerate() {
+                per_class[k].merge(class);
+            }
+            out.horizon_secs = out.horizon_secs.max(rep.horizon_secs);
+            out.energy_joules += rep.energy_joules;
+            out.idle_energy_joules += rep.idle_energy_joules;
+            out.busy_slot_secs += rep.busy_slot_secs;
+            out.total_work_secs += rep.total_work_secs;
+            out.wasted_work_secs += rep.wasted_work_secs;
+            out.evictions += rep.evictions;
+            out.failure_evictions += rep.failure_evictions;
+            out.failure_lost_work_secs += rep.failure_lost_work_secs;
+            out.sprint_budget_spent_j += rep.sprint_budget_spent_j;
+            out.sprint_budget_replenished_j += rep.sprint_budget_replenished_j;
+            out.sprint_budget_remaining_j += rep.sprint_budget_remaining_j;
+        }
+        let capacity = out.horizon_secs * total_slots as f64;
+        out.utilization = if capacity > 0.0 {
+            (out.busy_slot_secs / capacity).min(1.0)
+        } else {
+            0.0
+        };
+        out.per_class = per_class;
+        out.shards = shard_reports;
+        out
+    }
+}
+
+/// A configured federation: a shared arrival stream sharded across a fleet
+/// of clusters advanced by worker threads with epoch-synchronised exchange.
+///
+/// Construction mirrors [`MultiJobExperiment`]; the extra knobs are the
+/// shard list, the [`Router`], the epoch length and the fleet-level
+/// couplings (a shared [`SprintPolicy`] and a global power cap, both
+/// partitioned across shards by slot share before the run starts).
+#[derive(Debug)]
+pub struct FederationExperiment<S> {
+    source: S,
+    shards: Vec<ClusterSpec>,
+    schedulers: Vec<Box<dyn Scheduler>>,
+    router: Router,
+    epoch_secs: f64,
+    thetas: Option<Vec<f64>>,
+    sprint: Option<SprintPolicy>,
+    power_cap_w: Option<f64>,
+    slos: Option<Vec<f64>>,
+    shard_faults: Option<Vec<FaultTrace>>,
+    arrivals: usize,
+    jobs: usize,
+    warmup: usize,
+}
+
+impl<S: JobSource> FederationExperiment<S> {
+    /// Creates a federation over `shards`, calling `scheduler(i)` once per
+    /// shard to build its engine policy.
+    ///
+    /// Defaults: [`Router::Hash`], 60-second epochs, no drops, no sprint, no
+    /// power cap, no faults, and a measurement window covering every
+    /// arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty.
+    pub fn new<F>(source: S, shards: Vec<ClusterSpec>, mut scheduler: F) -> Self
+    where
+        F: FnMut(usize) -> Box<dyn Scheduler>,
+    {
+        assert!(!shards.is_empty(), "federation needs at least one shard");
+        let schedulers = (0..shards.len()).map(&mut scheduler).collect();
+        FederationExperiment {
+            source,
+            shards,
+            schedulers,
+            router: Router::Hash,
+            epoch_secs: 60.0,
+            thetas: None,
+            sprint: None,
+            power_cap_w: None,
+            slos: None,
+            shard_faults: None,
+            arrivals: usize::MAX,
+            jobs: usize::MAX,
+            warmup: 0,
+        }
+    }
+
+    /// Sets the job-to-shard assignment policy.
+    #[must_use]
+    pub fn router(mut self, router: Router) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// Sets the epoch length in simulated seconds. Epoch length trades
+    /// barrier frequency against arrival-delivery batching; it never changes
+    /// results.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `secs` is finite and positive.
+    #[must_use]
+    pub fn epoch_secs(mut self, secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs > 0.0,
+            "epoch length must be finite and positive"
+        );
+        self.epoch_secs = secs;
+        self
+    }
+
+    /// Per-class drop ratios, applied identically on every shard (the
+    /// deflator is per-job, so sharding does not change its meaning).
+    #[must_use]
+    pub fn drops(mut self, thetas: &[f64]) -> Self {
+        self.thetas = Some(thetas.to_vec());
+        self
+    }
+
+    /// Fleet-wide sprint policy. The budget is partitioned across shards
+    /// proportionally to slot share (`initial_j`, `replenish_w` and `cap_j`
+    /// all scale; timeouts are shared verbatim), so the fleet as a whole
+    /// honours the stated budget without any runtime negotiation.
+    #[must_use]
+    pub fn sprint(mut self, policy: SprintPolicy) -> Self {
+        self.sprint = Some(policy);
+        self
+    }
+
+    /// Fleet-wide cap on aggregate sprint extra power draw, in watts.
+    /// Partitioned across shards by slot share and enforced shard-locally,
+    /// so the fleet's total sprint draw never exceeds `cap_w`.
+    #[must_use]
+    pub fn power_cap_w(mut self, cap_w: f64) -> Self {
+        self.power_cap_w = Some(cap_w);
+        self
+    }
+
+    /// Per-class SLO targets (seconds), shared by every shard.
+    #[must_use]
+    pub fn slos(mut self, targets: &[f64]) -> Self {
+        self.slos = Some(targets.to_vec());
+        self
+    }
+
+    /// Per-shard fault schedules, one trace per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces.len()` differs from the shard count.
+    #[must_use]
+    pub fn shard_faults(mut self, traces: Vec<FaultTrace>) -> Self {
+        assert_eq!(traces.len(), self.shards.len(), "one fault trace per shard");
+        self.shard_faults = Some(traces);
+        self
+    }
+
+    /// Caps the number of arrivals drawn from the source (for open-ended
+    /// streams). Defaults to unlimited: the run ends when the source does.
+    #[must_use]
+    pub fn arrivals(mut self, n: usize) -> Self {
+        self.arrivals = n;
+        self
+    }
+
+    /// Number of measured jobs, counted in *global* arrival order after the
+    /// warm-up. Defaults to every delivered arrival.
+    #[must_use]
+    pub fn jobs(mut self, n: usize) -> Self {
+        self.jobs = n;
+        self
+    }
+
+    /// Number of global arrivals to treat as unmeasured warm-up.
+    #[must_use]
+    pub fn warmup(mut self, n: usize) -> Self {
+        self.warmup = n;
+        self
+    }
+
+    /// Runs the federation on up to `threads` lanes (the calling thread is
+    /// one of them) and aggregates the fleet report.
+    ///
+    /// The report is bitwise identical for every `threads >= 1` and every
+    /// epoch length.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and engine errors ([`ExperimentError`]) from
+    /// any shard; the first failing shard in shard order wins.
+    pub fn run(self, threads: usize) -> Result<FederationReport, ExperimentError> {
+        self.run_inner(threads).map(|(report, _)| report)
+    }
+
+    /// Like [`FederationExperiment::run`], additionally returning per-epoch
+    /// barrier telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and engine errors ([`ExperimentError`]) from
+    /// any shard.
+    pub fn run_with_log(
+        self,
+        threads: usize,
+    ) -> Result<(FederationReport, FederationRunLog), ExperimentError> {
+        self.run_inner(threads)
+    }
+
+    fn run_inner(
+        mut self,
+        threads: usize,
+    ) -> Result<(FederationReport, FederationRunLog), ExperimentError> {
+        let classes = self.source.classes();
+        let slot_counts: Vec<usize> = self.shards.iter().map(ClusterSpec::slots).collect();
+        let total_slots: usize = slot_counts.iter().sum();
+        let faults = self
+            .shard_faults
+            .take()
+            .unwrap_or_else(|| vec![FaultTrace::default(); self.shards.len()]);
+        let window = (self.warmup, self.warmup.saturating_add(self.jobs));
+
+        // Build every shard's driver: the monolithic experiment over the
+        // shard's private inbox, with the shared couplings pre-partitioned
+        // by slot share (exact no-ops for a single shard, where share = 1).
+        let mut drivers: Vec<ShardDriver> = Vec::with_capacity(self.shards.len());
+        for ((spec, sched), trace) in self
+            .shards
+            .drain(..)
+            .zip(self.schedulers.drain(..))
+            .zip(faults)
+        {
+            let share = spec.slots() as f64 / total_slots as f64;
+            let inbox = ShardInbox {
+                queue: VecDeque::new(),
+                classes,
+            };
+            let mut exp = MultiJobExperiment::new(inbox, sched)
+                .cluster(spec)
+                .warmup(0)
+                .jobs(usize::MAX)
+                .faults(trace)
+                .sprint_draw_cap(self.power_cap_w.map(|cap| cap * share));
+            if let Some(thetas) = &self.thetas {
+                exp = exp.drops(thetas);
+            }
+            if let Some(policy) = &self.sprint {
+                exp = exp.sprint(scale_policy(policy, share));
+            }
+            if let Some(targets) = &self.slos {
+                exp = exp.slos(targets);
+            }
+            drivers.push(ShardDriver {
+                driver: MultiDriver::build(exp)?,
+                global_seq: HashMap::new(),
+                routed: 0,
+                window,
+            });
+        }
+
+        let mut cursor = RouterCursor::new(self.router, &slot_counts);
+        let mut next = if self.arrivals > 0 {
+            self.source.next_job()
+        } else {
+            None
+        };
+        let mut delivered = 0usize;
+        let mut log = FederationRunLog::default();
+
+        loop {
+            // Earliest pending activity anywhere — the next undelivered
+            // arrival or any shard's next event — picks the next epoch;
+            // stretches of empty epochs are skipped wholesale, which is
+            // sound because the barrier itself has no simulation effect.
+            let mut min_t = next.as_ref().map(|j| SimTime::from_secs(j.arrival_secs));
+            for shard in &mut drivers {
+                if let Some(t) = shard.peek() {
+                    min_t = Some(min_t.map_or(t, |m| m.min(t)));
+                }
+            }
+            let Some(min_t) = min_t else {
+                break; // Source exhausted and every shard drained.
+            };
+            // The epoch horizon is the next Δ-grid boundary strictly after
+            // the earliest event; once the source is exhausted the fleet
+            // drains in one final unbounded pass (no further exchange is
+            // needed: arrivals are the only cross-shard input).
+            let horizon = if next.is_none() {
+                SimTime::FAR_FUTURE
+            } else {
+                let grid = (min_t.as_secs() / self.epoch_secs).floor();
+                SimTime::from_secs((grid + 1.0) * self.epoch_secs)
+            };
+
+            // Deliver every arrival below the horizon, in global arrival
+            // order, stamped with its global sequence number.
+            while let Some(job) = next.as_ref() {
+                if SimTime::from_secs(job.arrival_secs) >= horizon {
+                    break;
+                }
+                let inst = next.take().expect("checked above");
+                let shard = cursor.route(&inst);
+                drivers[shard].deliver(delivered, inst);
+                delivered += 1;
+                next = if delivered < self.arrivals {
+                    self.source.next_job()
+                } else {
+                    None
+                };
+            }
+
+            // Advance every shard privately to the horizon, fanned out over
+            // the worker pool. Shards share nothing mutable, so lane count
+            // and scheduling order cannot influence any shard's evolution.
+            let results = run_parallel(drivers.iter_mut().collect(), threads, |_, shard| {
+                shard.advance_until(horizon)
+            });
+            for result in results {
+                result?;
+            }
+
+            // The exchange: a barrier plus shard-order telemetry. No state
+            // crosses shards here — budgets were partitioned up front.
+            let mut record = EpochRecord {
+                index: log.epochs.len() as u64,
+                horizon_secs: horizon.as_secs(),
+                delivered,
+                completions: 0,
+                events: 0,
+                sprint_spent_j: 0.0,
+            };
+            for shard in &drivers {
+                record.completions += shard.driver.total_completions;
+                record.events += shard.driver.events_done();
+                record.sprint_spent_j += shard.driver.sprint_spent_j();
+            }
+            log.epochs.push(record);
+        }
+
+        // Close the books in shard order.
+        let mut shard_reports = Vec::with_capacity(drivers.len());
+        let mut routed_jobs = Vec::with_capacity(drivers.len());
+        for shard in drivers {
+            routed_jobs.push(shard.routed);
+            shard_reports.push(shard.driver.finalize());
+        }
+        Ok((
+            FederationReport::aggregate(shard_reports, routed_jobs, classes, total_slots),
+            log,
+        ))
+    }
+}
+
+/// Scales a fleet-wide sprint policy to one shard's slot share. Timeouts
+/// are semantic (per-class behaviour) and shared verbatim; the budget is an
+/// extensive quantity and splits linearly. A share of exactly 1.0 is a
+/// bitwise no-op, which is what makes single-shard federations bit-identical
+/// to the monolithic experiment.
+fn scale_policy(policy: &SprintPolicy, share: f64) -> SprintPolicy {
+    let budget = match policy.budget {
+        SprintBudget::Unlimited => SprintBudget::Unlimited,
+        SprintBudget::Limited {
+            initial_j,
+            replenish_w,
+            cap_j,
+        } => SprintBudget::Limited {
+            initial_j: initial_j * share,
+            replenish_w: replenish_w * share,
+            cap_j: cap_j * share,
+        },
+    };
+    SprintPolicy {
+        timeouts: policy.timeouts.clone(),
+        budget,
+    }
+}

@@ -59,6 +59,7 @@
 mod buffers;
 mod degrade;
 mod experiment;
+pub mod federation;
 mod metrics;
 pub mod multi;
 mod multi_sprint;
@@ -70,6 +71,9 @@ pub mod sweep;
 pub use buffers::{PriorityBuffers, QueuedJob};
 pub use degrade::DegradationPolicy;
 pub use experiment::{Experiment, ExperimentError, JobSource, VecJobSource};
+pub use federation::{
+    EpochRecord, FederationExperiment, FederationReport, FederationRunLog, Router, RouterCursor,
+};
 pub use metrics::{ClassStats, ExperimentReport};
 pub use multi::{MultiClassStats, MultiJobExperiment, MultiJobReport, MultiRunTrace};
 pub use multi_sprint::MultiSprinter;

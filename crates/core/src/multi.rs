@@ -132,6 +132,30 @@ impl<B: SampleStats> MultiClassStats<B> {
     }
 }
 
+impl MultiClassStats<SampleSet> {
+    /// Merges another report's statistics for the same class into this one.
+    ///
+    /// Sample merging is exact concatenation ([`SampleSet::merge`]) and the
+    /// counters/energies add, so folding per-shard federation reports in
+    /// shard order yields the same statistics regardless of how many worker
+    /// threads (or which epoch length) produced them.
+    pub fn merge(&mut self, other: &Self) {
+        self.completed += other.completed;
+        self.response.merge(&other.response);
+        self.queueing.merge(&other.queueing);
+        self.dispatch_wait.merge(&other.dispatch_wait);
+        self.reexec_loss.merge(&other.reexec_loss);
+        self.execution.merge(&other.execution);
+        self.drop_fraction.merge(&other.drop_fraction);
+        self.evictions += other.evictions;
+        self.failure_evictions += other.failure_evictions;
+        self.slo_attained += other.slo_attained;
+        self.active_energy_joules += other.active_energy_joules;
+        self.busy_slot_secs += other.busy_slot_secs;
+        self.sprint_slot_secs += other.sprint_slot_secs;
+    }
+}
+
 /// The full outcome of one multi-job run.
 ///
 /// Reports compare with `==` bit-exactly: the branch-equivalence property
@@ -253,6 +277,7 @@ pub struct MultiJobExperiment<S> {
     thetas: Option<Vec<f64>>,
     sprint: Option<SprintPolicy>,
     sprint_top_class: bool,
+    sprint_draw_cap_w: Option<f64>,
     jobs: usize,
     warmup: Option<usize>,
     faults: FaultTrace,
@@ -290,6 +315,25 @@ struct SprintTimer {
     attempt: u32,
 }
 
+/// One arm of the driver's event arbiter, in the loop's fixed tie order:
+/// engine event → budget depletion → sprint timers → faults → arrival.
+/// [`MultiDriver::next_arm`] picks the arm, [`MultiDriver::step`] executes
+/// it — the explicit event-source decomposition the soak and federation
+/// drivers compose their own loops from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LoopArm {
+    /// The engine's next calendar event.
+    Engine,
+    /// The sprint budget runs dry.
+    Depletion,
+    /// A per-attempt sprint timer fires.
+    Timer,
+    /// A fault-trace batch is due.
+    Fault,
+    /// The next drawn arrival is released.
+    Arrival,
+}
+
 impl<S: JobSource> MultiJobExperiment<S> {
     /// Creates an experiment on the paper's reference cluster, measuring 1000
     /// jobs (by arrival order) after a 10% warm-up, with no approximation and
@@ -303,6 +347,7 @@ impl<S: JobSource> MultiJobExperiment<S> {
             thetas: None,
             sprint: None,
             sprint_top_class: false,
+            sprint_draw_cap_w: None,
             jobs: 1000,
             warmup: None,
             faults: FaultTrace::empty(),
@@ -408,6 +453,22 @@ impl<S: JobSource> MultiJobExperiment<S> {
     #[must_use]
     pub fn degrade(mut self, policy: DegradationPolicy) -> Self {
         self.degrade = Some(policy);
+        self
+    }
+
+    /// Caps the aggregate extra power draw of concurrently sprinting gangs
+    /// at `cap_w` watts: a sprint start that would push the combined drain
+    /// rate past the cap is refused (the attempt's timer has fired and is
+    /// not re-armed, exactly as a budget refusal behaves). `None` — the
+    /// default — reproduces the uncapped run bit for bit.
+    ///
+    /// This is the power-cap coupling of the sharded federation
+    /// ([`FederationExperiment`](crate::FederationExperiment)), which
+    /// partitions a fleet-wide cap into per-shard caps proportional to slot
+    /// share.
+    #[must_use]
+    pub fn sprint_draw_cap(mut self, cap_w: Option<f64>) -> Self {
+        self.sprint_draw_cap_w = cap_w;
         self
     }
 
@@ -689,14 +750,14 @@ impl<S> MultiRunTrace<S> {
 
 /// Observer of the driver loop's arrival boundaries; the recording run plugs
 /// [`TraceHook`] in, plain runs pay nothing through [`NoHook`].
-trait RunHook<S> {
+pub(crate) trait RunHook<S> {
     /// Called at the top of the arrival arm, *before* the pending arrival in
     /// [`MultiDriver::next_arrival`] is submitted.
     fn on_arrival(&mut self, driver: &MultiDriver<S>);
 }
 
 /// The no-op hook of a plain run.
-struct NoHook;
+pub(crate) struct NoHook;
 
 impl<S> RunHook<S> for NoHook {
     fn on_arrival(&mut self, _: &MultiDriver<S>) {}
@@ -748,6 +809,9 @@ impl<S: Clone> RunHook<S> for TraceHook<S> {
 /// closed driver paying anything for it.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct CompletionObs {
+    /// The completed job — the key an external window accountant (the
+    /// federation's shard driver) resolves its own bookkeeping under.
+    pub(crate) job: JobId,
     /// Priority class of the completed job.
     pub(crate) class: usize,
     /// Whether the job's arrival falls in the driver's measured window
@@ -810,6 +874,10 @@ pub(crate) struct MultiDriver<S> {
     measured_done: usize,
     pub(crate) total_completions: usize,
     events_done: u64,
+    /// Per-arrival drop-signature scratch, reused across admissions so the
+    /// hot path stops allocating once millions of jobs flow through a shard
+    /// (cleared and refilled in [`MultiDriver::admit`]; never checkpointed).
+    drops_scratch: Vec<f64>,
 }
 
 impl<S: JobSource> MultiDriver<S> {
@@ -855,8 +923,10 @@ impl<S: JobSource> MultiDriver<S> {
             None if exp.sprint_top_class => Some(SprintPolicy::unlimited_for_top(classes)),
             None => None,
         };
-        let sprinter =
-            sprint_policy.map(|p| MultiSprinter::new(p, exp.cluster.sprint_extra_slot_power_w()));
+        let sprinter = sprint_policy.map(|p| {
+            MultiSprinter::new(p, exp.cluster.sprint_extra_slot_power_w())
+                .with_draw_cap(exp.sprint_draw_cap_w)
+        });
         let engine = ClusterSim::with_scheduler(exp.cluster.clone(), exp.scheduler)?;
         let report = MultiJobReport {
             scheduler: engine.scheduler_label().to_string(),
@@ -894,6 +964,7 @@ impl<S: JobSource> MultiDriver<S> {
             measured_done: 0,
             total_completions: 0,
             events_done: 0,
+            drops_scratch: Vec::new(),
         }
         .with_sprinter(sprinter))
     }
@@ -925,9 +996,10 @@ impl<S: JobSource> MultiDriver<S> {
         self.report = cp.report.clone();
     }
 
-    /// The closed loop: engine events, sprint bookkeeping, faults and
-    /// arrivals at a fixed tie order, until the measured window completes or
-    /// the source drains.
+    /// The closed loop: [`MultiDriver::next_arm`] arbitration and
+    /// [`MultiDriver::step`] execution, until the measured window completes
+    /// or the source drains. Recombining the two is bit-identical to the
+    /// pre-PR 10 inline loop — the arbiter merely names what it always did.
     fn drive<H: RunHook<S>>(&mut self, hook: &mut H) -> Result<(), ExperimentError> {
         while self.measured_done < self.jobs {
             if self.total_completions > self.completion_cap {
@@ -936,50 +1008,102 @@ impl<S: JobSource> MultiDriver<S> {
                     target: self.jobs,
                 });
             }
-            let arrival_t = self
-                .next_arrival
-                .as_ref()
-                .map(|j| SimTime::from_secs(j.arrival_secs));
-            let [engine_t, depletion_t, timer_t, fault_t] =
-                self.machine_times(self.next_arrival.is_some());
-            let Some(next_t) = [engine_t, depletion_t, timer_t, fault_t, arrival_t]
-                .iter()
-                .flatten()
-                .copied()
-                .min()
-            else {
+            let Some((next_t, arm)) = self.next_arm() else {
                 break; // source exhausted, engine drained
             };
+            if let Some(obs) = self.step(next_t, arm, hook)? {
+                self.record_completion(&obs);
+            }
+            self.drain_dispatches();
+        }
+        Ok(())
+    }
 
-            // Tie-breaking at equal timestamps is fixed — engine event, then
-            // budget depletion, then sprint timers, then faults, then the
-            // arrival — so runs are deterministic whatever the configuration.
-            if engine_t == Some(next_t) {
-                if let Some(obs) = self.handle_engine_event(next_t)? {
-                    self.record_completion(&obs);
-                }
-            } else if depletion_t == Some(next_t) {
+    /// The event arbiter: which composable source — engine calendar, budget
+    /// depletion, sprint timers, fault batches, or the arrival stream —
+    /// fires next, and when. `None` means the run is over (no event time
+    /// remains anywhere).
+    ///
+    /// Tie-breaking at equal timestamps is fixed — engine event, then budget
+    /// depletion, then sprint timers, then faults, then the arrival — so
+    /// runs are deterministic whatever the configuration. Every composition
+    /// of the loop (closed [`MultiDriver::drive`], the soak's batched
+    /// arrival loop, the federation's epoch-bounded shard advance) inherits
+    /// the same order by construction.
+    pub(crate) fn next_arm(&mut self) -> Option<(SimTime, LoopArm)> {
+        let arrival_t = self
+            .next_arrival
+            .as_ref()
+            .map(|j| SimTime::from_secs(j.arrival_secs));
+        let [engine_t, depletion_t, timer_t, fault_t] = self.machine_times(arrival_t.is_some());
+        let next_t = [engine_t, depletion_t, timer_t, fault_t, arrival_t]
+            .iter()
+            .flatten()
+            .copied()
+            .min()?;
+        let arm = if engine_t == Some(next_t) {
+            LoopArm::Engine
+        } else if depletion_t == Some(next_t) {
+            LoopArm::Depletion
+        } else if timer_t == Some(next_t) {
+            LoopArm::Timer
+        } else if fault_t == Some(next_t) {
+            LoopArm::Fault
+        } else {
+            LoopArm::Arrival
+        };
+        Some((next_t, arm))
+    }
+
+    /// Executes one arbitrated arm at its event time. Completions surface as
+    /// [`CompletionObs`] for the caller to record (closed loop: per-class
+    /// exact stats; soak: streaming windows; federation: global-window shard
+    /// accounting). The caller is expected to follow up with
+    /// [`MultiDriver::drain_dispatches`].
+    pub(crate) fn step<H: RunHook<S>>(
+        &mut self,
+        next_t: SimTime,
+        arm: LoopArm,
+        hook: &mut H,
+    ) -> Result<Option<CompletionObs>, ExperimentError> {
+        match arm {
+            LoopArm::Engine => self.handle_engine_event(next_t),
+            LoopArm::Depletion => {
                 self.handle_depletion(next_t);
-            } else if timer_t == Some(next_t) {
+                Ok(None)
+            }
+            LoopArm::Timer => {
                 self.handle_timers(next_t);
-            } else if fault_t == Some(next_t) {
+                Ok(None)
+            }
+            LoopArm::Fault => {
                 self.handle_faults(next_t)?;
-            } else {
-                // Arrival: hand it straight to the engine's scheduler. The
+                Ok(None)
+            }
+            LoopArm::Arrival => {
+                // Hand the arrival straight to the engine's scheduler. The
                 // hook observes the pre-submission state — this is the
                 // checkpoint boundary branch re-execution resumes at.
                 hook.on_arrival(self);
                 let instance = self
                     .next_arrival
                     .take()
-                    .expect("candidate implies presence");
+                    .expect("arrival arm implies a drawn arrival");
                 self.next_arrival = self.source.next_job();
                 self.admit(instance, next_t)?;
+                Ok(None)
             }
-
-            self.drain_dispatches();
         }
-        Ok(())
+    }
+
+    /// Refills the eagerly drawn arrival slot from the source when empty —
+    /// the federation coordinator calls this after routing new jobs into a
+    /// shard's inbox, restoring the invariant the arbiter's arrival arm
+    /// relies on.
+    pub(crate) fn refill_next_arrival(&mut self) {
+        if self.next_arrival.is_none() {
+            self.next_arrival = self.source.next_job();
+        }
     }
 
     /// Event times of the four machine-side event families in the loop's tie
@@ -1053,6 +1177,7 @@ impl<S: JobSource> MultiDriver<S> {
         // ⌈n(1−θ)⌉ tasks per stage).
         let total_tasks = metrics.tasks_run + metrics.tasks_dropped;
         let obs = CompletionObs {
+            job,
             class: m.class,
             measured: (self.warmup..self.target).contains(&m.seq),
             response,
@@ -1191,9 +1316,20 @@ impl<S: JobSource> MultiDriver<S> {
     ) -> Result<(), ExperimentError> {
         let class = instance.class();
         assert!(class < self.classes, "job class out of range");
-        let drops = drops_for(&instance, self.thetas.as_deref());
+        // Per-stage drop vector under the class's theta (droppable stages
+        // only, as in `Policy::drops_for`), built into the reused scratch.
+        let theta = self.thetas.as_deref().map_or(0.0, |t| t[class]);
+        self.drops_scratch.clear();
+        self.drops_scratch
+            .extend(
+                instance
+                    .spec
+                    .stages
+                    .iter()
+                    .map(|s| if s.kind.droppable() { theta } else { 0.0 }),
+            );
         self.engine.idle_until(next_t);
-        let submission = self.engine.submit_job(&instance, &drops)?;
+        let submission = self.engine.submit_job(&instance, &self.drops_scratch)?;
         self.meta.insert(
             instance.spec.id,
             JobMeta {
@@ -1279,6 +1415,14 @@ impl<S: JobSource> MultiDriver<S> {
         self.events_done
     }
 
+    /// Joules the sprint budget has spent so far (0 without a sprint policy).
+    /// The books accrue lazily on sprinter interactions, so between events
+    /// this is a telemetry-grade lower bound, exact again at
+    /// [`MultiDriver::finalize`].
+    pub(crate) fn sprint_spent_j(&self) -> f64 {
+        self.sprinter.as_ref().map_or(0.0, MultiSprinter::spent_j)
+    }
+
     /// Live driver+engine objects right now: calendar entries, pending and
     /// running jobs, job metadata records and armed sprint timers. The soak
     /// harness adds its own arrival buffer and sketch nodes on top to form
@@ -1331,18 +1475,6 @@ impl<S: JobSource> MultiDriver<S> {
         };
         self.report
     }
-}
-
-/// Per-stage drop vector for `instance` under per-class thetas (droppable
-/// stages only, as in [`Policy::drops_for`](crate::Policy::drops_for)).
-fn drops_for(instance: &dias_engine::JobInstance, thetas: Option<&[f64]>) -> Vec<f64> {
-    let theta = thetas.map_or(0.0, |t| t[instance.class()]);
-    instance
-        .spec
-        .stages
-        .iter()
-        .map(|s| if s.kind.droppable() { theta } else { 0.0 })
-        .collect()
 }
 
 /// Drains newly retired per-job energy ledgers into the per-class totals.

@@ -42,6 +42,12 @@ pub struct MultiSprinter {
     /// Sprinting jobs with the slot count each is charged for (its gang
     /// width), in sprint-start order.
     active: Vec<(JobId, usize)>,
+    /// Cap (W) on the aggregate *extra* draw of concurrently sprinting gangs;
+    /// a start that would push [`MultiSprinter::drain_rate_w`] past it is
+    /// refused. `None` (the default) reproduces the uncapped behaviour bit
+    /// for bit. The federation partitions its global power cap into one such
+    /// per-shard cap, pure function of the fleet spec.
+    draw_cap_w: Option<f64>,
 }
 
 impl MultiSprinter {
@@ -65,7 +71,25 @@ impl MultiSprinter {
             replenished_j: 0.0,
             last: SimTime::ZERO,
             active: Vec::new(),
+            draw_cap_w: None,
         }
+    }
+
+    /// Caps the aggregate extra draw of concurrent sprints at `cap_w` watts
+    /// (`None` lifts the cap): [`MultiSprinter::try_start`] refuses any start
+    /// that would exceed it, while already-running sprints are never clipped
+    /// retroactively. The check is a pure threshold on the would-be drain
+    /// rate, so capped runs stay deterministic.
+    #[must_use]
+    pub fn with_draw_cap(mut self, cap_w: Option<f64>) -> Self {
+        self.draw_cap_w = cap_w;
+        self
+    }
+
+    /// The configured cap on aggregate sprint extra draw, if any.
+    #[must_use]
+    pub fn draw_cap_w(&self) -> Option<f64> {
+        self.draw_cap_w
     }
 
     /// The configured policy.
@@ -164,8 +188,10 @@ impl MultiSprinter {
 
     /// Attempts to start sprinting `job`'s gang of `slots` at `now`.
     ///
-    /// Returns `false` (and starts nothing) when the budget is empty;
-    /// starting an already-sprinting job is a no-op returning `true`.
+    /// Returns `false` (and starts nothing) when the budget is empty or the
+    /// start would push the aggregate extra draw past the configured
+    /// [`MultiSprinter::with_draw_cap`]; starting an already-sprinting job is
+    /// a no-op returning `true`.
     pub fn try_start(&mut self, now: SimTime, job: JobId, slots: usize) -> bool {
         self.advance_to(now);
         if self.is_sprinting(job) {
@@ -173,6 +199,11 @@ impl MultiSprinter {
         }
         if self.budget_j <= 0.0 {
             return false;
+        }
+        if let Some(cap_w) = self.draw_cap_w {
+            if self.drain_rate_w() + slots as f64 * self.extra_slot_power_w > cap_w {
+                return false;
+            }
         }
         self.active.push((job, slots));
         true
@@ -301,6 +332,30 @@ mod tests {
         s.advance_to(SimTime::from_secs(1e9));
         assert!(s.budget_j().is_infinite());
         assert_eq!(s.spent_j(), 0.0);
+    }
+
+    #[test]
+    fn draw_cap_refuses_starts_past_the_cap() {
+        let mut s = limited(4096.0, 0.0).with_draw_cap(Some(40.0));
+        assert_eq!(s.draw_cap_w(), Some(40.0));
+        assert!(s.try_start(SimTime::ZERO, JobId(1), 8)); // 32 W
+        assert!(!s.try_start(SimTime::ZERO, JobId(2), 4)); // 48 W > cap
+        assert!(s.try_start(SimTime::ZERO, JobId(3), 2)); // exactly 40 W: fits
+        assert!(s.is_sprinting(JobId(1)));
+        assert!(!s.is_sprinting(JobId(2)));
+        assert_eq!(s.drain_rate_w(), 40.0);
+        // Stopping a gang frees headroom for the refused one.
+        assert!(s.stop(SimTime::ZERO, JobId(1)));
+        assert!(s.try_start(SimTime::ZERO, JobId(2), 8));
+        assert_eq!(s.drain_rate_w(), 40.0);
+    }
+
+    #[test]
+    fn no_draw_cap_is_the_default_and_never_refuses() {
+        let mut s = limited(4096.0, 0.0);
+        assert_eq!(s.draw_cap_w(), None);
+        assert!(s.try_start(SimTime::ZERO, JobId(1), 1000));
+        assert_eq!(s.drain_rate_w(), 4000.0);
     }
 
     #[test]

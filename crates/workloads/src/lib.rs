@@ -45,8 +45,9 @@ pub mod text;
 
 pub use faults::{autoscaling_trace, slot_failure_trace, straggler_trace};
 pub use profiles::{
-    dataset_126, dataset_147, equal_size_two_priority, heterogeneous_width_two_priority,
-    inverted_ratio_two_priority, profile_473, reference_two_priority, sharded_two_priority,
-    three_priority_stream, triangle_two_priority, JobProfile,
+    dataset_126, dataset_147, equal_size_two_priority, heterogeneous_width_fleet,
+    heterogeneous_width_two_priority, inverted_ratio_two_priority, profile_473,
+    reference_two_priority, sharded_two_priority, three_priority_stream, triangle_two_priority,
+    JobProfile,
 };
 pub use stream::{profile_execution, JobStream, JobStreamTrace};

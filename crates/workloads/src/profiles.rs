@@ -201,15 +201,30 @@ pub fn sharded_two_priority(utilization: f64, seed: u64) -> JobStream {
 /// ratio match [`reference_two_priority`].
 #[must_use]
 pub fn heterogeneous_width_two_priority(utilization: f64, seed: u64) -> JobStream {
-    let low = JobProfile::word_count("147-wide", 1117.0 / 4.0, 12, 33.4, 6, 12.0, 12.0, 8.0);
-    let high = JobProfile::word_count("126-shard", 473.0 / 4.0, 4, 27.9, 2, 11.0, 11.0, 7.0);
-    JobStream::with_target_utilization(
-        vec![low, high],
-        vec![0.9, 0.1],
-        &ClusterSpec::paper_reference(),
-        utilization,
-        seed,
-    )
+    heterogeneous_width_fleet(&ClusterSpec::paper_reference(), utilization, seed)
+}
+
+/// [`heterogeneous_width_two_priority`] scaled to an arbitrary `cluster`:
+/// the same two job shapes (12-wide low gangs, 4-wide high gangs, 9:1
+/// ratio), with the per-class arrival rates calibrated on the paper's
+/// 20-slot testbed and then multiplied by the slot ratio, so a 10k-slot
+/// federation fleet sees proportionally more traffic at the same per-slot
+/// load. On [`ClusterSpec::paper_reference`] the slot ratio is exactly 1 and
+/// the stream is bit-identical to the unscaled helper.
+#[must_use]
+pub fn heterogeneous_width_fleet(cluster: &ClusterSpec, utilization: f64, seed: u64) -> JobStream {
+    let profiles = || {
+        vec![
+            JobProfile::word_count("147-wide", 1117.0 / 4.0, 12, 33.4, 6, 12.0, 12.0, 8.0),
+            JobProfile::word_count("126-shard", 473.0 / 4.0, 4, 27.9, 2, 11.0, 11.0, 7.0),
+        ]
+    };
+    let paper = ClusterSpec::paper_reference();
+    let reference =
+        JobStream::with_target_utilization(profiles(), vec![0.9, 0.1], &paper, utilization, seed);
+    let scale = cluster.slots() as f64 / paper.slots() as f64;
+    let rates: Vec<f64> = reference.rates().iter().map(|r| r * scale).collect();
+    JobStream::with_rates(profiles(), rates, seed).expect("validated inputs")
 }
 
 /// Fig. 8a's variant: both priorities process the same (473 MB) dataset.
@@ -346,6 +361,29 @@ mod tests {
             widths[job.class()] = widths[job.class()].max(w);
         }
         assert_eq!(widths, [12, 4]);
+    }
+
+    #[test]
+    fn fleet_stream_scales_arrival_rate_with_cluster_size() {
+        use dias_core::JobSource;
+        let paper = ClusterSpec::paper_reference();
+        let fleet = ClusterSpec {
+            workers: paper.workers * 16,
+            ..paper.clone()
+        };
+        let horizon = |mut s: JobStream| {
+            (0..400)
+                .map(|_| s.next_job().expect("stream is endless").arrival_secs)
+                .fold(0.0f64, f64::max)
+        };
+        let small = horizon(heterogeneous_width_fleet(&paper, 0.8, 7));
+        let big = horizon(heterogeneous_width_fleet(&fleet, 0.8, 7));
+        // 16× the slots at the same utilization → ≈16× the arrival rate, so
+        // the same number of jobs spans a far shorter horizon.
+        assert!(
+            big < small / 8.0,
+            "fleet stream should arrive much faster: {big} vs {small}"
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! * [`stochastic`] — phase-type distributions and marked arrival processes.
 //! * [`models`] — the paper's §4 task-/wave-level models and priority-queue analysis.
 //! * [`engine`] — the Spark-like cluster simulator substrate.
+//! * [`pool`] — the scoped worker-lane pool behind every parallel runner.
 //! * [`core`] — the DiAS controller: buffers, deflator, sprinter, policies.
 //! * [`workloads`] — text/graph analytics workloads and job-stream generators.
 //!
@@ -95,11 +96,50 @@
 //! // same bound at a million jobs).
 //! assert!(report.live_high_water < 20_000);
 //! ```
+//!
+//! # Sharded federation quickstart
+//!
+//! A fleet of clusters sharded across worker threads: each shard owns its
+//! own calendar, a deterministic router (a pure function of the arrival
+//! stream) assigns every job to a shard, and cross-shard couplings (shared
+//! sprint budget, global power cap) are partitioned by slot share up front.
+//! Workers synchronise at fixed epoch boundaries, and the report is
+//! **bitwise identical at any thread count and any epoch length** — the
+//! thread count below is a resource knob, not a semantic one:
+//!
+//! ```
+//! use dias_repro::core::federation::{FederationExperiment, Router};
+//! use dias_repro::engine::{ClusterSpec, GangBinPack};
+//! use dias_repro::workloads::heterogeneous_width_fleet;
+//!
+//! // Two paper-reference shards fed at twice the single-cluster rate.
+//! let shards = vec![ClusterSpec::paper_reference(); 2];
+//! let fleet = ClusterSpec {
+//!     workers: 2 * ClusterSpec::paper_reference().workers,
+//!     ..ClusterSpec::paper_reference()
+//! };
+//! let stream = heterogeneous_width_fleet(&fleet, 0.7, 42);
+//! let build = |threads: usize| {
+//!     FederationExperiment::new(stream.clone(), shards.clone(), |_| Box::new(GangBinPack))
+//!         .router(Router::Hash)
+//!         .epoch_secs(60.0)
+//!         .drops(&[0.2, 0.0])
+//!         .arrivals(60)
+//!         .run(threads)
+//!         .unwrap()
+//! };
+//! let serial = build(1);
+//! let parallel = build(4);
+//! assert_eq!(serial, parallel); // bit-identical across thread counts
+//! assert_eq!(serial.completed(), 60);
+//! assert_eq!(serial.shards.len(), 2);
+//! ```
 
 pub use dias_core as core;
 pub use dias_des as des;
 pub use dias_engine as engine;
 pub use dias_linalg as linalg;
 pub use dias_models as models;
+pub use dias_pool as pool;
 pub use dias_stochastic as stochastic;
 pub use dias_workloads as workloads;
